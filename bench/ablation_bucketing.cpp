@@ -1,0 +1,52 @@
+// Ablation: the bucketing heuristic of Section 4.4.
+//
+// Bucketing processes size-sorted core cells in batches so that queries by
+// large cells prune connectivity work for the rest. This harness reports,
+// with bucketing off/on: wall time, the number of connectivity queries
+// actually executed, and the number pruned by the union-find check — on the
+// datasets where the paper found bucketing to matter most (the skewed
+// GeoLife-like data and the denser synthetic sets).
+#include "common.h"
+
+#include "dbscan/stats.h"
+
+int main() {
+  using namespace pdbscan;
+  using namespace pdbscan::bench;
+
+  std::printf("=== Ablation: bucketing (Section 4.4) ===\n");
+  std::printf("threads=%d scale=%g\n\n", parallel::num_workers(),
+              util::GetEnvDouble("PDBSCAN_BENCH_SCALE", 1.0));
+
+  auto suite = HighDimSuite();
+  const std::vector<std::string> keep = {"3D-SS-simden", "3D-SS-varden",
+                                         "5D-SS-simden", "3D-GeoLife-like"};
+
+  util::BenchTable table({"dataset", "config", "bucketing", "time(s)",
+                          "queries", "pruned", "connected"});
+  for (const auto& ds : suite) {
+    bool selected = false;
+    for (const auto& k : keep) selected = selected || ds.name == k;
+    if (!selected) continue;
+    for (const auto& base :
+         {NamedConfig{"our-exact", OurExact()},
+          NamedConfig{"our-exact-qt", OurExactQt()}}) {
+      for (const bool bucketing : {false, true}) {
+        Options options = base.options;
+        options.bucketing = bucketing;
+        auto& stats = dbscan::GlobalStats();
+        stats.Reset();
+        const double secs =
+            RunOurs(ds, ds.default_eps, ds.default_minpts, options);
+        table.AddRow(
+            {ds.name, base.name, bucketing ? "on" : "off",
+             util::BenchTable::Num(secs),
+             std::to_string(stats.connectivity_queries.load()),
+             std::to_string(stats.pruned_queries.load()),
+             std::to_string(stats.successful_queries.load())});
+      }
+    }
+  }
+  table.Print();
+  return 0;
+}

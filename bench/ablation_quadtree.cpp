@@ -1,0 +1,63 @@
+// Ablation: quadtree RangeCount (Section 5.2) vs flat neighbor-cell scans.
+//
+// Two separable choices: (1) MarkCore's RangeCount (scan vs quadtree) and
+// (2) cell-graph connectivity (plain BCP vs quadtree-BCP). The paper's
+// Figure 6(f)/(j) spikes motivate both: on skewed data (GeoLife-like) or at
+// unlucky epsilon values, flat scans blow up while the quadtree variants
+// stay even. This harness crosses the two choices on a skewed and a uniform
+// dataset over the epsilon sweep.
+#include "common.h"
+
+int main() {
+  using namespace pdbscan;
+  using namespace pdbscan::bench;
+
+  const size_t n = ScaledN(20000);
+  std::vector<BenchDataset> suite;
+  suite.push_back(MakeDataset<3>("3D-GeoLife-like", data::GeoLifeLike(n), 20,
+                                 100, {5, 10, 20, 40, 80}));
+  suite.push_back(MakeDataset<5>("5D-UniformFill",
+                                 data::UniformFill<5>(ScaledN(10000)), 0, 100,
+                                 {}));
+  {
+    const double s = std::pow(double(ScaledN(10000)), 3.0 / 10.0);
+    suite.back().eps_sweep = {2 * s, 3 * s, 4 * s, 6 * s};
+  }
+
+  std::printf("=== Ablation: quadtree range counting vs flat scans ===\n\n");
+
+  for (const auto& ds : suite) {
+    std::vector<std::string> header = {"markcore/cellgraph \\ eps"};
+    for (const double eps : ds.eps_sweep) header.push_back(util::BenchTable::Num(eps));
+    util::BenchTable table(std::move(header));
+
+    struct Variant {
+      std::string name;
+      RangeCountMethod markcore;
+      ConnectMethod connect;
+    };
+    const std::vector<Variant> variants = {
+        {"scan/bcp        (our-exact)", RangeCountMethod::kScan, ConnectMethod::kBcp},
+        {"quadtree/bcp", RangeCountMethod::kQuadtree, ConnectMethod::kBcp},
+        {"scan/quadtree-bcp", RangeCountMethod::kScan, ConnectMethod::kQuadtreeBcp},
+        {"quadtree/quadtree-bcp (our-exact-qt)", RangeCountMethod::kQuadtree,
+         ConnectMethod::kQuadtreeBcp},
+    };
+    for (const auto& variant : variants) {
+      Options options;
+      options.range_count = variant.markcore;
+      options.connect_method = variant.connect;
+      std::vector<std::string> row = {variant.name};
+      for (const double eps : ds.eps_sweep) {
+        row.push_back(util::BenchTable::Num(
+            RunOurs(ds, eps, ds.default_minpts, options)));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("(%s, n=%zu, minpts=%zu)\n", ds.name.c_str(), ds.size(),
+                ds.default_minpts);
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Microbenchmarks for the geometric substrates: k-d tree, quadtree range
+// counting, Delaunay triangulation, and USEC wavefront construction/queries.
+// These are the per-cell/per-query costs behind the Figure 6/11 differences
+// between our variants.
+#include <numeric>
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "geometry/delaunay.h"
+#include "geometry/kd_tree.h"
+#include "geometry/point.h"
+#include "geometry/quadtree.h"
+#include "geometry/wavefront.h"
+
+namespace {
+
+using namespace pdbscan;
+using geometry::Point;
+
+template <int D>
+std::vector<Point<D>> RandomPoints(size_t n, double side, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, side);
+  std::vector<Point<D>> pts(n);
+  for (auto& p : pts) {
+    for (int k = 0; k < D; ++k) p[k] = coord(rng);
+  }
+  return pts;
+}
+
+void BM_KdTreeBuild3d(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto pts = RandomPoints<3>(n, 100.0, 1);
+  for (auto _ : state) {
+    geometry::KdTree<3> tree{std::span<const Point<3>>(pts)};
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_KdTreeBuild3d)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_KdTreeBallQuery3d(benchmark::State& state) {
+  const size_t n = 1 << 16;
+  auto pts = RandomPoints<3>(n, 100.0, 2);
+  geometry::KdTree<3> tree{std::span<const Point<3>>(pts)};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.CountInBall(pts[i++ % n], static_cast<double>(state.range(0))));
+  }
+}
+BENCHMARK(BM_KdTreeBallQuery3d)->Arg(2)->Arg(8);
+
+void BM_QuadtreeBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto pts = RandomPoints<3>(n, 10.0, 3);
+  geometry::BBox<3> box{{{0, 0, 0}}, {{10, 10, 10}}};
+  for (auto _ : state) {
+    std::vector<uint32_t> idx(n);
+    std::iota(idx.begin(), idx.end(), 0u);
+    geometry::CellQuadtree<3> tree(std::span<const Point<3>>(pts),
+                                   std::move(idx), box);
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_QuadtreeBuild)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_QuadtreeCountVsScan(benchmark::State& state) {
+  // The MarkCore tradeoff: quadtree count vs scanning all cell points.
+  const size_t n = 1 << 14;
+  auto pts = RandomPoints<3>(n, 10.0, 4);
+  geometry::BBox<3> box{{{0, 0, 0}}, {{10, 10, 10}}};
+  std::vector<uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  geometry::CellQuadtree<3> tree(std::span<const Point<3>>(pts),
+                                 std::move(idx), box);
+  const bool use_tree = state.range(0) == 1;
+  size_t q = 0;
+  for (auto _ : state) {
+    const Point<3>& center = pts[q++ % n];
+    size_t count = 0;
+    if (use_tree) {
+      count = tree.CountInBall(center, 0.5, 100);
+    } else {
+      for (const auto& p : pts) {
+        if (p.SquaredDistance(center) <= 0.25 && ++count >= 100) break;
+      }
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_QuadtreeCountVsScan)->Arg(0)->Arg(1);
+
+void BM_DelaunayBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto pts = RandomPoints<2>(n, 1000.0, 5);
+  for (auto _ : state) {
+    geometry::Delaunay dt{std::span<const Point<2>>(pts)};
+    benchmark::DoNotOptimize(dt.num_triangles());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_DelaunayBuild)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_EnvelopeBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::mt19937_64 rng(6);
+  std::uniform_real_distribution<double> x(0.0, 50.0), y(-3.0, 0.0);
+  std::vector<Point<2>> centers(n);
+  for (auto& c : centers) c = {{x(rng), y(rng)}};
+  for (auto _ : state) {
+    geometry::Envelope env(centers, 3.0);
+    benchmark::DoNotOptimize(env.arcs().size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EnvelopeBuild)->Arg(64)->Arg(1024);
+
+void BM_EnvelopeQuery(benchmark::State& state) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> x(0.0, 50.0), y(-3.0, 0.0);
+  std::vector<Point<2>> centers(1024);
+  for (auto& c : centers) c = {{x(rng), y(rng)}};
+  geometry::Envelope env(centers, 3.0);
+  std::uniform_real_distribution<double> qy(0.0, 3.0);
+  std::vector<Point<2>> queries(4096);
+  for (auto& q : queries) q = {{x(rng), qy(rng)}};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.Contains(queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_EnvelopeQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

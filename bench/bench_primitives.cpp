@@ -1,0 +1,171 @@
+// Microbenchmarks for the Table 1 parallel primitives, via google-benchmark.
+// These are the building blocks whose practical constants decide whether the
+// work-efficient design pays off.
+#include <numeric>
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "containers/hash_table.h"
+#include "containers/union_find.h"
+#include "parallel/scheduler.h"
+#include "primitives/filter.h"
+#include "primitives/integer_sort.h"
+#include "primitives/merge.h"
+#include "primitives/random.h"
+#include "primitives/scan.h"
+#include "primitives/semisort.h"
+#include "primitives/sort.h"
+
+namespace {
+
+using namespace pdbscan;
+
+void BM_ScanExclusive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<long> base(n, 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<long> a = base;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(primitives::ScanExclusive(a));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ScanExclusive)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Filter(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<int> a(n);
+  std::iota(a.begin(), a.end(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        primitives::Filter(a, [](int x) { return (x & 7) == 0; }));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_Filter)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ParallelSort(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::mt19937_64 rng(1);
+  std::vector<uint64_t> base(n);
+  for (auto& x : base) x = rng();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<uint64_t> a = base;
+    state.ResumeTiming();
+    primitives::ParallelSort(a);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ParallelSort)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_IntegerSort(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::mt19937_64 rng(2);
+  std::vector<uint32_t> base(n);
+  for (auto& x : base) x = rng() % 128;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<uint32_t> a = base;
+    state.ResumeTiming();
+    primitives::IntegerSort(a, 128, [](uint32_t x) { return x; });
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_IntegerSort)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Semisort(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::mt19937_64 rng(3);
+  std::vector<std::pair<uint64_t, uint32_t>> pairs(n);
+  for (size_t i = 0; i < n; ++i) {
+    pairs[i] = {rng() % (n / 16 + 1), static_cast<uint32_t>(i)};
+  }
+  for (auto _ : state) {
+    auto result = primitives::Semisort<uint64_t, uint32_t>(
+        std::span<const std::pair<uint64_t, uint32_t>>(pairs),
+        [](uint64_t k) { return primitives::Hash64(k); },
+        [](uint64_t a, uint64_t b) { return a == b; });
+    benchmark::DoNotOptimize(result.items.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_Semisort)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SemisortVsComparisonSort(benchmark::State& state) {
+  // The grid-construction tradeoff the paper highlights: grouping by cell
+  // with semisort vs fully sorting by cell id.
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::mt19937_64 rng(4);
+  std::vector<std::pair<uint64_t, uint32_t>> base(n);
+  for (size_t i = 0; i < n; ++i) {
+    base[i] = {rng() % (n / 16 + 1), static_cast<uint32_t>(i)};
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto a = base;
+    state.ResumeTiming();
+    primitives::ParallelSort(a, [](const auto& x, const auto& y) {
+      return x.first < y.first;
+    });
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_SemisortVsComparisonSort)->Arg(1 << 20);
+
+void BM_ParallelMerge(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<int> a(n), b(n);
+  std::mt19937 rng(5);
+  for (auto& x : a) x = static_cast<int>(rng());
+  for (auto& x : b) x = static_cast<int>(rng());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<int> out(2 * n);
+  for (auto _ : state) {
+    primitives::ParallelMerge(std::span<const int>(a), std::span<const int>(b),
+                              std::span<int>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(2 * n) * state.iterations());
+}
+BENCHMARK(BM_ParallelMerge)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_HashTableInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  struct Hash {
+    uint64_t operator()(uint64_t k) const { return primitives::Hash64(k); }
+  };
+  struct Eq {
+    bool operator()(uint64_t a, uint64_t b) const { return a == b; }
+  };
+  for (auto _ : state) {
+    containers::ConcurrentMap<uint64_t, uint64_t, Hash, Eq> map(n);
+    parallel::parallel_for(0, n, [&](size_t i) {
+      map.Insert(static_cast<uint64_t>(i), static_cast<uint64_t>(i));
+    });
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_HashTableInsert)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_UnionFind(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    containers::UnionFind uf(n);
+    parallel::parallel_for(0, n - 1, [&](size_t i) { uf.Link(i, i + 1); });
+    benchmark::DoNotOptimize(uf.Find(n - 1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_UnionFind)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

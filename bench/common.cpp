@@ -1,0 +1,129 @@
+#include "common.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "baselines/hpdbscan.h"
+#include "baselines/pointwise.h"
+#include "baselines/rpdbscan.h"
+
+namespace pdbscan::bench {
+
+namespace {
+
+// Mean point spacing of UniformFill in d dimensions: n points in volume
+// n^(d/2) gives per-point volume n^(d/2-1), i.e. spacing n^((d-2)/(2d)).
+double UniformSpacing(size_t n, int d) {
+  return std::pow(static_cast<double>(n),
+                  (static_cast<double>(d) - 2) / (2.0 * d));
+}
+
+std::vector<double> Sweep(double base, std::initializer_list<double> factors) {
+  std::vector<double> out;
+  for (const double f : factors) out.push_back(base * f);
+  return out;
+}
+
+}  // namespace
+
+std::vector<BenchDataset> HighDimSuite() {
+  const size_t n = ScaledN(10000);
+  const size_t n_real = ScaledN(20000);
+  std::vector<BenchDataset> suite;
+
+  // Seed-spreader datasets: vicinity 100 in a 1e5-wide domain; defaults
+  // mirror the paper's "correct clustering" parameter choice.
+  suite.push_back(MakeDataset<3>("3D-SS-simden", data::SsSimden<3>(n), 200, 10,
+                                 Sweep(100, {1, 2, 4, 8})));
+  suite.push_back(MakeDataset<3>("3D-SS-varden", data::SsVarden<3>(n), 400, 100,
+                                 Sweep(100, {1, 2, 4, 8})));
+  {
+    const double s = UniformSpacing(n, 3);
+    suite.push_back(MakeDataset<3>("3D-UniformFill", data::UniformFill<3>(n),
+                                   3 * s, 10, Sweep(s, {2, 3, 4, 6})));
+  }
+  suite.push_back(MakeDataset<5>("5D-SS-simden", data::SsSimden<5>(n), 300, 100,
+                                 Sweep(150, {1, 2, 4, 8})));
+  suite.push_back(MakeDataset<5>("5D-SS-varden", data::SsVarden<5>(n), 600, 10,
+                                 Sweep(150, {1, 2, 4, 8})));
+  {
+    const double s = UniformSpacing(n, 5);
+    suite.push_back(MakeDataset<5>("5D-UniformFill", data::UniformFill<5>(n),
+                                   3 * s, 100, Sweep(s, {2, 3, 4, 6})));
+  }
+  suite.push_back(MakeDataset<7>("7D-SS-simden", data::SsSimden<7>(n), 400, 10,
+                                 Sweep(200, {1, 2, 4, 8})));
+  suite.push_back(MakeDataset<7>("7D-SS-varden", data::SsVarden<7>(n), 800, 10,
+                                 Sweep(200, {1, 2, 4, 8})));
+  {
+    const double s = UniformSpacing(n, 7);
+    suite.push_back(MakeDataset<7>("7D-UniformFill", data::UniformFill<7>(n),
+                                   3 * s, 10, Sweep(s, {2, 3, 4, 6})));
+  }
+  suite.push_back(MakeDataset<3>("3D-GeoLife-like", data::GeoLifeLike(n_real),
+                                 20, 100, Sweep(10, {1, 2, 4, 8})));
+  suite.push_back(MakeDataset<7>("7D-Household-like",
+                                 data::HouseholdLike(ScaledN(10000)), 100, 100,
+                                 Sweep(50, {1, 2, 4, 8})));
+  return suite;
+}
+
+std::vector<BenchDataset> TwoDimSuite() {
+  const size_t n = ScaledN(20000);
+  std::vector<BenchDataset> suite;
+  suite.push_back(MakeDataset<2>("2D-SS-simden", data::SsSimden<2>(n), 150, 100,
+                                 Sweep(75, {1, 2, 4, 8})));
+  suite.push_back(MakeDataset<2>("2D-SS-varden", data::SsVarden<2>(n), 300, 100,
+                                 Sweep(100, {1, 2, 4, 8})));
+  return suite;
+}
+
+namespace {
+
+template <int D>
+double RunBaselineTyped(const std::string& name, const BenchDataset& ds,
+                        double eps, size_t minpts) {
+  std::vector<geometry::Point<D>> pts(ds.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (int k = 0; k < D; ++k) {
+      pts[i][k] = ds.flat[i * D + static_cast<size_t>(k)];
+    }
+  }
+  const std::span<const geometry::Point<D>> span(pts);
+  if (name == "pdsdbscan") {
+    return TimeSeconds([&]() { baselines::PdsDbscan<D>(span, eps, minpts); });
+  }
+  if (name == "hpdbscan") {
+    return TimeSeconds([&]() { baselines::HpDbscan<D>(span, eps, minpts); });
+  }
+  if (name == "rpdbscan") {
+    return TimeSeconds([&]() { baselines::RpDbscan<D>(span, eps, minpts); });
+  }
+  if (name == "original") {
+    return TimeSeconds(
+        [&]() { baselines::OriginalDbscan<D>(span, eps, minpts); });
+  }
+  throw std::invalid_argument("unknown baseline: " + name);
+}
+
+}  // namespace
+
+double RunBaseline(const std::string& name, const BenchDataset& ds, double eps,
+                   size_t minpts) {
+  switch (ds.dim) {
+    case 2:
+      return RunBaselineTyped<2>(name, ds, eps, minpts);
+    case 3:
+      return RunBaselineTyped<3>(name, ds, eps, minpts);
+    case 5:
+      return RunBaselineTyped<5>(name, ds, eps, minpts);
+    case 7:
+      return RunBaselineTyped<7>(name, ds, eps, minpts);
+    case 13:
+      return RunBaselineTyped<13>(name, ds, eps, minpts);
+    default:
+      throw std::invalid_argument("unsupported dimension");
+  }
+}
+
+}  // namespace pdbscan::bench

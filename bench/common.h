@@ -1,0 +1,145 @@
+// Shared infrastructure for the per-figure benchmark binaries.
+//
+// Every binary honors:
+//   PDBSCAN_BENCH_SCALE   — float multiplier on dataset sizes (default 1.0;
+//                           the paper used 10M-point datasets, our default
+//                           base size is 100k so a full ctest+bench cycle
+//                           stays minutes on one core — set 100 to approach
+//                           paper scale).
+//   PDBSCAN_NUM_THREADS   — worker count (thread-sweep benches override it).
+#ifndef PDBSCAN_BENCH_COMMON_H_
+#define PDBSCAN_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/seed_spreader.h"
+#include "data/synthetic_real.h"
+#include "data/uniform.h"
+#include "parallel/scheduler.h"
+#include "pdbscan/pdbscan.h"
+#include "util/bench_table.h"
+#include "util/env.h"
+#include "util/timer.h"
+
+namespace pdbscan::bench {
+
+inline size_t ScaledN(size_t base) {
+  const double scale = util::GetEnvDouble("PDBSCAN_BENCH_SCALE", 1.0);
+  const double n = static_cast<double>(base) * scale;
+  return n < 16 ? 16 : static_cast<size_t>(n);
+}
+
+// Median-of-k timing of a callable (k small; DBSCAN runs are expensive).
+inline double TimeSeconds(const std::function<void()>& fn, int repeats = 1) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    util::Timer timer;
+    fn();
+    times.push_back(timer.Seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+// A named DBSCAN configuration row, as in the paper's legends.
+struct NamedConfig {
+  std::string name;
+  Options options;
+};
+
+inline std::vector<NamedConfig> PaperConfigsHighDim(double rho = 0.01) {
+  return {
+      {"our-exact", OurExact()},
+      {"our-exact-bucketing", WithBucketing(OurExact())},
+      {"our-exact-qt", OurExactQt()},
+      {"our-exact-qt-bucketing", WithBucketing(OurExactQt())},
+      {"our-approx", OurApprox(rho)},
+      {"our-approx-bucketing", WithBucketing(OurApprox(rho))},
+      {"our-approx-qt", OurApproxQt(rho)},
+      {"our-approx-qt-bucketing", WithBucketing(OurApproxQt(rho))},
+  };
+}
+
+inline std::vector<NamedConfig> PaperConfigs2d() {
+  return {
+      {"our-2d-grid-bcp", Our2dGridBcp()},
+      {"our-2d-grid-usec", Our2dGridUsec()},
+      {"our-2d-grid-delaunay", Our2dGridDelaunay()},
+      {"our-2d-box-bcp", Our2dBoxBcp()},
+      {"our-2d-box-usec", Our2dBoxUsec()},
+      {"our-2d-box-delaunay", Our2dBoxDelaunay()},
+  };
+}
+
+// Thread counts for scaling sweeps: 1, 2, 4, ... up to the host parallelism
+// (always at least {1, 2, 4} so the sweep is meaningful on small hosts).
+inline std::vector<int> ThreadSweep() {
+  std::vector<int> threads = {1, 2, 4};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  for (int t = 8; t <= hw; t *= 2) threads.push_back(t);
+  return threads;
+}
+
+// A dataset with runtime dimension, its default parameters (the analogue of
+// the paper's "parameters producing the correct clustering") and the epsilon
+// sweep for Figure 6 / 11-style plots.
+struct BenchDataset {
+  std::string name;
+  int dim = 0;
+  std::vector<double> flat;  // Row-major coordinates.
+  double default_eps = 0;
+  size_t default_minpts = 10;
+  std::vector<double> eps_sweep;
+
+  size_t size() const {
+    return dim == 0 ? 0 : flat.size() / static_cast<size_t>(dim);
+  }
+};
+
+template <int D>
+BenchDataset MakeDataset(std::string name, std::vector<geometry::Point<D>> pts,
+                         double default_eps, size_t default_minpts,
+                         std::vector<double> eps_sweep) {
+  BenchDataset ds;
+  ds.name = std::move(name);
+  ds.dim = D;
+  ds.flat.resize(pts.size() * D);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (int k = 0; k < D; ++k) ds.flat[i * D + static_cast<size_t>(k)] = pts[i][k];
+  }
+  ds.default_eps = default_eps;
+  ds.default_minpts = default_minpts;
+  ds.eps_sweep = std::move(eps_sweep);
+  return ds;
+}
+
+// The d >= 3 dataset suite of Figures 6-8 (SS-simden / SS-varden /
+// UniformFill at d = 3, 5, 7 plus the GeoLife and Household surrogates),
+// sized by PDBSCAN_BENCH_SCALE.
+std::vector<BenchDataset> HighDimSuite();
+
+// The 2D suite of Figure 11.
+std::vector<BenchDataset> TwoDimSuite();
+
+// Runs our pipeline on a runtime-dim dataset; returns seconds.
+inline double RunOurs(const BenchDataset& ds, double eps, size_t minpts,
+                      const Options& options) {
+  return TimeSeconds([&]() {
+    const auto result =
+        Dbscan(ds.flat.data(), ds.size(), ds.dim, eps, minpts, options);
+    (void)result;
+  });
+}
+
+// Baseline algorithms with runtime-dim dispatch. Names: "pdsdbscan",
+// "hpdbscan", "rpdbscan", "original".
+double RunBaseline(const std::string& name, const BenchDataset& ds, double eps,
+                   size_t minpts);
+
+}  // namespace pdbscan::bench
+
+#endif  // PDBSCAN_BENCH_COMMON_H_

@@ -1,0 +1,72 @@
+// Figure 10 reproduction: running time vs rho for approximate DBSCAN on
+// 5D-SS-simden and 5D-SS-varden, with the best exact method as baseline.
+//
+// Expected shape (paper Section 7.2): a mild decrease in time as rho grows,
+// with the best exact method remaining competitive or faster at the default
+// parameters — the basis for the paper's (and Schubert et al.'s) observation
+// that exact DBSCAN is usually preferable under well-chosen parameters.
+#include "common.h"
+
+int main() {
+  using namespace pdbscan;
+  using namespace pdbscan::bench;
+
+  const std::vector<double> rhos = {0.001, 0.003, 0.01, 0.03, 0.1};
+  const size_t n = ScaledN(10000);
+
+  struct Entry {
+    BenchDataset ds;
+  };
+  std::vector<BenchDataset> suite;
+  suite.push_back(MakeDataset<5>("5D-SS-simden", data::SsSimden<5>(n), 300, 100, {}));
+  suite.push_back(MakeDataset<5>("5D-SS-varden", data::SsVarden<5>(n), 600, 10, {}));
+
+  std::printf("=== Figure 10: running time (s) vs rho (approximate) ===\n");
+  std::printf("threads=%d scale=%g\n\n", parallel::num_workers(),
+              util::GetEnvDouble("PDBSCAN_BENCH_SCALE", 1.0));
+
+  for (const auto& ds : suite) {
+    std::vector<std::string> header = {"impl \\ rho"};
+    for (const double rho : rhos) header.push_back(util::BenchTable::Num(rho));
+    header.push_back("(exact)");
+    util::BenchTable table(std::move(header));
+
+    {
+      std::vector<std::string> row = {"our-approx-qt"};
+      for (const double rho : rhos) {
+        row.push_back(util::BenchTable::Num(
+            RunOurs(ds, ds.default_eps, ds.default_minpts, OurApproxQt(rho))));
+      }
+      row.push_back("-");
+      table.AddRow(std::move(row));
+    }
+    {
+      std::vector<std::string> row = {"our-approx"};
+      for (const double rho : rhos) {
+        row.push_back(util::BenchTable::Num(
+            RunOurs(ds, ds.default_eps, ds.default_minpts, OurApprox(rho))));
+      }
+      row.push_back("-");
+      table.AddRow(std::move(row));
+    }
+    {
+      // Best exact method as the flat reference line.
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& [name, options] : PaperConfigsHighDim()) {
+        if (options.connect_method == ConnectMethod::kApproxQuadtree) continue;
+        best = std::min(best,
+                        RunOurs(ds, ds.default_eps, ds.default_minpts, options));
+      }
+      std::vector<std::string> row = {"our-best-exact"};
+      for (size_t i = 0; i < rhos.size(); ++i) row.push_back("-");
+      row.push_back(util::BenchTable::Num(best));
+      table.AddRow(std::move(row));
+    }
+
+    std::printf("(%s, n=%zu, eps=%g, minpts=%zu)\n", ds.name.c_str(), ds.size(),
+                ds.default_eps, ds.default_minpts);
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

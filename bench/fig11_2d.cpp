@@ -1,0 +1,151 @@
+// Figure 11 reproduction: the 2D study. Four panels per dataset family:
+//   (a/e) running time vs epsilon,
+//   (b/f) running time vs minPts,
+//   (c/g) running time vs number of points,
+//   (d/h) speedup over the best serial configuration vs thread count,
+// for the six 2D variants (grid/box x bcp/usec/delaunay) plus HPDBSCAN and
+// PDSDBSCAN.
+//
+// Expected shapes from the paper: grid beats box (cheaper cell
+// construction), Delaunay is the slowest of our variants (triangulation
+// dominates), our-2d-grid-bcp is fastest overall, and both baselines trail
+// by orders of magnitude.
+#include "common.h"
+
+namespace {
+
+using namespace pdbscan;
+using namespace pdbscan::bench;
+
+void EpsilonPanel(const BenchDataset& ds) {
+  std::vector<std::string> header = {"impl \\ eps"};
+  for (const double eps : ds.eps_sweep) header.push_back(util::BenchTable::Num(eps));
+  util::BenchTable table(std::move(header));
+  for (const auto& [name, options] : PaperConfigs2d()) {
+    std::vector<std::string> row = {name};
+    for (const double eps : ds.eps_sweep) {
+      row.push_back(
+          util::BenchTable::Num(RunOurs(ds, eps, ds.default_minpts, options)));
+    }
+    table.AddRow(std::move(row));
+  }
+  for (const std::string baseline : {"hpdbscan", "pdsdbscan"}) {
+    std::vector<std::string> row = {baseline};
+    for (const double eps : ds.eps_sweep) {
+      row.push_back(
+          util::BenchTable::Num(RunBaseline(baseline, ds, eps, ds.default_minpts)));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("[time vs eps] (%s, n=%zu, minpts=%zu)\n", ds.name.c_str(),
+              ds.size(), ds.default_minpts);
+  table.Print();
+  std::printf("\n");
+}
+
+void MinptsPanel(const BenchDataset& ds) {
+  const std::vector<size_t> sweep = {10, 100, 1000, 10000};
+  std::vector<std::string> header = {"impl \\ minpts"};
+  for (const size_t m : sweep) header.push_back(std::to_string(m));
+  util::BenchTable table(std::move(header));
+  for (const auto& [name, options] : PaperConfigs2d()) {
+    std::vector<std::string> row = {name};
+    for (const size_t m : sweep) {
+      row.push_back(util::BenchTable::Num(RunOurs(ds, ds.default_eps, m, options)));
+    }
+    table.AddRow(std::move(row));
+  }
+  for (const std::string baseline : {"hpdbscan", "pdsdbscan"}) {
+    std::vector<std::string> row = {baseline};
+    for (const size_t m : sweep) {
+      row.push_back(util::BenchTable::Num(RunBaseline(baseline, ds, ds.default_eps, m)));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("[time vs minpts] (%s, eps=%g)\n", ds.name.c_str(), ds.default_eps);
+  table.Print();
+  std::printf("\n");
+}
+
+void SizePanel(bool varden) {
+  const std::vector<size_t> sizes = {ScaledN(5000), ScaledN(10000),
+                                     ScaledN(20000), ScaledN(50000)};
+  std::vector<std::string> header = {"impl \\ n"};
+  for (const size_t n : sizes) header.push_back(std::to_string(n));
+  util::BenchTable table(std::move(header));
+
+  std::vector<BenchDataset> datasets;
+  for (const size_t n : sizes) {
+    auto pts = varden ? data::SsVarden<2>(n) : data::SsSimden<2>(n);
+    datasets.push_back(MakeDataset<2>("tmp", std::move(pts),
+                                      varden ? 300.0 : 150.0, 100, {}));
+  }
+  for (const auto& [name, options] : PaperConfigs2d()) {
+    std::vector<std::string> row = {name};
+    for (const auto& ds : datasets) {
+      row.push_back(util::BenchTable::Num(
+          RunOurs(ds, ds.default_eps, ds.default_minpts, options)));
+    }
+    table.AddRow(std::move(row));
+  }
+  for (const std::string baseline : {"hpdbscan", "pdsdbscan"}) {
+    std::vector<std::string> row = {baseline};
+    for (const auto& ds : datasets) {
+      row.push_back(util::BenchTable::Num(
+          RunBaseline(baseline, ds, ds.default_eps, ds.default_minpts)));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("[time vs num-points] (2D-SS-%s)\n", varden ? "varden" : "simden");
+  table.Print();
+  std::printf("\n");
+}
+
+void ThreadPanel(const BenchDataset& ds) {
+  const std::vector<int> threads = ThreadSweep();
+  parallel::set_num_workers(1);
+  double best_serial = std::numeric_limits<double>::infinity();
+  std::string best_name;
+  for (const auto& [name, options] : PaperConfigs2d()) {
+    const double t = RunOurs(ds, ds.default_eps, ds.default_minpts, options);
+    if (t < best_serial) {
+      best_serial = t;
+      best_name = name;
+    }
+  }
+  std::vector<std::string> header = {"impl \\ threads"};
+  for (const int t : threads) header.push_back(std::to_string(t));
+  util::BenchTable table(std::move(header));
+  for (const auto& [name, options] : PaperConfigs2d()) {
+    std::vector<std::string> row = {name};
+    for (const int t : threads) {
+      parallel::set_num_workers(t);
+      row.push_back(util::BenchTable::Num(
+          best_serial / RunOurs(ds, ds.default_eps, ds.default_minpts, options),
+          3));
+    }
+    table.AddRow(std::move(row));
+  }
+  parallel::set_num_workers(
+      static_cast<int>(std::thread::hardware_concurrency()));
+  std::printf("[speedup vs threads] (%s; best serial %s = %.4fs)\n",
+              ds.name.c_str(), best_name.c_str(), best_serial);
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 11: 2D implementations ===\n");
+  std::printf("threads=%d scale=%g\n\n", parallel::num_workers(),
+              util::GetEnvDouble("PDBSCAN_BENCH_SCALE", 1.0));
+  for (const auto& ds : TwoDimSuite()) {
+    EpsilonPanel(ds);
+    MinptsPanel(ds);
+  }
+  SizePanel(/*varden=*/false);
+  SizePanel(/*varden=*/true);
+  for (const auto& ds : TwoDimSuite()) ThreadPanel(ds);
+  return 0;
+}

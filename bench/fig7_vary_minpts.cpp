@@ -1,0 +1,48 @@
+// Figure 7 reproduction: running time vs minPts for d >= 3.
+//
+// Epsilon fixed at the dataset default; minPts swept 10..10000. Expected
+// shapes from the paper: our implementations degrade as minPts grows
+// (MarkCore does O(n * minPts) work), while point-wise baselines are
+// minPts-insensitive (their range queries dominate regardless); crossover
+// can appear near minPts = 10000.
+#include "common.h"
+
+int main() {
+  using namespace pdbscan;
+  using namespace pdbscan::bench;
+
+  const std::vector<size_t> minpts_sweep = {10, 100, 1000, 10000};
+
+  std::printf("=== Figure 7: running time (s) vs minPts, d >= 3 ===\n");
+  std::printf("threads=%d  scale=%g\n\n", parallel::num_workers(),
+              util::GetEnvDouble("PDBSCAN_BENCH_SCALE", 1.0));
+
+  for (const auto& ds : HighDimSuite()) {
+    std::vector<std::string> header = {"impl \\ minpts"};
+    for (const size_t m : minpts_sweep) header.push_back(std::to_string(m));
+    util::BenchTable table(std::move(header));
+
+    for (const auto& [name, options] : PaperConfigsHighDim()) {
+      std::vector<std::string> row = {name};
+      for (const size_t m : minpts_sweep) {
+        row.push_back(
+            util::BenchTable::Num(RunOurs(ds, ds.default_eps, m, options)));
+      }
+      table.AddRow(std::move(row));
+    }
+    for (const std::string baseline : {"hpdbscan", "pdsdbscan"}) {
+      std::vector<std::string> row = {baseline};
+      for (const size_t m : minpts_sweep) {
+        row.push_back(
+            util::BenchTable::Num(RunBaseline(baseline, ds, ds.default_eps, m)));
+      }
+      table.AddRow(std::move(row));
+    }
+
+    std::printf("(%s, n=%zu, eps=%g)\n", ds.name.c_str(), ds.size(),
+                ds.default_eps);
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 9 reproduction: self-relative speedup vs thread count on
+// 3D-SS-varden — each implementation normalized by its own 1-thread time.
+//
+// Single-core host note: speedups here will read ~1x; the series still
+// verifies that adding (oversubscribed) workers does not degrade the
+// implementations, and reproduces the paper's figure on real multicore.
+#include "common.h"
+
+int main() {
+  using namespace pdbscan;
+  using namespace pdbscan::bench;
+
+  const std::vector<int> threads = ThreadSweep();
+  const size_t n = ScaledN(10000);
+  auto ds = MakeDataset<3>("3D-SS-varden", data::SsVarden<3>(n), 400, 100, {});
+
+  std::printf("=== Figure 9: self-relative speedup, 3D-SS-varden ===\n");
+  std::printf("n=%zu eps=%g minpts=%zu\n\n", ds.size(), ds.default_eps,
+              ds.default_minpts);
+
+  std::vector<std::string> header = {"impl \\ threads"};
+  for (const int t : threads) header.push_back(std::to_string(t));
+  util::BenchTable table(std::move(header));
+
+  for (const auto& [name, options] : PaperConfigsHighDim()) {
+    parallel::set_num_workers(1);
+    const double serial = RunOurs(ds, ds.default_eps, ds.default_minpts, options);
+    std::vector<std::string> row = {name};
+    for (const int t : threads) {
+      parallel::set_num_workers(t);
+      const double secs = RunOurs(ds, ds.default_eps, ds.default_minpts, options);
+      row.push_back(util::BenchTable::Num(serial / secs, 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  for (const std::string baseline : {"hpdbscan", "pdsdbscan"}) {
+    parallel::set_num_workers(1);
+    const double serial =
+        RunBaseline(baseline, ds, ds.default_eps, ds.default_minpts);
+    std::vector<std::string> row = {baseline};
+    for (const int t : threads) {
+      parallel::set_num_workers(t);
+      const double secs =
+          RunBaseline(baseline, ds, ds.default_eps, ds.default_minpts);
+      row.push_back(util::BenchTable::Num(serial / secs, 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  parallel::set_num_workers(
+      static_cast<int>(std::thread::hardware_concurrency()));
+  table.Print();
+  return 0;
+}

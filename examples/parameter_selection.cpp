@@ -1,0 +1,56 @@
+// Parameter selection workflow: choose epsilon with the sorted k-distance
+// curve (Ester et al.'s methodology), then explore the density hierarchy
+// with OPTICS — one OPTICS run answers DBSCAN for every epsilon' below the
+// chosen epsilon.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "data/seed_spreader.h"
+#include "extensions/kdist.h"
+#include "extensions/optics.h"
+#include "pdbscan/pdbscan.h"
+#include "util/timer.h"
+
+int main() {
+  const size_t n = 20000;
+  const size_t min_pts = 10;
+  auto pts = pdbscan::data::SsVarden<2>(n);
+
+  // 1. k-distance curve: print a few quantiles and the suggested epsilon.
+  const auto curve =
+      pdbscan::extensions::SortedKDistanceCurve<2>(pts, min_pts);
+  std::printf("k-distance curve (k=%zu):\n", min_pts);
+  for (const double q : {0.01, 0.05, 0.25, 0.5, 0.9}) {
+    const size_t idx = static_cast<size_t>(q * (double(n) - 1));
+    std::printf("  rank %5.0f%%: %10.2f\n", q * 100, curve[idx]);
+  }
+  const double eps = pdbscan::extensions::SuggestEpsilon<2>(pts, min_pts);
+  std::printf("suggested epsilon (max curvature): %.2f\n\n", eps);
+
+  // 2. Cluster at the suggested epsilon.
+  pdbscan::util::Timer timer;
+  const auto clustering = pdbscan::Dbscan<2>(pts, eps, min_pts);
+  std::printf("DBSCAN(eps=%.2f, minpts=%zu): %zu clusters in %.3fs\n", eps,
+              min_pts, clustering.num_clusters, timer.Seconds());
+
+  // 3. OPTICS at a generous epsilon: extract clusterings at several lower
+  // density levels from the single run.
+  timer.Reset();
+  const auto optics = pdbscan::extensions::Optics<2>(pts, eps * 2, min_pts);
+  std::printf("OPTICS(eps=%.2f) in %.3fs; extracting levels:\n", eps * 2,
+              timer.Seconds());
+  for (const double factor : {2.0, 1.0, 0.5, 0.25}) {
+    const auto labels =
+        pdbscan::extensions::ExtractDbscanClustering(optics, eps * factor);
+    const int64_t clusters =
+        labels.empty() ? 0
+                       : 1 + *std::max_element(labels.begin(), labels.end());
+    size_t noise = 0;
+    for (const int64_t l : labels) noise += l < 0;
+    std::printf("  eps'=%8.2f: %4lld clusters, %5.1f%% noise\n", eps * factor,
+                static_cast<long long>(std::max<int64_t>(clusters, 0)),
+                100.0 * double(noise) / double(n));
+  }
+  return 0;
+}

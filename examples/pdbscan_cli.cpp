@@ -1,0 +1,129 @@
+// Command-line DBSCAN over CSV files.
+//
+// Usage:
+//   pdbscan_cli <input.csv> <epsilon> <minpts> [options]
+//     --method NAME     our-exact (default), our-exact-qt, our-approx,
+//                       our-approx-qt, grid-bcp, grid-usec, grid-delaunay,
+//                       box-bcp, box-usec, box-delaunay
+//     --rho R           approximation parameter (default 0.01)
+//     --bucketing       enable the bucketing heuristic
+//     --threads T       worker count (default: hardware)
+//     --out FILE        write "cluster_id" per input row (default: stdout
+//                       summary only)
+//
+// The input CSV holds one point per line, comma-separated coordinates.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "data/io.h"
+#include "pdbscan/pdbscan.h"
+#include "util/timer.h"
+
+namespace {
+
+pdbscan::Options MethodByName(const std::string& name) {
+  using namespace pdbscan;
+  if (name == "our-exact") return OurExact();
+  if (name == "our-exact-qt") return OurExactQt();
+  if (name == "our-approx") return OurApprox();
+  if (name == "our-approx-qt") return OurApproxQt();
+  if (name == "grid-bcp") return Our2dGridBcp();
+  if (name == "grid-usec") return Our2dGridUsec();
+  if (name == "grid-delaunay") return Our2dGridDelaunay();
+  if (name == "box-bcp") return Our2dBoxBcp();
+  if (name == "box-usec") return Our2dBoxUsec();
+  if (name == "box-delaunay") return Our2dBoxDelaunay();
+  std::fprintf(stderr, "unknown method: %s\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: %s <input.csv> <epsilon> <minpts> "
+                         "[--method NAME] [--rho R] [--bucketing] "
+                         "[--threads T] [--out FILE]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string input = argv[1];
+  const double epsilon = std::atof(argv[2]);
+  const size_t minpts = static_cast<size_t>(std::atoll(argv[3]));
+  pdbscan::Options options;
+  std::string out_path;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--method") {
+      const double rho = options.rho;
+      options = MethodByName(next());
+      options.rho = rho;
+    } else if (arg == "--rho") {
+      options.rho = std::atof(next());
+    } else if (arg == "--bucketing") {
+      options.bucketing = true;
+    } else if (arg == "--threads") {
+      pdbscan::parallel::set_num_workers(std::atoi(next()));
+    } else if (arg == "--out") {
+      out_path = next();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  pdbscan::util::Timer load_timer;
+  pdbscan::data::FlatDataset dataset;
+  try {
+    dataset = pdbscan::data::ReadCsv(input);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error reading %s: %s\n", input.c_str(), e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "loaded %zu points (d=%d) in %.3fs\n", dataset.size(),
+               dataset.dim, load_timer.Seconds());
+
+  pdbscan::util::Timer run_timer;
+  pdbscan::Clustering result;
+  try {
+    result = pdbscan::Dbscan(dataset.coords.data(), dataset.size(),
+                             dataset.dim, epsilon, minpts, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  const double secs = run_timer.Seconds();
+
+  size_t core = 0, noise = 0;
+  for (size_t i = 0; i < result.size(); ++i) {
+    core += result.is_core[i];
+    noise += result.cluster[i] == pdbscan::Clustering::kNoise;
+  }
+  std::fprintf(stderr,
+               "%s: %zu clusters, %zu core / %zu noise of %zu points, %.3fs "
+               "(%d threads)\n",
+               options.Name().c_str(), result.num_clusters, core, noise,
+               result.size(), secs, pdbscan::parallel::num_workers());
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    out << "cluster_id\n";
+    for (size_t i = 0; i < result.size(); ++i) out << result.cluster[i] << '\n';
+    std::fprintf(stderr, "labels written to %s\n", out_path.c_str());
+  }
+  return 0;
+}

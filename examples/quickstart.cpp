@@ -1,0 +1,62 @@
+// Quickstart: cluster a small 2D dataset and inspect the result.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build --target quickstart
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "pdbscan/pdbscan.h"
+
+int main() {
+  using pdbscan::Point2;
+
+  // Two Gaussian blobs plus scattered noise.
+  std::mt19937 rng(42);
+  std::normal_distribution<double> gauss(0.0, 0.5);
+  std::uniform_real_distribution<double> uniform(0.0, 20.0);
+  std::vector<Point2> points;
+  for (int i = 0; i < 200; ++i) points.push_back({{5 + gauss(rng), 5 + gauss(rng)}});
+  for (int i = 0; i < 200; ++i) points.push_back({{15 + gauss(rng), 15 + gauss(rng)}});
+  for (int i = 0; i < 40; ++i) points.push_back({{uniform(rng), uniform(rng)}});
+
+  // Run DBSCAN: epsilon = 0.8, minPts = 10. The default configuration is
+  // "our-exact" (grid cells + BCP cell graph); see pdbscan::Options for the
+  // other variants from the paper.
+  const pdbscan::Clustering result = pdbscan::Dbscan<2>(points, 0.8, 10);
+
+  std::printf("points:      %zu\n", result.size());
+  std::printf("clusters:    %zu\n", result.num_clusters);
+  size_t core = 0, border = 0, noise = 0;
+  for (size_t i = 0; i < result.size(); ++i) {
+    if (result.is_core[i]) {
+      ++core;
+    } else if (result.cluster[i] != pdbscan::Clustering::kNoise) {
+      ++border;
+    } else {
+      ++noise;
+    }
+  }
+  std::printf("core points:   %zu\n", core);
+  std::printf("border points: %zu\n", border);
+  std::printf("noise points:  %zu\n", noise);
+
+  // Per-cluster sizes.
+  std::vector<size_t> sizes(result.num_clusters, 0);
+  for (size_t i = 0; i < result.size(); ++i) {
+    if (result.cluster[i] >= 0) ++sizes[static_cast<size_t>(result.cluster[i])];
+  }
+  for (size_t c = 0; c < sizes.size(); ++c) {
+    std::printf("cluster %zu: %zu points\n", c, sizes[c]);
+  }
+
+  // Border points may belong to several clusters:
+  for (size_t i = 0; i < result.size(); ++i) {
+    const auto m = result.memberships(i);
+    if (m.size() > 1) {
+      std::printf("point %zu is a border point of %zu clusters\n", i, m.size());
+    }
+  }
+  return 0;
+}

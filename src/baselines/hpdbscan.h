@@ -1,0 +1,142 @@
+// HPDBSCAN-style baseline (Götz et al. [43]).
+//
+// Structure-faithful stand-in for the shared-memory mode of HPDBSCAN: space
+// is carved into a hypergrid of side epsilon, each point runs a *point-wise*
+// neighborhood query over its 3^d surrounding cells (this is the
+// epsilon-sensitive cost the paper contrasts with), clusters are formed
+// locally with a disjoint-set structure and merged by relabeling. The
+// original is OpenMP/MPI with data-partition merge rounds; ours runs the
+// same phases in-process (see DESIGN.md's substitution table).
+//
+// Output follows the standard DBSCAN definition (multi-membership border
+// points), so it can be cross-checked against the exact implementations.
+#ifndef PDBSCAN_BASELINES_HPDBSCAN_H_
+#define PDBSCAN_BASELINES_HPDBSCAN_H_
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "baselines/pointwise.h"
+#include "containers/hash_table.h"
+#include "containers/union_find.h"
+#include "dbscan/types.h"
+#include "geometry/point.h"
+#include "parallel/scheduler.h"
+#include "primitives/semisort.h"
+
+namespace pdbscan::baselines {
+
+template <int D>
+Clustering HpDbscan(std::span<const geometry::Point<D>> pts, double epsilon,
+                    size_t min_pts) {
+  using geometry::CellCoords;
+  using geometry::Point;
+  const size_t n = pts.size();
+  const double eps2 = epsilon * epsilon;
+  Clustering empty_out;
+  if (n == 0) {
+    empty_out.membership_offsets.assign(1, 0);
+    empty_out.num_clusters = 0;
+    return empty_out;
+  }
+
+  // Hypergrid with side epsilon (HPDBSCAN's indexing choice): neighborhood
+  // queries touch the 3^D surrounding cells.
+  geometry::BBox<D> bounds = geometry::ComputeBBox(pts.data(), n);
+  const Point<D> origin = bounds.min;
+
+  std::vector<std::pair<CellCoords<D>, uint32_t>> pairs(n);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    pairs[i] = {geometry::CellOf<D>(pts[i], origin, epsilon),
+                static_cast<uint32_t>(i)};
+  });
+  auto grouped = primitives::Semisort<CellCoords<D>, uint32_t>(
+      std::span<const std::pair<CellCoords<D>, uint32_t>>(pairs),
+      [](const CellCoords<D>& c) { return geometry::HashCellCoords<D>(c); },
+      [](const CellCoords<D>& a, const CellCoords<D>& b) { return a == b; });
+  const size_t num_cells = grouped.num_groups();
+
+  struct CoordsHash {
+    uint64_t operator()(const CellCoords<D>& c) const {
+      return geometry::HashCellCoords<D>(c);
+    }
+  };
+  struct CoordsEq {
+    bool operator()(const CellCoords<D>& a, const CellCoords<D>& b) const {
+      return a == b;
+    }
+  };
+  containers::ConcurrentMap<CellCoords<D>, uint32_t, CoordsHash, CoordsEq>
+      table(num_cells);
+  parallel::parallel_for(0, num_cells, [&](size_t c) {
+    table.Insert(grouped.items[grouped.group_offsets[c]].first,
+                 static_cast<uint32_t>(c));
+  });
+
+  // Point-wise neighborhood function over the 3^D surrounding cells.
+  auto for_each_neighbor = [&](size_t i, auto&& fn) {
+    const CellCoords<D> base = geometry::CellOf<D>(pts[i], origin, epsilon);
+    CellCoords<D> probe;
+    std::array<int64_t, D> counter;
+    for (int k = 0; k < D; ++k) counter[k] = -1;
+    while (true) {
+      for (int k = 0; k < D; ++k) {
+        probe[k] = base[k] + counter[k];
+      }
+      const uint32_t* cell = table.Find(probe);
+      if (cell != nullptr) {
+        const size_t begin = grouped.group_offsets[*cell];
+        const size_t end = grouped.group_offsets[*cell + 1];
+        for (size_t s = begin; s < end; ++s) {
+          const uint32_t j = grouped.items[s].second;
+          if (pts[i].SquaredDistance(pts[j]) <= eps2) fn(j);
+        }
+      }
+      int k = D - 1;
+      while (k >= 0 && counter[k] == 1) {
+        counter[k] = -1;
+        --k;
+      }
+      if (k < 0) break;
+      ++counter[k];
+    }
+  };
+
+  // Phase 1: core determination, point-wise.
+  std::vector<uint8_t> is_core(n, 0);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    size_t count = 0;
+    for_each_neighbor(i, [&](uint32_t) { ++count; });
+    is_core[i] = count >= min_pts ? 1 : 0;
+  });
+
+  // Phase 2: local clustering (disjoint sets over core-core pairs), then
+  // the merge/relabel happens implicitly through the shared union-find.
+  containers::UnionFind uf(n);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    if (!is_core[i]) return;
+    for_each_neighbor(i, [&](uint32_t j) {
+      if (j < i && is_core[j]) uf.Link(i, j);
+    });
+  });
+
+  // Phase 3: border points.
+  std::vector<std::vector<size_t>> border_roots(n);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    if (is_core[i]) return;
+    auto& roots = border_roots[i];
+    for_each_neighbor(i, [&](uint32_t j) {
+      if (is_core[j]) roots.push_back(uf.Find(j));
+    });
+    std::sort(roots.begin(), roots.end());
+    roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  });
+
+  return internal::FinalizePointwise<D>(n, is_core, uf, border_roots);
+}
+
+}  // namespace pdbscan::baselines
+
+#endif  // PDBSCAN_BASELINES_HPDBSCAN_H_

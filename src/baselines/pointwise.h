@@ -1,0 +1,174 @@
+// Point-wise range-query DBSCAN baselines.
+//
+// * OriginalDbscan: the classic Ester et al. [38] algorithm — seed-queue
+//   cluster expansion with an epsilon-range query per point, here served by
+//   a k-d tree. Sequential. Output follows the standard (multi-membership)
+//   DBSCAN definition, so it doubles as a medium-scale correctness oracle.
+//
+// * PdsDbscan: structure-faithful stand-in for PDSDBSCAN (Patwary et al.
+//   [73]) and for the paper's own "parallel k-d tree baseline" (Section
+//   7.2): every point issues a parallel epsilon-range query, core-core pairs
+//   are merged through a disjoint-set structure (ours is lock-free; the
+//   original is lock-based), and border points are resolved in a final pass.
+//
+// Both do Theta(range-query) work per point, which is what makes them
+// epsilon-sensitive and minPts-insensitive — the contrast the paper's
+// Figures 6 and 7 highlight.
+#ifndef PDBSCAN_BASELINES_POINTWISE_H_
+#define PDBSCAN_BASELINES_POINTWISE_H_
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "containers/union_find.h"
+#include "dbscan/types.h"
+#include "geometry/kd_tree.h"
+#include "geometry/point.h"
+#include "parallel/scheduler.h"
+
+namespace pdbscan::baselines {
+
+namespace internal {
+
+// Shared finalization: memberships from per-point root lists (roots are
+// point indices of union-find representatives).
+template <int D>
+Clustering FinalizePointwise(size_t n, const std::vector<uint8_t>& is_core,
+                             containers::UnionFind& uf,
+                             const std::vector<std::vector<size_t>>& border_roots) {
+  Clustering out;
+  out.is_core = is_core;
+  out.cluster.assign(n, Clustering::kNoise);
+  out.membership_offsets.assign(n + 1, 0);
+  std::vector<int64_t> root_to_id(n, -1);
+  int64_t next_id = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t count = 0;
+    if (is_core[i]) {
+      const size_t r = uf.Find(i);
+      if (root_to_id[r] < 0) root_to_id[r] = next_id++;
+      count = 1;
+    } else {
+      for (const size_t r : border_roots[i]) {
+        if (root_to_id[r] < 0) root_to_id[r] = next_id++;
+      }
+      count = border_roots[i].size();
+    }
+    out.membership_offsets[i + 1] = out.membership_offsets[i] + count;
+  }
+  out.num_clusters = static_cast<size_t>(next_id);
+  out.membership_ids.resize(out.membership_offsets[n]);
+  for (size_t i = 0; i < n; ++i) {
+    size_t w = out.membership_offsets[i];
+    if (is_core[i]) {
+      out.membership_ids[w] = root_to_id[uf.Find(i)];
+    } else {
+      std::vector<int64_t> ids;
+      ids.reserve(border_roots[i].size());
+      for (const size_t r : border_roots[i]) ids.push_back(root_to_id[r]);
+      std::sort(ids.begin(), ids.end());
+      for (const int64_t id : ids) out.membership_ids[w++] = id;
+    }
+    if (out.membership_offsets[i + 1] > out.membership_offsets[i]) {
+      out.cluster[i] = out.membership_ids[out.membership_offsets[i]];
+    }
+  }
+  return out;
+}
+
+// Distinct union-find roots of core points within eps of p, sorted.
+template <int D>
+std::vector<size_t> BorderRootsOf(const geometry::KdTree<D>& tree,
+                                  std::span<const geometry::Point<D>> pts,
+                                  const std::vector<uint8_t>& is_core,
+                                  containers::UnionFind& uf, size_t i,
+                                  double epsilon) {
+  std::vector<size_t> roots;
+  tree.ForEachInBall(pts[i], epsilon, [&](uint32_t j) {
+    if (is_core[j]) roots.push_back(uf.Find(j));
+    return true;
+  });
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  return roots;
+}
+
+}  // namespace internal
+
+// Sequential Ester et al. DBSCAN with k-d tree region queries.
+template <int D>
+Clustering OriginalDbscan(std::span<const geometry::Point<D>> pts,
+                          double epsilon, size_t min_pts) {
+  const size_t n = pts.size();
+  geometry::KdTree<D> tree(pts);
+  std::vector<uint8_t> is_core(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    is_core[i] = tree.CountInBall(pts[i], epsilon, min_pts) >= min_pts ? 1 : 0;
+  }
+
+  // Queue-based expansion over core points.
+  containers::UnionFind uf(n);
+  std::vector<uint8_t> visited(n, 0);
+  std::deque<size_t> queue;
+  for (size_t seed = 0; seed < n; ++seed) {
+    if (!is_core[seed] || visited[seed]) continue;
+    visited[seed] = 1;
+    queue.push_back(seed);
+    while (!queue.empty()) {
+      const size_t p = queue.front();
+      queue.pop_front();
+      tree.ForEachInBall(pts[p], epsilon, [&](uint32_t q) {
+        if (!is_core[q]) return true;
+        uf.Link(p, q);
+        if (!visited[q]) {
+          visited[q] = 1;
+          queue.push_back(q);
+        }
+        return true;
+      });
+    }
+  }
+
+  std::vector<std::vector<size_t>> border_roots(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (is_core[i]) continue;
+    border_roots[i] =
+        internal::BorderRootsOf<D>(tree, pts, is_core, uf, i, epsilon);
+  }
+  return internal::FinalizePointwise<D>(n, is_core, uf, border_roots);
+}
+
+// Parallel disjoint-set DBSCAN (PDSDBSCAN-style).
+template <int D>
+Clustering PdsDbscan(std::span<const geometry::Point<D>> pts, double epsilon,
+                     size_t min_pts) {
+  const size_t n = pts.size();
+  geometry::KdTree<D> tree(pts);
+  std::vector<uint8_t> is_core(n, 0);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    is_core[i] = tree.CountInBall(pts[i], epsilon, min_pts) >= min_pts ? 1 : 0;
+  });
+
+  containers::UnionFind uf(n);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    if (!is_core[i]) return;
+    tree.ForEachInBall(pts[i], epsilon, [&](uint32_t j) {
+      // Each unordered pair linked once (j < i side does the work).
+      if (j < i && is_core[j]) uf.Link(i, j);
+      return true;
+    });
+  });
+
+  std::vector<std::vector<size_t>> border_roots(n);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    if (is_core[i]) return;
+    border_roots[i] =
+        internal::BorderRootsOf<D>(tree, pts, is_core, uf, i, epsilon);
+  });
+  return internal::FinalizePointwise<D>(n, is_core, uf, border_roots);
+}
+
+}  // namespace pdbscan::baselines
+
+#endif  // PDBSCAN_BASELINES_POINTWISE_H_

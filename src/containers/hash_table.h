@@ -1,0 +1,129 @@
+// Phase-concurrent linear-probing hash table — Table 1: n inserts or queries
+// in O(n) work and O(log n) depth w.h.p. [42], modeled on the
+// phase-concurrent table of Shun & Blelloch [81]: an atomic update claims an
+// empty slot in the probe sequence, and probing continues if the update
+// fails.
+//
+// "Phase-concurrent" means inserts and finds happen in separate phases
+// (build the table of non-empty cells, then query it), which is exactly the
+// DBSCAN usage. Finds racing with inserts are still safe here: a reader
+// observing a slot mid-claim spins until the writer publishes.
+//
+// The table has fixed capacity (the number of non-empty cells is known
+// before construction) and does not support deletion.
+#ifndef PDBSCAN_CONTAINERS_HASH_TABLE_H_
+#define PDBSCAN_CONTAINERS_HASH_TABLE_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace pdbscan::containers {
+
+template <typename K, typename V, typename HashF, typename EqF>
+class ConcurrentMap {
+ public:
+  // Creates a table able to hold up to `max_elements` distinct keys.
+  explicit ConcurrentMap(size_t max_elements, HashF hash = HashF(),
+                         EqF eq = EqF())
+      : hash_(hash), eq_(eq) {
+    capacity_ = 16;
+    while (capacity_ < 2 * max_elements) capacity_ *= 2;
+    mask_ = capacity_ - 1;
+    slots_ = std::make_unique<Slot[]>(capacity_);
+    for (size_t i = 0; i < capacity_; ++i) {
+      slots_[i].state.store(kEmpty, std::memory_order_relaxed);
+    }
+  }
+
+  // Inserts (key, value). Returns true if inserted, false if the key was
+  // already present (the existing value is kept). Thread-safe against other
+  // Inserts.
+  bool Insert(const K& key, const V& value) {
+    size_t i = hash_(key) & mask_;
+    while (true) {
+      Slot& slot = slots_[i];
+      uint8_t state = slot.state.load(std::memory_order_acquire);
+      if (state == kEmpty) {
+        uint8_t expected = kEmpty;
+        if (slot.state.compare_exchange_strong(expected, kClaimed,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+          slot.key = key;
+          slot.value = value;
+          slot.state.store(kFull, std::memory_order_release);
+          size_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        state = expected;  // Lost the race; fall through to re-examine.
+      }
+      while (state == kClaimed) {
+        state = slot.state.load(std::memory_order_acquire);
+      }
+      // state == kFull here.
+      if (eq_(slot.key, key)) return false;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  // Returns a pointer to the value for `key`, or nullptr if absent. Safe to
+  // call concurrently with Inserts (spins past slots being claimed).
+  const V* Find(const K& key) const {
+    size_t i = hash_(key) & mask_;
+    while (true) {
+      const Slot& slot = slots_[i];
+      uint8_t state = slot.state.load(std::memory_order_acquire);
+      if (state == kEmpty) return nullptr;
+      while (state == kClaimed) {
+        state = slot.state.load(std::memory_order_acquire);
+      }
+      if (eq_(slot.key, key)) return &slot.value;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  V* Find(const K& key) {
+    return const_cast<V*>(static_cast<const ConcurrentMap*>(this)->Find(key));
+  }
+
+  // Number of keys currently stored.
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  size_t capacity() const { return capacity_; }
+
+  // Calls f(key, value) for every occupied slot. Only meaningful once all
+  // inserts have completed. Iteration order is unspecified.
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (slots_[i].state.load(std::memory_order_acquire) == kFull) {
+        f(slots_[i].key, slots_[i].value);
+      }
+    }
+  }
+
+ private:
+  static constexpr uint8_t kEmpty = 0;
+  static constexpr uint8_t kClaimed = 1;
+  static constexpr uint8_t kFull = 2;
+
+  struct Slot {
+    std::atomic<uint8_t> state;
+    K key;
+    V value;
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  std::atomic<size_t> size_{0};
+  HashF hash_;
+  EqF eq_;
+};
+
+}  // namespace pdbscan::containers
+
+#endif  // PDBSCAN_CONTAINERS_HASH_TABLE_H_

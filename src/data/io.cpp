@@ -1,0 +1,86 @@
+#include "data/io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pdbscan::data {
+
+void WriteCsv(const std::string& path, const FlatDataset& dataset) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out.precision(17);
+  const size_t n = dataset.size();
+  const size_t dim = static_cast<size_t>(dataset.dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < dim; ++k) {
+      if (k > 0) out << ',';
+      out << dataset.coords[i * dim + k];
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write to " + path + " failed");
+}
+
+FlatDataset ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  FlatDataset dataset;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string field;
+    int dim = 0;
+    while (std::getline(ss, field, ',')) {
+      try {
+        dataset.coords.push_back(std::stod(field));
+      } catch (const std::exception&) {
+        throw std::runtime_error(path + ": bad number at line " +
+                                 std::to_string(line_no));
+      }
+      ++dim;
+    }
+    if (dataset.dim == 0) {
+      dataset.dim = dim;
+    } else if (dim != dataset.dim) {
+      throw std::runtime_error(path + ": inconsistent dimension at line " +
+                               std::to_string(line_no));
+    }
+  }
+  return dataset;
+}
+
+void WriteBinary(const std::string& path, const FlatDataset& dataset) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  const uint64_t n = dataset.size();
+  const uint64_t dim = static_cast<uint64_t>(dataset.dim);
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  out.write(reinterpret_cast<const char*>(dataset.coords.data()),
+            static_cast<std::streamsize>(dataset.coords.size() * sizeof(double)));
+  if (!out) throw std::runtime_error("write to " + path + " failed");
+}
+
+FlatDataset ReadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  uint64_t n = 0, dim = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  if (!in) throw std::runtime_error(path + ": truncated header");
+  FlatDataset dataset;
+  dataset.dim = static_cast<int>(dim);
+  dataset.coords.resize(n * dim);
+  in.read(reinterpret_cast<char*>(dataset.coords.data()),
+          static_cast<std::streamsize>(dataset.coords.size() * sizeof(double)));
+  if (!in) throw std::runtime_error(path + ": truncated data");
+  return dataset;
+}
+
+}  // namespace pdbscan::data

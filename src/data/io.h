@@ -1,0 +1,60 @@
+// Dataset IO: CSV (one point per line, comma-separated coordinates) and a
+// simple binary format (header: n, dim as uint64; then row-major doubles).
+#ifndef PDBSCAN_DATA_IO_H_
+#define PDBSCAN_DATA_IO_H_
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace pdbscan::data {
+
+// Row-major flat dataset with runtime dimension.
+struct FlatDataset {
+  std::vector<double> coords;
+  int dim = 0;
+
+  size_t size() const {
+    return dim == 0 ? 0 : coords.size() / static_cast<size_t>(dim);
+  }
+};
+
+// CSV round trip. Throws std::runtime_error on malformed files.
+void WriteCsv(const std::string& path, const FlatDataset& dataset);
+FlatDataset ReadCsv(const std::string& path);
+
+// Binary round trip.
+void WriteBinary(const std::string& path, const FlatDataset& dataset);
+FlatDataset ReadBinary(const std::string& path);
+
+// Conversions between flat datasets and typed points.
+template <int D>
+FlatDataset ToFlat(std::span<const geometry::Point<D>> pts) {
+  FlatDataset out;
+  out.dim = D;
+  out.coords.resize(pts.size() * D);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (int k = 0; k < D; ++k) out.coords[i * D + static_cast<size_t>(k)] = pts[i][k];
+  }
+  return out;
+}
+
+template <int D>
+std::vector<geometry::Point<D>> FromFlat(const FlatDataset& dataset) {
+  if (dataset.dim != D) throw std::runtime_error("dimension mismatch");
+  std::vector<geometry::Point<D>> pts(dataset.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (int k = 0; k < D; ++k) {
+      pts[i][k] = dataset.coords[i * D + static_cast<size_t>(k)];
+    }
+  }
+  return pts;
+}
+
+}  // namespace pdbscan::data
+
+#endif  // PDBSCAN_DATA_IO_H_

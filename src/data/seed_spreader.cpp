@@ -1,0 +1,97 @@
+#include "data/seed_spreader.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace pdbscan::data {
+
+namespace {
+
+template <int D>
+geometry::Point<D> RandomInDomain(std::mt19937_64& rng, double domain) {
+  std::uniform_real_distribution<double> coord(0.0, domain);
+  geometry::Point<D> p;
+  for (int i = 0; i < D; ++i) p[i] = coord(rng);
+  return p;
+}
+
+template <int D>
+void Clamp(geometry::Point<D>& p, double domain) {
+  for (int i = 0; i < D; ++i) p[i] = std::clamp(p[i], 0.0, domain);
+}
+
+}  // namespace
+
+template <int D>
+std::vector<geometry::Point<D>> SeedSpreader(const SeedSpreaderParams& params,
+                                             SeedSpreaderResult* result) {
+  std::mt19937_64 rng(params.seed);
+  std::uniform_real_distribution<double> unit(-1.0, 1.0);
+  std::uniform_real_distribution<double> prob(0.0, 1.0);
+
+  const size_t num_noise =
+      static_cast<size_t>(std::llround(params.noise_fraction * double(params.n)));
+  const size_t num_walk = params.n > num_noise ? params.n - num_noise : 0;
+  const double restart_prob =
+      num_walk > 0 ? params.restart_expected / double(num_walk) : 0;
+
+  std::vector<geometry::Point<D>> points;
+  points.reserve(params.n);
+
+  geometry::Point<D> pos = RandomInDomain<D>(rng, params.domain);
+  double vicinity = params.vicinity;
+  double shift = params.shift;
+  size_t restarts = 1;
+  auto restart = [&]() {
+    pos = RandomInDomain<D>(rng, params.domain);
+    if (params.variable_density) {
+      // Density classes spanning ~16x in radius (256x+ in density).
+      std::uniform_int_distribution<int> cls(0, 4);
+      const double scale = std::pow(2.0, cls(rng));
+      vicinity = params.vicinity * scale;
+      shift = params.shift * scale;
+    }
+    ++restarts;
+  };
+
+  for (size_t i = 0; i < num_walk; ++i) {
+    if (i > 0 && prob(rng) < restart_prob) restart();
+    if (i > 0 && i % params.reset_every == 0) {
+      // Drift: move the spreader by `shift` in a random direction.
+      geometry::Point<D> dir;
+      double norm2 = 0;
+      for (int k = 0; k < D; ++k) {
+        dir[k] = unit(rng);
+        norm2 += dir[k] * dir[k];
+      }
+      const double norm = std::sqrt(norm2);
+      if (norm > 0) {
+        for (int k = 0; k < D; ++k) pos[k] += dir[k] / norm * shift;
+      }
+      Clamp(pos, params.domain);
+    }
+    geometry::Point<D> p = pos;
+    for (int k = 0; k < D; ++k) p[k] += unit(rng) * vicinity;
+    Clamp(p, params.domain);
+    points.push_back(p);
+  }
+  for (size_t i = 0; i < num_noise; ++i) {
+    points.push_back(RandomInDomain<D>(rng, params.domain));
+  }
+  if (result != nullptr) result->num_restarts = restarts;
+  return points;
+}
+
+template std::vector<geometry::Point<2>> SeedSpreader<2>(
+    const SeedSpreaderParams&, SeedSpreaderResult*);
+template std::vector<geometry::Point<3>> SeedSpreader<3>(
+    const SeedSpreaderParams&, SeedSpreaderResult*);
+template std::vector<geometry::Point<4>> SeedSpreader<4>(
+    const SeedSpreaderParams&, SeedSpreaderResult*);
+template std::vector<geometry::Point<5>> SeedSpreader<5>(
+    const SeedSpreaderParams&, SeedSpreaderResult*);
+template std::vector<geometry::Point<7>> SeedSpreader<7>(
+    const SeedSpreaderParams&, SeedSpreaderResult*);
+
+}  // namespace pdbscan::data

@@ -1,0 +1,66 @@
+// Seed-spreader synthetic dataset generator — the SS-simden / SS-varden
+// datasets of the paper's evaluation (Section 7), after Gan & Tao [40].
+//
+// A "spreader" performs a random walk: it emits points uniformly in a local
+// vicinity of its position, drifts by a fixed shift every `reset_every`
+// points, and with probability `restart_prob` jumps to a fresh random
+// location (starting a new cluster). The variable-density variant draws a
+// new vicinity radius after each restart, producing clusters whose densities
+// differ by up to ~16x. A small fraction of uniform noise is mixed in.
+//
+// Generation is deliberately sequential (it is a random walk) but fast; all
+// randomness is from a seeded generator, so datasets are reproducible.
+#ifndef PDBSCAN_DATA_SEED_SPREADER_H_
+#define PDBSCAN_DATA_SEED_SPREADER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace pdbscan::data {
+
+struct SeedSpreaderParams {
+  size_t n = 10000;
+  double domain = 1e5;         // Points live in [0, domain]^D.
+  double restart_expected = 10;  // Expected number of restarts (clusters).
+  double vicinity = 100;       // Local emission radius (simden).
+  size_t reset_every = 100;    // Points between drift steps.
+  double shift = 50;           // Drift distance per step.
+  bool variable_density = false;  // SS-varden when true.
+  double noise_fraction = 1e-4;
+  uint64_t seed = 42;
+};
+
+struct SeedSpreaderResult {
+  template <int D>
+  using Points = std::vector<geometry::Point<D>>;
+  size_t num_restarts = 0;  // Number of clusters the walk attempted.
+};
+
+// Generates the dataset; `result` (optional) receives generation metadata.
+template <int D>
+std::vector<geometry::Point<D>> SeedSpreader(const SeedSpreaderParams& params,
+                                             SeedSpreaderResult* result = nullptr);
+
+// Convenience wrappers matching the paper's dataset names.
+template <int D>
+std::vector<geometry::Point<D>> SsSimden(size_t n, uint64_t seed = 42) {
+  SeedSpreaderParams p;
+  p.n = n;
+  p.seed = seed;
+  return SeedSpreader<D>(p);
+}
+
+template <int D>
+std::vector<geometry::Point<D>> SsVarden(size_t n, uint64_t seed = 42) {
+  SeedSpreaderParams p;
+  p.n = n;
+  p.seed = seed;
+  p.variable_density = true;
+  return SeedSpreader<D>(p);
+}
+
+}  // namespace pdbscan::data
+
+#endif  // PDBSCAN_DATA_SEED_SPREADER_H_

@@ -1,0 +1,187 @@
+#include "data/synthetic_real.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace pdbscan::data {
+
+namespace {
+
+using geometry::Point;
+
+// Power-law sized Gaussian hotspots plus uniform background: the skew
+// profile of human-location data.
+template <int D>
+std::vector<Point<D>> SkewedHotspots(size_t n, uint64_t seed, double domain,
+                                     size_t num_hotspots, double hotspot_sigma,
+                                     double background_fraction) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, domain);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  // Hotspot centers and Zipf-ish weights.
+  std::vector<Point<D>> centers(num_hotspots);
+  std::vector<double> weights(num_hotspots);
+  double total = 0;
+  for (size_t h = 0; h < num_hotspots; ++h) {
+    for (int k = 0; k < D; ++k) centers[h][k] = coord(rng);
+    weights[h] = 1.0 / double(h + 1);  // Zipf exponent 1.
+    total += weights[h];
+  }
+  std::discrete_distribution<size_t> pick(weights.begin(), weights.end());
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+
+  std::vector<Point<D>> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (u01(rng) < background_fraction) {
+      for (int k = 0; k < D; ++k) pts[i][k] = coord(rng);
+      continue;
+    }
+    const size_t h = pick(rng);
+    // Heavier skew: the hotspot's own spread shrinks with its rank.
+    const double sigma = hotspot_sigma / std::sqrt(double(h + 1));
+    for (int k = 0; k < D; ++k) {
+      pts[i][k] = std::clamp(centers[h][k] + gauss(rng) * sigma, 0.0, domain);
+    }
+  }
+  return pts;
+}
+
+}  // namespace
+
+std::vector<Point<3>> GeoLifeLike(size_t n, uint64_t seed) {
+  // GPS data: most points concentrated around a handful of city hotspots
+  // with trajectory-like streaks; altitude nearly flat. Extreme cell skew.
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  const double domain = 1e4;
+  auto pts = SkewedHotspots<3>(n, seed * 3 + 1, domain, /*num_hotspots=*/12,
+                               /*hotspot_sigma=*/12.0,
+                               /*background_fraction=*/0.02);
+  // Overlay trajectories: line segments between random hotspots.
+  const size_t num_trajectory = n / 5;
+  std::uniform_int_distribution<size_t> idx(0, n - 1);
+  for (size_t t = 0; t < num_trajectory; ++t) {
+    const Point<3>& a = pts[idx(rng)];
+    const Point<3>& b = pts[idx(rng)];
+    const double s = u01(rng);
+    Point<3> p;
+    for (int k = 0; k < 3; ++k) {
+      p[k] = a[k] + s * (b[k] - a[k]) + gauss(rng) * 0.5;
+    }
+    pts[idx(rng)] = p;
+  }
+  // Flatten altitude to a narrow band (GPS altitude noise).
+  for (auto& p : pts) p[2] = std::abs(gauss(rng)) * 5.0;
+  return pts;
+}
+
+std::vector<Point<3>> Cosmo50Like(size_t n, uint64_t seed) {
+  // Cosmological structure: halos (dense blobs) at filament endpoints and
+  // points spread along the filaments.
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, 3000.0);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  const size_t num_filaments = 64;
+  std::vector<std::pair<Point<3>, Point<3>>> filaments(num_filaments);
+  for (auto& f : filaments) {
+    for (int k = 0; k < 3; ++k) {
+      f.first[k] = coord(rng);
+      f.second[k] = coord(rng);
+    }
+  }
+  std::uniform_int_distribution<size_t> pick(0, num_filaments - 1);
+  std::vector<Point<3>> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& [a, b] = filaments[pick(rng)];
+    const double r = u01(rng);
+    if (r < 0.55) {
+      // Halo at an endpoint.
+      const Point<3>& c = u01(rng) < 0.5 ? a : b;
+      for (int k = 0; k < 3; ++k) pts[i][k] = c[k] + gauss(rng) * 8.0;
+    } else if (r < 0.95) {
+      // Along the filament.
+      const double s = u01(rng);
+      for (int k = 0; k < 3; ++k) {
+        pts[i][k] = a[k] + s * (b[k] - a[k]) + gauss(rng) * 4.0;
+      }
+    } else {
+      for (int k = 0; k < 3; ++k) pts[i][k] = coord(rng);
+    }
+  }
+  return pts;
+}
+
+std::vector<Point<2>> OpenStreetMapLike(size_t n, uint64_t seed) {
+  // Street grid: points along horizontal/vertical lines (roads) plus city
+  // hotspots.
+  std::mt19937_64 rng(seed);
+  const double domain = 2e4;
+  std::uniform_real_distribution<double> coord(0.0, domain);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  const size_t num_roads = 200;
+  std::vector<double> road_pos(num_roads);
+  for (auto& r : road_pos) r = coord(rng);
+  std::uniform_int_distribution<size_t> pick(0, num_roads - 1);
+  auto city = SkewedHotspots<2>(n / 3 + 1, seed * 5 + 2, domain, 20, 30.0, 0.0);
+  std::vector<Point<2>> pts(n);
+  size_t ci = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double r = u01(rng);
+    if (r < 0.34 && ci < city.size()) {
+      pts[i] = city[ci++];
+    } else if (r < 0.67) {
+      pts[i] = Point<2>{{coord(rng), road_pos[pick(rng)] + gauss(rng) * 2.0}};
+    } else {
+      pts[i] = Point<2>{{road_pos[pick(rng)] + gauss(rng) * 2.0, coord(rng)}};
+    }
+  }
+  return pts;
+}
+
+std::vector<Point<7>> HouseholdLike(size_t n, uint64_t seed) {
+  // Electric-load measurements: a mixture of operating modes with
+  // correlated dimensions and different scales per dimension.
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  const size_t num_modes = 24;
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::vector<Point<7>> modes(num_modes);
+  std::vector<double> scales = {4000, 400, 250, 4000, 80, 80, 30};
+  for (auto& m : modes) {
+    for (int k = 0; k < 7; ++k) m[k] = u01(rng) * scales[static_cast<size_t>(k)];
+  }
+  std::uniform_int_distribution<size_t> pick(0, num_modes - 1);
+  std::vector<Point<7>> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Point<7>& m = modes[pick(rng)];
+    const double load = gauss(rng);  // Shared factor: correlated dims.
+    for (int k = 0; k < 7; ++k) {
+      pts[i][k] = m[k] + (load * 0.6 + gauss(rng) * 0.4) * 0.02 *
+                             scales[static_cast<size_t>(k)];
+    }
+  }
+  return pts;
+}
+
+std::vector<Point<13>> TeraClickLogLike(size_t n, uint64_t seed) {
+  // Click-log features: heavy concentration near the origin (counts are
+  // mostly small), so with large epsilon nearly all points share one cell.
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> expo(1.0);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::vector<Point<13>> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool outlier = u01(rng) < 0.001;
+    for (int k = 0; k < 13; ++k) {
+      pts[i][k] = expo(rng) * (outlier ? 5000.0 : 20.0);
+    }
+  }
+  return pts;
+}
+
+}  // namespace pdbscan::data

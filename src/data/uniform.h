@@ -1,0 +1,32 @@
+// UniformFill synthetic dataset — Section 7 of the paper: n points uniform
+// in a hypercube of side sqrt(n).
+#ifndef PDBSCAN_DATA_UNIFORM_H_
+#define PDBSCAN_DATA_UNIFORM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "parallel/scheduler.h"
+#include "primitives/random.h"
+
+namespace pdbscan::data {
+
+// n points uniformly distributed in [0, sqrt(n)]^D (deterministic in seed).
+template <int D>
+std::vector<geometry::Point<D>> UniformFill(size_t n, uint64_t seed = 7) {
+  const double side = std::sqrt(double(n));
+  primitives::Random rng(seed);
+  std::vector<geometry::Point<D>> pts(n);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    for (int k = 0; k < D; ++k) {
+      pts[i][k] = rng.IthDouble(i * D + static_cast<size_t>(k)) * side;
+    }
+  });
+  return pts;
+}
+
+}  // namespace pdbscan::data
+
+#endif  // PDBSCAN_DATA_UNIFORM_H_

@@ -1,0 +1,86 @@
+// The cell decomposition shared by every DBSCAN variant (Section 3).
+//
+// Points are partitioned into disjoint cells of diameter at most epsilon
+// (side epsilon/sqrt(d) for the grid method; width/height at most
+// epsilon/sqrt(2) for the 2D box method), so that all points of a cell
+// belong to the same cluster whenever any of them is a core point. The rest
+// of the pipeline (MarkCore, ClusterCore, ClusterBorder) consumes this
+// structure generically: reordered points with per-cell contiguous ranges,
+// per-cell bounding boxes, and a CSR adjacency of "neighboring cells" (cells
+// that could contain points within epsilon of the cell).
+#ifndef PDBSCAN_DBSCAN_CELL_STRUCTURE_H_
+#define PDBSCAN_DBSCAN_CELL_STRUCTURE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace pdbscan::dbscan {
+
+template <int D>
+struct CellStructure {
+  double epsilon = 0;
+
+  // Points reordered so each cell's points are contiguous; orig_index maps a
+  // reordered position back to the caller's point index.
+  std::vector<geometry::Point<D>> points;
+  std::vector<uint32_t> orig_index;
+
+  // Cell c holds points [offsets[c], offsets[c+1]).
+  std::vector<size_t> offsets;
+
+  // Integer grid coordinates per cell (grid method only; empty for the box
+  // method).
+  std::vector<geometry::CellCoords<D>> coords;
+
+  // Geometric bounds per cell: the grid cell box for the grid method, the
+  // tight content box for the box method. Distinct cells' boxes are
+  // separated along at least one axis, which the USEC dispatch relies on.
+  std::vector<geometry::BBox<D>> cell_boxes;
+
+  // CSR adjacency: neighbors of cell c are nbrs[nbr_offsets[c] ..
+  // nbr_offsets[c+1]). A neighbor is any other cell whose box is within
+  // epsilon of c's box.
+  std::vector<size_t> nbr_offsets;
+  std::vector<uint32_t> nbrs;
+
+  size_t num_points() const { return points.size(); }
+  size_t num_cells() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  size_t cell_size(size_t c) const { return offsets[c + 1] - offsets[c]; }
+
+  std::span<const geometry::Point<D>> cell_points(size_t c) const {
+    return std::span<const geometry::Point<D>>(points.data() + offsets[c],
+                                               cell_size(c));
+  }
+
+  std::span<const uint32_t> neighbors(size_t c) const {
+    return std::span<const uint32_t>(nbrs.data() + nbr_offsets[c],
+                                     nbr_offsets[c + 1] - nbr_offsets[c]);
+  }
+};
+
+// Flattens per-cell neighbor lists into the CSR arrays of `cells`.
+template <int D>
+void FlattenNeighbors(const std::vector<std::vector<uint32_t>>& lists,
+                      CellStructure<D>& cells) {
+  const size_t num_cells = lists.size();
+  cells.nbr_offsets.assign(num_cells + 1, 0);
+  for (size_t c = 0; c < num_cells; ++c) {
+    cells.nbr_offsets[c + 1] = cells.nbr_offsets[c] + lists[c].size();
+  }
+  cells.nbrs.resize(cells.nbr_offsets[num_cells]);
+  for (size_t c = 0; c < num_cells; ++c) {
+    std::copy(lists[c].begin(), lists[c].end(),
+              cells.nbrs.begin() + cells.nbr_offsets[c]);
+  }
+}
+
+}  // namespace pdbscan::dbscan
+
+#endif  // PDBSCAN_DBSCAN_CELL_STRUCTURE_H_

@@ -1,0 +1,207 @@
+// Grid cell construction — Section 4.1 of the paper.
+//
+// Points are assigned to cells of side epsilon/sqrt(d) anchored at the
+// dataset's bounding-box corner. Grouping points by cell uses *semisort*
+// (not a comparison sort), which is the paper's key to O(n) expected work:
+// only same-cell grouping matters, not cell ordering. Non-empty cells go
+// into a phase-concurrent hash table keyed by integer cell coordinates.
+//
+// Neighboring cells (cells whose boxes are within epsilon) are found by
+// offset enumeration for d <= 3 and, as in Section 5.1, via a parallel k-d
+// tree over cell centers for higher dimensions, where enumerating the
+// (2 * (floor(sqrt(d)) + 1) + 1)^d candidate offsets is impractical. Both
+// paths apply the exact integer criterion
+//     sum_i max(0, |delta_i| - 1)^2 <= d
+// (equivalent to box distance <= epsilon, since side = epsilon/sqrt(d)).
+#ifndef PDBSCAN_DBSCAN_GRID_H_
+#define PDBSCAN_DBSCAN_GRID_H_
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "containers/hash_table.h"
+#include "dbscan/cell_structure.h"
+#include "geometry/kd_tree.h"
+#include "geometry/point.h"
+#include "parallel/scheduler.h"
+#include "primitives/reduce.h"
+#include "primitives/semisort.h"
+
+namespace pdbscan::dbscan {
+
+namespace internal {
+
+// True iff cells at integer offset `delta` can contain points within
+// epsilon of each other (side = epsilon / sqrt(D)).
+template <int D>
+bool OffsetWithinEpsilon(const geometry::CellCoords<D>& delta) {
+  int64_t sum = 0;
+  for (int i = 0; i < D; ++i) {
+    const int64_t gap = std::abs(static_cast<int64_t>(delta[i])) - 1;
+    if (gap > 0) sum += gap * gap;
+  }
+  return sum <= D;
+}
+
+// All non-zero offsets satisfying OffsetWithinEpsilon (used for d <= 3).
+template <int D>
+std::vector<geometry::CellCoords<D>> NeighborOffsets() {
+  const int k = 1 + static_cast<int>(std::floor(std::sqrt(double(D))));
+  std::vector<geometry::CellCoords<D>> offsets;
+  geometry::CellCoords<D> delta{};
+  // Odometer enumeration of [-k, k]^D.
+  for (int i = 0; i < D; ++i) delta[i] = -k;
+  while (true) {
+    bool zero = true;
+    for (int i = 0; i < D; ++i) zero = zero && delta[i] == 0;
+    if (!zero && OffsetWithinEpsilon<D>(delta)) offsets.push_back(delta);
+    int dim = D - 1;
+    while (dim >= 0 && delta[dim] == k) {
+      delta[dim] = -k;
+      --dim;
+    }
+    if (dim < 0) break;
+    ++delta[dim];
+  }
+  return offsets;
+}
+
+template <int D>
+struct CellCoordsHash {
+  uint64_t operator()(const geometry::CellCoords<D>& c) const {
+    return geometry::HashCellCoords<D>(c);
+  }
+};
+
+template <int D>
+struct CellCoordsEq {
+  bool operator()(const geometry::CellCoords<D>& a,
+                  const geometry::CellCoords<D>& b) const {
+    return a == b;
+  }
+};
+
+}  // namespace internal
+
+// Builds the grid cell structure for `input` with parameter `epsilon`.
+template <int D>
+CellStructure<D> BuildGrid(std::span<const geometry::Point<D>> input,
+                           double epsilon) {
+  using geometry::BBox;
+  using geometry::CellCoords;
+  using geometry::Point;
+
+  CellStructure<D> cells;
+  cells.epsilon = epsilon;
+  const size_t n = input.size();
+  if (n == 0) {
+    cells.offsets.push_back(0);
+    cells.nbr_offsets.push_back(0);
+    return cells;
+  }
+  const double side = epsilon / std::sqrt(double(D));
+
+  const BBox<D> bounds = primitives::ReduceIndex(
+      size_t{0}, n, BBox<D>::Empty(),
+      [&](size_t i) {
+        BBox<D> b = BBox<D>::Empty();
+        b.Extend(input[i]);
+        return b;
+      },
+      [](BBox<D> a, const BBox<D>& b) {
+        a.Extend(b);
+        return a;
+      });
+  const Point<D> origin = bounds.min;
+
+  // Semisort (cell coords, point index) pairs: same-cell points end up
+  // contiguous in expected O(n) work.
+  std::vector<std::pair<CellCoords<D>, uint32_t>> pairs(n);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    pairs[i] = {geometry::CellOf<D>(input[i], origin, side),
+                static_cast<uint32_t>(i)};
+  });
+  auto grouped = primitives::Semisort<CellCoords<D>, uint32_t>(
+      std::span<const std::pair<CellCoords<D>, uint32_t>>(pairs),
+      [](const CellCoords<D>& c) { return geometry::HashCellCoords<D>(c); },
+      [](const CellCoords<D>& a, const CellCoords<D>& b) { return a == b; });
+  pairs.clear();
+  pairs.shrink_to_fit();
+
+  const size_t num_cells = grouped.num_groups();
+  cells.offsets = std::move(grouped.group_offsets);
+  cells.points.resize(n);
+  cells.orig_index.resize(n);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    cells.orig_index[i] = grouped.items[i].second;
+    cells.points[i] = input[grouped.items[i].second];
+  });
+  cells.coords.resize(num_cells);
+  cells.cell_boxes.resize(num_cells);
+  parallel::parallel_for(0, num_cells, [&](size_t c) {
+    cells.coords[c] = grouped.items[cells.offsets[c]].first;
+    cells.cell_boxes[c] = geometry::CellBBox<D>(cells.coords[c], origin, side);
+  });
+
+  // Hash table over non-empty cells: coords -> cell id.
+  containers::ConcurrentMap<CellCoords<D>, uint32_t,
+                            internal::CellCoordsHash<D>,
+                            internal::CellCoordsEq<D>>
+      table(num_cells);
+  parallel::parallel_for(0, num_cells, [&](size_t c) {
+    table.Insert(cells.coords[c], static_cast<uint32_t>(c));
+  });
+
+  // Neighbor adjacency.
+  std::vector<std::vector<uint32_t>> neighbor_lists(num_cells);
+  if constexpr (D <= 3) {
+    // Function-local static pointer: computed once, never destroyed.
+    static const auto* const kOffsets =
+        new std::vector<CellCoords<D>>(internal::NeighborOffsets<D>());
+    parallel::parallel_for(0, num_cells, [&](size_t c) {
+      auto& list = neighbor_lists[c];
+      for (const CellCoords<D>& delta : *kOffsets) {
+        CellCoords<D> probe = cells.coords[c];
+        for (int i = 0; i < D; ++i) probe[i] += delta[i];
+        const uint32_t* id = table.Find(probe);
+        if (id != nullptr) list.push_back(*id);
+      }
+    });
+  } else {
+    // k-d tree over cell centers (Section 5.1).
+    const int k = 1 + static_cast<int>(std::floor(std::sqrt(double(D))));
+    std::vector<Point<D>> centers(num_cells);
+    parallel::parallel_for(0, num_cells, [&](size_t c) {
+      for (int i = 0; i < D; ++i) {
+        centers[c][i] = origin[i] + side * (cells.coords[c][i] + 0.5);
+      }
+    });
+    geometry::KdTree<D> tree{std::span<const Point<D>>(centers)};
+    parallel::parallel_for(0, num_cells, [&](size_t c) {
+      BBox<D> query;
+      for (int i = 0; i < D; ++i) {
+        query.min[i] = centers[c][i] - (k + 0.5) * side;
+        query.max[i] = centers[c][i] + (k + 0.5) * side;
+      }
+      auto& list = neighbor_lists[c];
+      tree.ForEachInBox(query, [&](uint32_t other) {
+        if (other == c) return true;
+        CellCoords<D> delta;
+        for (int i = 0; i < D; ++i) {
+          delta[i] = cells.coords[other][i] - cells.coords[c][i];
+        }
+        if (internal::OffsetWithinEpsilon<D>(delta)) list.push_back(other);
+        return true;
+      });
+    });
+  }
+  FlattenNeighbors(neighbor_lists, cells);
+  return cells;
+}
+
+}  // namespace pdbscan::dbscan
+
+#endif  // PDBSCAN_DBSCAN_GRID_H_

@@ -1,0 +1,95 @@
+// MarkCore — Algorithm 2 of the paper (Section 4.3).
+//
+// A cell with at least minPts points consists entirely of core points (the
+// cell has diameter at most epsilon). Every other point counts its
+// epsilon-neighbors in the cell itself plus each neighboring cell, either by
+// scanning the neighbor's points or via a per-cell quadtree RangeCount
+// (Section 5.2); counting stops early once minPts is reached.
+#ifndef PDBSCAN_DBSCAN_MARK_CORE_H_
+#define PDBSCAN_DBSCAN_MARK_CORE_H_
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "dbscan/cell_structure.h"
+#include "dbscan/types.h"
+#include "geometry/quadtree.h"
+#include "parallel/scheduler.h"
+
+namespace pdbscan::dbscan {
+
+// Builds a quadtree over every cell's points (used when range_count ==
+// kQuadtree). Trees index into cells.points.
+template <int D>
+std::vector<std::unique_ptr<geometry::CellQuadtree<D>>> BuildCellQuadtrees(
+    const CellStructure<D>& cells) {
+  const size_t num_cells = cells.num_cells();
+  std::vector<std::unique_ptr<geometry::CellQuadtree<D>>> trees(num_cells);
+  parallel::parallel_for(
+      0, num_cells,
+      [&](size_t c) {
+        std::vector<uint32_t> idx(cells.cell_size(c));
+        std::iota(idx.begin(), idx.end(),
+                  static_cast<uint32_t>(cells.offsets[c]));
+        trees[c] = std::make_unique<geometry::CellQuadtree<D>>(
+            std::span<const geometry::Point<D>>(cells.points), std::move(idx),
+            cells.cell_boxes[c]);
+      },
+      1);
+  return trees;
+}
+
+// Returns a flag per *reordered* point position: 1 iff the point is core.
+template <int D>
+std::vector<uint8_t> MarkCore(const CellStructure<D>& cells, size_t min_pts,
+                              RangeCountMethod method) {
+  const size_t num_cells = cells.num_cells();
+  const double eps = cells.epsilon;
+  const double eps2 = eps * eps;
+  std::vector<uint8_t> core_flags(cells.num_points(), 0);
+
+  std::vector<std::unique_ptr<geometry::CellQuadtree<D>>> trees;
+  if (method == RangeCountMethod::kQuadtree) {
+    trees = BuildCellQuadtrees(cells);
+  }
+
+  parallel::parallel_for(
+      0, num_cells,
+      [&](size_t c) {
+        const size_t begin = cells.offsets[c];
+        const size_t end = cells.offsets[c + 1];
+        if (end - begin >= min_pts) {
+          // Dense cell: everything is core (Lines 4-6 of Algorithm 2).
+          parallel::parallel_for(begin, end,
+                                 [&](size_t i) { core_flags[i] = 1; });
+          return;
+        }
+        const auto neighbors = cells.neighbors(c);
+        for (size_t i = begin; i < end; ++i) {
+          const geometry::Point<D>& p = cells.points[i];
+          size_t count = end - begin;  // All same-cell points are within eps.
+          for (const uint32_t h : neighbors) {
+            if (count >= min_pts) break;
+            if (method == RangeCountMethod::kQuadtree) {
+              count += trees[h]->CountInBall(p, eps, min_pts - count);
+            } else {
+              // Scan the neighboring cell (prune by its box first).
+              if (cells.cell_boxes[h].MinSquaredDistance(p) > eps2) continue;
+              const size_t h_begin = cells.offsets[h];
+              const size_t h_end = cells.offsets[h + 1];
+              for (size_t j = h_begin; j < h_end && count < min_pts; ++j) {
+                if (cells.points[j].SquaredDistance(p) <= eps2) ++count;
+              }
+            }
+          }
+          if (count >= min_pts) core_flags[i] = 1;
+        }
+      },
+      1);
+  return core_flags;
+}
+
+}  // namespace pdbscan::dbscan
+
+#endif  // PDBSCAN_DBSCAN_MARK_CORE_H_

@@ -1,0 +1,40 @@
+// Lightweight execution counters for the DBSCAN pipeline.
+//
+// The bucketing heuristic of Section 4.4 exists to *reduce the number of
+// cell connectivity queries*; these counters make that effect measurable
+// (see bench/ablation_bucketing). Counters are process-wide atomics with
+// relaxed ordering — negligible overhead, reset explicitly by callers that
+// want a per-run reading.
+#ifndef PDBSCAN_DBSCAN_STATS_H_
+#define PDBSCAN_DBSCAN_STATS_H_
+
+#include <atomic>
+#include <cstddef>
+
+namespace pdbscan::dbscan {
+
+struct PipelineStats {
+  // Connectivity queries actually executed (Connected() calls).
+  std::atomic<size_t> connectivity_queries{0};
+  // Candidate cell pairs skipped because union-find already had them in the
+  // same component.
+  std::atomic<size_t> pruned_queries{0};
+  // Connectivity queries that returned "connected".
+  std::atomic<size_t> successful_queries{0};
+
+  void Reset() {
+    connectivity_queries.store(0, std::memory_order_relaxed);
+    pruned_queries.store(0, std::memory_order_relaxed);
+    successful_queries.store(0, std::memory_order_relaxed);
+  }
+};
+
+// Global pipeline counters.
+inline PipelineStats& GlobalStats() {
+  static PipelineStats* stats = new PipelineStats();
+  return *stats;
+}
+
+}  // namespace pdbscan::dbscan
+
+#endif  // PDBSCAN_DBSCAN_STATS_H_

@@ -1,0 +1,92 @@
+// k-distance computation for epsilon selection — the parameter-selection
+// methodology from the original DBSCAN paper (Ester et al. [38], the
+// "sorted k-dist graph"): plot each point's distance to its k-th nearest
+// neighbor in descending order; the elbow suggests epsilon for
+// minPts = k.
+#ifndef PDBSCAN_EXTENSIONS_KDIST_H_
+#define PDBSCAN_EXTENSIONS_KDIST_H_
+
+#include <algorithm>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "geometry/kd_tree.h"
+#include "geometry/point.h"
+#include "parallel/scheduler.h"
+#include "primitives/sort.h"
+
+namespace pdbscan::extensions {
+
+// Distance from each point to its k-th nearest neighbor (k >= 1; the point
+// itself is its own 1st neighbor, matching the DBSCAN convention where a
+// point counts itself). Parallel over points.
+template <int D>
+std::vector<double> KDistances(std::span<const geometry::Point<D>> pts,
+                               size_t k) {
+  const size_t n = pts.size();
+  std::vector<double> kdist(n, 0.0);
+  if (n == 0 || k == 0) return kdist;
+  geometry::KdTree<D> tree(pts);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    // Grow the search radius until k neighbors are inside, then take the
+    // k-th smallest distance.
+    double radius = 1e-6;
+    // Initial guess: expand exponentially until enough neighbors.
+    while (tree.CountInBall(pts[i], radius, k) < k) {
+      radius *= 4;
+      if (radius > 1e30) break;  // Fewer than k points in total.
+    }
+    std::priority_queue<double> heap;  // Max-heap of the k smallest.
+    tree.ForEachInBall(pts[i], radius, [&](uint32_t j) {
+      const double d = pts[i].Distance(pts[j]);
+      if (heap.size() < k) {
+        heap.push(d);
+      } else if (d < heap.top()) {
+        heap.pop();
+        heap.push(d);
+      }
+      return true;
+    });
+    kdist[i] = heap.empty() ? 0.0 : heap.top();
+  });
+  return kdist;
+}
+
+// The sorted (descending) k-distance curve; index = rank.
+template <int D>
+std::vector<double> SortedKDistanceCurve(std::span<const geometry::Point<D>> pts,
+                                         size_t k) {
+  std::vector<double> curve = KDistances(pts, k);
+  primitives::ParallelSort(curve, std::greater<double>());
+  return curve;
+}
+
+// Heuristic epsilon suggestion: the point of maximum curvature (largest
+// second difference on a log scale) of the sorted k-distance curve, skipping
+// the extreme tails.
+template <int D>
+double SuggestEpsilon(std::span<const geometry::Point<D>> pts, size_t k) {
+  const auto curve = SortedKDistanceCurve(pts, k);
+  const size_t n = curve.size();
+  if (n < 8) return n == 0 ? 0.0 : curve[n / 2];
+  const size_t lo = n / 50 + 1;       // Skip outlier head.
+  const size_t hi = n - n / 10 - 2;   // Skip the dense tail.
+  double best_drop = -1;
+  size_t best = n / 2;
+  for (size_t i = lo; i + 1 < hi; ++i) {
+    const double prev = std::max(curve[i - 1], 1e-300);
+    const double cur = std::max(curve[i], 1e-300);
+    const double next = std::max(curve[i + 1], 1e-300);
+    const double curvature = std::log(prev) + std::log(next) - 2 * std::log(cur);
+    if (curvature > best_drop) {
+      best_drop = curvature;
+      best = i;
+    }
+  }
+  return curve[best];
+}
+
+}  // namespace pdbscan::extensions
+
+#endif  // PDBSCAN_EXTENSIONS_KDIST_H_

@@ -1,0 +1,134 @@
+// OPTICS (Ankerst et al. [5]) — the hierarchical companion of DBSCAN the
+// paper lists as future work ("designing theoretically-efficient and
+// practical parallel algorithms for ... hierarchical versions of DBSCAN").
+//
+// OPTICS produces an ordering of the points together with, for each point,
+// its *reachability distance*: a plot of reachability over the order shows
+// valleys (clusters) at every density level simultaneously, so one OPTICS
+// run subsumes DBSCAN runs for all epsilon' <= epsilon at a given minPts.
+//
+// This implementation is sequential in the ordering (the ordering is
+// inherently a priority-first traversal, as in POPTICS [74] the parallelism
+// lives elsewhere) but parallelizes the core-distance computation, which is
+// the range-query-heavy phase. ExtractDbscanClustering recovers, from the
+// OPTICS output, the DBSCAN* partition for any epsilon' <= epsilon — and is
+// cross-validated against the main pipeline in the tests.
+#ifndef PDBSCAN_EXTENSIONS_OPTICS_H_
+#define PDBSCAN_EXTENSIONS_OPTICS_H_
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "geometry/kd_tree.h"
+#include "geometry/point.h"
+#include "parallel/scheduler.h"
+
+namespace pdbscan::extensions {
+
+struct OpticsResult {
+  // Visit order: a permutation of [0, n).
+  std::vector<uint32_t> order;
+  // reachability[i] = reachability distance of point i (kUndefined for the
+  // first point of each connected region).
+  std::vector<double> reachability;
+  // core_distance[i] = distance to the minPts-th neighbor within epsilon,
+  // or kUndefined if point i is not a core point.
+  std::vector<double> core_distance;
+
+  static constexpr double kUndefined = std::numeric_limits<double>::infinity();
+};
+
+template <int D>
+OpticsResult Optics(std::span<const geometry::Point<D>> pts, double epsilon,
+                    size_t min_pts) {
+  const size_t n = pts.size();
+  OpticsResult result;
+  result.order.reserve(n);
+  result.reachability.assign(n, OpticsResult::kUndefined);
+  result.core_distance.assign(n, OpticsResult::kUndefined);
+  if (n == 0) return result;
+
+  geometry::KdTree<D> tree(pts);
+
+  // Core distances in parallel: the minPts-th smallest distance within the
+  // epsilon-ball (a small max-heap per point).
+  parallel::parallel_for(0, n, [&](size_t i) {
+    std::priority_queue<double> heap;  // Max-heap of the smallest minPts.
+    tree.ForEachInBall(pts[i], epsilon, [&](uint32_t j) {
+      const double d = pts[i].Distance(pts[j]);
+      if (heap.size() < min_pts) {
+        heap.push(d);
+      } else if (d < heap.top()) {
+        heap.pop();
+        heap.push(d);
+      }
+      return true;
+    });
+    if (heap.size() >= min_pts) result.core_distance[i] = heap.top();
+  });
+
+  // Priority-first expansion (sequential, as in the original algorithm).
+  std::vector<uint8_t> processed(n, 0);
+  using Entry = std::pair<double, uint32_t>;  // (reachability, point).
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> seeds;
+
+  auto update_neighbors = [&](size_t p) {
+    if (result.core_distance[p] == OpticsResult::kUndefined) return;
+    tree.ForEachInBall(pts[p], epsilon, [&](uint32_t q) {
+      if (processed[q]) return true;
+      const double reach =
+          std::max(result.core_distance[p], pts[p].Distance(pts[q]));
+      if (reach < result.reachability[q]) {
+        result.reachability[q] = reach;
+        seeds.push({reach, q});  // Lazy decrease-key: stale entries skipped.
+      }
+      return true;
+    });
+  };
+
+  for (size_t start = 0; start < n; ++start) {
+    if (processed[start]) continue;
+    processed[start] = 1;
+    result.order.push_back(static_cast<uint32_t>(start));
+    update_neighbors(start);
+    while (!seeds.empty()) {
+      const auto [reach, q] = seeds.top();
+      seeds.pop();
+      if (processed[q]) continue;  // Stale queue entry.
+      processed[q] = 1;
+      result.order.push_back(q);
+      update_neighbors(q);
+    }
+  }
+  return result;
+}
+
+// Extracts the DBSCAN* clustering (core points only, Campello et al. [20])
+// at epsilon_prime <= the epsilon OPTICS ran with: scanning the ordering,
+// a point with reachability > eps' starts a new cluster if its own core
+// distance is <= eps', and is noise otherwise. Returns one label per point
+// (-1 = noise).
+inline std::vector<int64_t> ExtractDbscanClustering(const OpticsResult& optics,
+                                                    double epsilon_prime) {
+  const size_t n = optics.order.size();
+  std::vector<int64_t> labels(n, -1);
+  int64_t current = -1;
+  for (const uint32_t p : optics.order) {
+    if (optics.reachability[p] > epsilon_prime) {
+      if (optics.core_distance[p] <= epsilon_prime) {
+        labels[p] = ++current;
+      }
+      // else: noise (label stays -1).
+    } else {
+      labels[p] = current;
+    }
+  }
+  return labels;
+}
+
+}  // namespace pdbscan::extensions
+
+#endif  // PDBSCAN_EXTENSIONS_OPTICS_H_

@@ -1,0 +1,400 @@
+#include "geometry/delaunay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "primitives/random.h"
+
+namespace pdbscan::geometry {
+
+namespace {
+
+constexpr int32_t kNone = -1;
+
+// Cross product of (b - a) x (c - a): > 0 iff (a, b, c) is counterclockwise.
+long double Cross(const Point<2>& a, const Point<2>& b, const Point<2>& c) {
+  const long double abx = static_cast<long double>(b[0]) - a[0];
+  const long double aby = static_cast<long double>(b[1]) - a[1];
+  const long double acx = static_cast<long double>(c[0]) - a[0];
+  const long double acy = static_cast<long double>(c[1]) - a[1];
+  return abx * acy - aby * acx;
+}
+
+// In-circle test for a counterclockwise triangle (a, b, c): > 0 iff p lies
+// strictly inside the circumcircle.
+long double InCircle(const Point<2>& a, const Point<2>& b, const Point<2>& c,
+                     const Point<2>& p) {
+  const long double adx = static_cast<long double>(a[0]) - p[0];
+  const long double ady = static_cast<long double>(a[1]) - p[1];
+  const long double bdx = static_cast<long double>(b[0]) - p[0];
+  const long double bdy = static_cast<long double>(b[1]) - p[1];
+  const long double cdx = static_cast<long double>(c[0]) - p[0];
+  const long double cdy = static_cast<long double>(c[1]) - p[1];
+  const long double ad2 = adx * adx + ady * ady;
+  const long double bd2 = bdx * bdx + bdy * bdy;
+  const long double cd2 = cdx * cdx + cdy * cdy;
+  return adx * (bdy * cd2 - bd2 * cdy) - ady * (bdx * cd2 - bd2 * cdx) +
+         ad2 * (bdx * cdy - bdy * cdx);
+}
+
+// Squared circumradius of the triangle (a, b, c); infinity if degenerate.
+long double CircumradiusSquared(const Point<2>& a, const Point<2>& b,
+                                const Point<2>& c) {
+  const long double dx = static_cast<long double>(b[0]) - a[0];
+  const long double dy = static_cast<long double>(b[1]) - a[1];
+  const long double ex = static_cast<long double>(c[0]) - a[0];
+  const long double ey = static_cast<long double>(c[1]) - a[1];
+  const long double bl = dx * dx + dy * dy;
+  const long double cl = ex * ex + ey * ey;
+  const long double d = dx * ey - dy * ex;
+  if (d == 0) return std::numeric_limits<long double>::infinity();
+  const long double x = (ey * bl - dy * cl) * 0.5L / d;
+  const long double y = (dx * cl - ex * bl) * 0.5L / d;
+  return x * x + y * y;
+}
+
+Point<2> Circumcenter(const Point<2>& a, const Point<2>& b,
+                      const Point<2>& c) {
+  const long double dx = static_cast<long double>(b[0]) - a[0];
+  const long double dy = static_cast<long double>(b[1]) - a[1];
+  const long double ex = static_cast<long double>(c[0]) - a[0];
+  const long double ey = static_cast<long double>(c[1]) - a[1];
+  const long double bl = dx * dx + dy * dy;
+  const long double cl = ex * ex + ey * ey;
+  const long double d = dx * ey - dy * ex;
+  const long double x = a[0] + (ey * bl - dy * cl) * 0.5L / d;
+  const long double y = a[1] + (dx * cl - ex * bl) * 0.5L / d;
+  return Point<2>{{static_cast<double>(x), static_cast<double>(y)}};
+}
+
+// Monotone pseudo-angle of a direction, in [0, 1).
+double PseudoAngle(double dx, double dy) {
+  const double denom = std::abs(dx) + std::abs(dy);
+  if (denom == 0) return 0;
+  const double p = dx / denom;
+  return (dy > 0 ? 3.0 - p : 1.0 + p) / 4.0;
+}
+
+}  // namespace
+
+Delaunay::Delaunay(std::span<const Point<2>> points, uint64_t jitter_seed) {
+  if (jitter_seed == 0) {
+    Build(points);
+    return;
+  }
+  BBox<2> box = ComputeBBox(points.data(), points.size());
+  const double dx = box.max[0] - box.min[0];
+  const double dy = box.max[1] - box.min[1];
+  const double diag = std::sqrt(dx * dx + dy * dy);
+  const double magnitude = (diag > 0 ? diag : 1.0) * 1e-9;
+  primitives::Random rng(jitter_seed);
+  std::vector<Point<2>> jittered(points.begin(), points.end());
+  for (size_t i = 0; i < jittered.size(); ++i) {
+    jittered[i][0] += (rng.IthDouble(2 * i) - 0.5) * magnitude;
+    jittered[i][1] += (rng.IthDouble(2 * i + 1) - 0.5) * magnitude;
+  }
+  Build(jittered);
+}
+
+void Delaunay::Build(std::span<const Point<2>> points) {
+  const size_t n = points.size();
+  triangles_.clear();
+  halfedges_.clear();
+  if (n == 0) {
+    degenerate_ = true;
+    return;
+  }
+
+  // --- Seed triangle selection -------------------------------------------
+  BBox<2> box = ComputeBBox(points.data(), n);
+  Point<2> center{{0.5 * (box.min[0] + box.max[0]),
+                   0.5 * (box.min[1] + box.max[1])}};
+
+  size_t i0 = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    const double d = points[i].SquaredDistance(center);
+    if (d < best) {
+      best = d;
+      i0 = i;
+    }
+  }
+  size_t i1 = SIZE_MAX;
+  best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    if (i == i0) continue;
+    const double d = points[i].SquaredDistance(points[i0]);
+    if (d < best && d > 0) {
+      best = d;
+      i1 = i;
+    }
+  }
+  size_t i2 = SIZE_MAX;
+  long double best_r = std::numeric_limits<long double>::infinity();
+  if (i1 != SIZE_MAX) {
+    for (size_t i = 0; i < n; ++i) {
+      if (i == i0 || i == i1) continue;
+      const long double r = CircumradiusSquared(points[i0], points[i1], points[i]);
+      if (r < best_r) {
+        best_r = r;
+        i2 = i;
+      }
+    }
+  }
+  if (i2 == SIZE_MAX || std::isinf(static_cast<double>(best_r))) {
+    // All points collinear (or fewer than 3 distinct points): the Delaunay
+    // graph degenerates to the chain between coordinate-sorted neighbors.
+    degenerate_ = true;
+    degenerate_chain_.resize(n);
+    std::iota(degenerate_chain_.begin(), degenerate_chain_.end(), 0u);
+    std::sort(degenerate_chain_.begin(), degenerate_chain_.end(),
+              [&](uint32_t a, uint32_t b) {
+                if (points[a][0] != points[b][0]) {
+                  return points[a][0] < points[b][0];
+                }
+                return points[a][1] < points[b][1];
+              });
+    return;
+  }
+  degenerate_ = false;
+  if (Cross(points[i0], points[i1], points[i2]) < 0) std::swap(i1, i2);
+  center = Circumcenter(points[i0], points[i1], points[i2]);
+
+  // Insertion order: increasing distance from the seed circumcenter, which
+  // guarantees every inserted point lies outside the current hull.
+  std::vector<uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::vector<double> dists(n);
+  for (size_t i = 0; i < n; ++i) dists[i] = points[i].SquaredDistance(center);
+  std::sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
+    if (dists[a] != dists[b]) return dists[a] < dists[b];
+    return a < b;
+  });
+
+  // --- Hull state ----------------------------------------------------------
+  const size_t hash_size =
+      static_cast<size_t>(std::llround(std::ceil(std::sqrt(double(n))))) + 1;
+  std::vector<int32_t> hull_hash(hash_size, kNone);
+  std::vector<uint32_t> hull_next(n), hull_prev(n);
+  std::vector<int32_t> hull_tri(n, kNone);  // Hull halfedge starting at v.
+
+  auto hash_key = [&](const Point<2>& p) -> size_t {
+    const double angle = PseudoAngle(p[0] - center[0], p[1] - center[1]);
+    size_t k = static_cast<size_t>(std::floor(angle * double(hash_size)));
+    return k >= hash_size ? hash_size - 1 : k;
+  };
+
+  const size_t max_triangles = n < 3 ? 1 : 2 * n - 5;
+  triangles_.reserve(max_triangles * 3);
+  halfedges_.reserve(max_triangles * 3);
+
+  auto link = [&](int32_t a, int32_t b) {
+    if (a != kNone) halfedges_[static_cast<size_t>(a)] = b;
+    if (b != kNone) halfedges_[static_cast<size_t>(b)] = a;
+  };
+  // Adds triangle (v0, v1, v2); t0/t1/t2 are the twins of edges v0->v1,
+  // v1->v2, v2->v0. Returns the id of the first halfedge.
+  auto add_triangle = [&](uint32_t v0, uint32_t v1, uint32_t v2, int32_t t0,
+                          int32_t t1, int32_t t2) -> int32_t {
+    const int32_t e = static_cast<int32_t>(triangles_.size());
+    triangles_.push_back(v0);
+    triangles_.push_back(v1);
+    triangles_.push_back(v2);
+    halfedges_.push_back(kNone);
+    halfedges_.push_back(kNone);
+    halfedges_.push_back(kNone);
+    link(e, t0);
+    link(e + 1, t1);
+    link(e + 2, t2);
+    return e;
+  };
+
+  // Flips non-Delaunay edges until the triangulation around `a` is locally
+  // Delaunay. Returns a halfedge that starts at the newly inserted point
+  // (used as its hull-edge pointer).
+  std::vector<int32_t> flip_stack;
+  auto legalize = [&](int32_t a) -> int32_t {
+    int32_t ar = 0;
+    flip_stack.clear();
+    while (true) {
+      const int32_t b = halfedges_[static_cast<size_t>(a)];
+      const int32_t a0 = a - a % 3;
+      ar = a0 + (a + 2) % 3;
+      if (b == kNone) {
+        if (flip_stack.empty()) break;
+        a = flip_stack.back();
+        flip_stack.pop_back();
+        continue;
+      }
+      const int32_t b0 = b - b % 3;
+      const int32_t al = a0 + (a + 1) % 3;
+      const int32_t bl = b0 + (b + 2) % 3;
+      const uint32_t p0 = triangles_[static_cast<size_t>(ar)];
+      const uint32_t pr = triangles_[static_cast<size_t>(a)];
+      const uint32_t pl = triangles_[static_cast<size_t>(al)];
+      const uint32_t p1 = triangles_[static_cast<size_t>(bl)];
+      // (p0, pr, pl) is a cyclic rotation of a's triangle, so it is CCW.
+      const bool illegal =
+          InCircle(points[p0], points[pr], points[pl], points[p1]) > 0;
+      if (illegal) {
+        // Flip the shared edge: a takes p1, b takes p0.
+        triangles_[static_cast<size_t>(a)] = p1;
+        triangles_[static_cast<size_t>(b)] = p0;
+        const int32_t hbl = halfedges_[static_cast<size_t>(bl)];
+        if (hbl == kNone) {
+          // bl was a hull edge (started at p1); edge a replaces it.
+          if (hull_tri[p1] == bl) {
+            hull_tri[p1] = a;
+          } else {
+            // Rare: scan for the stale pointer.
+            for (size_t v = 0; v < n; ++v) {
+              if (hull_tri[v] == bl) {
+                hull_tri[v] = a;
+                break;
+              }
+            }
+          }
+        }
+        link(a, hbl);
+        link(b, halfedges_[static_cast<size_t>(ar)]);
+        link(ar, bl);
+        const int32_t br = b0 + (b + 1) % 3;
+        flip_stack.push_back(br);
+        // Re-examine edge a (it changed).
+      } else {
+        if (flip_stack.empty()) break;
+        a = flip_stack.back();
+        flip_stack.pop_back();
+      }
+    }
+    return ar;
+  };
+
+  // Initial hull = seed triangle (counterclockwise).
+  const uint32_t s0 = static_cast<uint32_t>(i0);
+  const uint32_t s1 = static_cast<uint32_t>(i1);
+  const uint32_t s2 = static_cast<uint32_t>(i2);
+  uint32_t hull_start = s0;
+  hull_next[s0] = s1;
+  hull_prev[s1] = s0;
+  hull_next[s1] = s2;
+  hull_prev[s2] = s1;
+  hull_next[s2] = s0;
+  hull_prev[s0] = s2;
+  hull_tri[s0] = 0;
+  hull_tri[s1] = 1;
+  hull_tri[s2] = 2;
+  hull_hash[hash_key(points[s0])] = static_cast<int32_t>(s0);
+  hull_hash[hash_key(points[s1])] = static_cast<int32_t>(s1);
+  hull_hash[hash_key(points[s2])] = static_cast<int32_t>(s2);
+  add_triangle(s0, s1, s2, kNone, kNone, kNone);
+
+  Point<2> prev_point{{std::numeric_limits<double>::quiet_NaN(),
+                       std::numeric_limits<double>::quiet_NaN()}};
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t i = ids[k];
+    const Point<2>& p = points[i];
+    if (i == s0 || i == s1 || i == s2) continue;
+    // Skip exact duplicates of the previously inserted point (and of the
+    // seeds); duplicates are irrelevant for the DBSCAN edge filter because
+    // they share a grid cell with their twin.
+    if (p[0] == prev_point[0] && p[1] == prev_point[1]) continue;
+    prev_point = p;
+    if (p == points[s0] || p == points[s1] || p == points[s2]) continue;
+
+    // Find a visible hull edge via the angular hash.
+    const size_t key = hash_key(p);
+    int32_t start = kNone;
+    for (size_t j = 0; j < hash_size; ++j) {
+      start = hull_hash[(key + j) % hash_size];
+      if (start != kNone && hull_next[static_cast<uint32_t>(start)] !=
+                                static_cast<uint32_t>(start)) {
+        break;
+      }
+    }
+    // Walk from the hashed vertex to the first visible edge. The hash entry
+    // may be stale, so fall back to a full hull walk if needed.
+    uint32_t e = hull_prev[static_cast<uint32_t>(start)];
+    const uint32_t walk_start = e;
+    while (Cross(points[e], points[hull_next[e]], p) >= 0) {
+      e = hull_next[e];
+      if (e == walk_start) {
+        e = std::numeric_limits<uint32_t>::max();
+        break;
+      }
+    }
+    if (e == std::numeric_limits<uint32_t>::max()) continue;  // Degenerate.
+
+    // First new triangle (e, p, next[e]); its third edge twins the old hull
+    // triangle at e.
+    uint32_t first = e;
+    uint32_t next_v = hull_next[e];
+    int32_t t = add_triangle(e, static_cast<uint32_t>(i), next_v, kNone, kNone,
+                             hull_tri[e]);
+    hull_tri[i] = legalize(t + 2);
+    hull_tri[e] = t;  // Edge e -> i is now on the hull.
+
+    // Walk forward: attach triangles while the next hull edge is visible.
+    uint32_t q = next_v;
+    while (true) {
+      const uint32_t next_q = hull_next[q];
+      if (Cross(points[q], points[next_q], p) >= 0) break;
+      t = add_triangle(q, static_cast<uint32_t>(i), next_q, hull_tri[i], kNone,
+                       hull_tri[q]);
+      hull_tri[i] = legalize(t + 2);
+      hull_next[q] = q;  // Mark q as removed from the hull.
+      q = next_q;
+    }
+
+    // Walk backward below the start edge similarly.
+    while (true) {
+      const uint32_t prev_e = hull_prev[first];
+      if (Cross(points[prev_e], points[first], p) >= 0) break;
+      t = add_triangle(prev_e, static_cast<uint32_t>(i), first, kNone,
+                       hull_tri[first], hull_tri[prev_e]);
+      legalize(t + 2);
+      hull_tri[prev_e] = t;
+      hull_next[first] = first;  // Mark removed.
+      first = prev_e;
+    }
+
+    // Update hull links and hashes.
+    hull_prev[i] = first;
+    hull_next[first] = static_cast<uint32_t>(i);
+    hull_prev[q] = static_cast<uint32_t>(i);
+    hull_next[i] = q;
+    hull_start = first;
+    hull_hash[hash_key(p)] = static_cast<int32_t>(i);
+    hull_hash[hash_key(points[first])] = static_cast<int32_t>(first);
+  }
+  (void)hull_start;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> Delaunay::Edges() const {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  if (degenerate_) {
+    for (size_t i = 0; i + 1 < degenerate_chain_.size(); ++i) {
+      uint32_t u = degenerate_chain_[i];
+      uint32_t v = degenerate_chain_[i + 1];
+      if (u > v) std::swap(u, v);
+      edges.emplace_back(u, v);
+    }
+    return edges;
+  }
+  edges.reserve(triangles_.size() / 2);
+  for (size_t e = 0; e < triangles_.size(); ++e) {
+    const int32_t twin = halfedges_[e];
+    if (twin == kNone || static_cast<size_t>(twin) > e) {
+      const size_t base = e - e % 3;
+      uint32_t u = triangles_[e];
+      uint32_t v = triangles_[base + (e + 1) % 3];
+      if (u > v) std::swap(u, v);
+      edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+}  // namespace pdbscan::geometry

@@ -1,0 +1,68 @@
+// 2D Delaunay triangulation for the Delaunay-based cell graph (Section 4.4).
+//
+// Gan & Tao [40] and de Berg et al. [35] show that if the bichromatic
+// closest pair between two core cells is within epsilon, the Delaunay
+// triangulation of the core points contains an edge of length at most
+// epsilon whose endpoints lie in cells that connect the two cells'
+// components; filtering DT edges therefore yields a correct cell graph.
+//
+// The paper uses the parallel randomized incremental DT from PBBS [10, 77].
+// Substitution (documented in DESIGN.md): we implement the sweep-circle /
+// advancing-hull incremental algorithm (the "delaunator" construction):
+// points are inserted in order of distance from a seed circumcenter, each
+// insertion attaches to the visible part of the convex hull and is legalized
+// with in-circle flips. O(n log n) expected work; construction is serial,
+// and the DBSCAN edge filtering on top of it is parallel.
+//
+// Robustness: predicates use long double arithmetic. Callers may request a
+// deterministic pre-jitter to break exact degeneracies (collinear /
+// cocircular inputs); the jitter only perturbs the topology computation —
+// DBSCAN filters edges by distances between the *original* coordinates.
+#ifndef PDBSCAN_GEOMETRY_DELAUNAY_H_
+#define PDBSCAN_GEOMETRY_DELAUNAY_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace pdbscan::geometry {
+
+class Delaunay {
+ public:
+  // Triangulates `points`. If `jitter_seed` is non-zero, coordinates are
+  // deterministically perturbed by ~1e-9 of the bounding-box diagonal before
+  // triangulating (the returned topology refers to original point indices).
+  explicit Delaunay(std::span<const Point<2>> points, uint64_t jitter_seed = 0);
+
+  // Vertex indices, 3 per triangle, in counterclockwise order.
+  const std::vector<uint32_t>& triangles() const { return triangles_; }
+
+  // halfedges()[e] is the opposite halfedge of e, or -1 on the hull.
+  const std::vector<int32_t>& halfedges() const { return halfedges_; }
+
+  // True when all input points were collinear (no triangles exist); Edges()
+  // then returns the chain between coordinate-sorted neighbors, which is the
+  // degenerate Delaunay graph and preserves the DBSCAN connectivity
+  // argument.
+  bool degenerate() const { return degenerate_; }
+
+  // Unique undirected edges of the Delaunay graph (u < v pairs).
+  std::vector<std::pair<uint32_t, uint32_t>> Edges() const;
+
+  size_t num_triangles() const { return triangles_.size() / 3; }
+
+ private:
+  void Build(std::span<const Point<2>> points);
+
+  std::vector<uint32_t> triangles_;
+  std::vector<int32_t> halfedges_;
+  std::vector<uint32_t> degenerate_chain_;  // Sorted order when degenerate.
+  bool degenerate_ = false;
+};
+
+}  // namespace pdbscan::geometry
+
+#endif  // PDBSCAN_GEOMETRY_DELAUNAY_H_

@@ -1,0 +1,183 @@
+// Parallel k-d tree (Bentley [9]) over a set of D-dimensional points.
+//
+// Two roles in the paper:
+//   * Section 5.1: a k-d tree over the *non-empty grid cells* answers
+//     NeighborCells queries in higher dimensions, where enumerating all
+//     (2·ceil(sqrt(d))+1)^d candidate cells is impractical.
+//   * Section 7.2: the paper's own "parallel baseline" runs the original
+//     DBSCAN with all points issuing parallel epsilon-range queries against
+//     a k-d tree; our baselines reuse this tree.
+//
+// Construction recursively splits at the median of the widest dimension;
+// sibling subtrees build in parallel (fork-join), matching the paper's
+// parallel construction sketch. Queries are read-only and run in parallel.
+#ifndef PDBSCAN_GEOMETRY_KD_TREE_H_
+#define PDBSCAN_GEOMETRY_KD_TREE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "geometry/point.h"
+#include "parallel/scheduler.h"
+
+namespace pdbscan::geometry {
+
+template <int D>
+class KdTree {
+ public:
+  KdTree() = default;
+
+  // Builds the tree over `points`. Indices reported by queries refer to
+  // positions in this span. The span must outlive the tree.
+  explicit KdTree(std::span<const Point<D>> points) { Build(points); }
+
+  void Build(std::span<const Point<D>> points) {
+    points_ = points;
+    const size_t n = points.size();
+    order_.resize(n);
+    for (size_t i = 0; i < n; ++i) order_[i] = static_cast<uint32_t>(i);
+    nodes_.clear();
+    nodes_.reserve(n / kLeafSize * 4 + 4);
+    if (n == 0) {
+      root_ = -1;
+      return;
+    }
+    root_ = BuildNode(0, n);
+  }
+
+  size_t size() const { return points_.size(); }
+
+  // Calls visit(point_index) for every point within `radius` of `center`.
+  // If visit returns false, the traversal stops early.
+  template <typename Visit>
+  void ForEachInBall(const Point<D>& center, double radius,
+                     Visit&& visit) const {
+    if (root_ < 0) return;
+    VisitBall(root_, center, radius * radius, visit);
+  }
+
+  // Number of points within `radius` of `center`, stopping the count early
+  // once it reaches `cap` (pass SIZE_MAX for an exact count).
+  size_t CountInBall(const Point<D>& center, double radius,
+                     size_t cap = SIZE_MAX) const {
+    size_t count = 0;
+    ForEachInBall(center, radius, [&](uint32_t) {
+      ++count;
+      return count < cap;
+    });
+    return count;
+  }
+
+  // Calls visit(point_index) for every point inside `box` (inclusive).
+  // If visit returns false, the traversal stops early.
+  template <typename Visit>
+  void ForEachInBox(const BBox<D>& box, Visit&& visit) const {
+    if (root_ < 0) return;
+    VisitBox(root_, box, visit);
+  }
+
+ private:
+  static constexpr size_t kLeafSize = 16;
+  static constexpr size_t kParallelCutoff = 4096;
+
+  struct Node {
+    BBox<D> box;
+    uint32_t begin = 0;
+    uint32_t end = 0;       // Leaf iff end > begin.
+    int32_t left = -1;
+    int32_t right = -1;
+  };
+
+  int32_t BuildNode(size_t lo, size_t hi) {
+    Node node;
+    node.box = BBox<D>::Empty();
+    for (size_t i = lo; i < hi; ++i) node.box.Extend(points_[order_[i]]);
+    if (hi - lo <= kLeafSize) {
+      node.begin = static_cast<uint32_t>(lo);
+      node.end = static_cast<uint32_t>(hi);
+      return Emplace(node);
+    }
+    // Split on the widest dimension at the median.
+    int dim = 0;
+    double widest = -1;
+    for (int i = 0; i < D; ++i) {
+      const double w = node.box.max[i] - node.box.min[i];
+      if (w > widest) {
+        widest = w;
+        dim = i;
+      }
+    }
+    const size_t mid = lo + (hi - lo) / 2;
+    std::nth_element(order_.begin() + lo, order_.begin() + mid,
+                     order_.begin() + hi, [&](uint32_t a, uint32_t b) {
+                       return points_[a][dim] < points_[b][dim];
+                     });
+    int32_t left = -1, right = -1;
+    if (hi - lo >= kParallelCutoff) {
+      // Children build concurrently; Emplace is synchronized.
+      parallel::fork_join([&]() { left = BuildNode(lo, mid); },
+                          [&]() { right = BuildNode(mid, hi); });
+    } else {
+      left = BuildNode(lo, mid);
+      right = BuildNode(mid, hi);
+    }
+    node.left = left;
+    node.right = right;
+    return Emplace(node);
+  }
+
+  int32_t Emplace(const Node& node) {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    nodes_.push_back(node);
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  template <typename Visit>
+  bool VisitBall(int32_t id, const Point<D>& center, double r2,
+                 Visit&& visit) const {
+    const Node& node = nodes_[static_cast<size_t>(id)];
+    if (node.box.MinSquaredDistance(center) > r2) return true;
+    if (node.end > node.begin) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        const uint32_t idx = order_[i];
+        if (points_[idx].SquaredDistance(center) <= r2) {
+          if (!visit(idx)) return false;
+        }
+      }
+      return true;
+    }
+    if (!VisitBall(node.left, center, r2, visit)) return false;
+    return VisitBall(node.right, center, r2, visit);
+  }
+
+  template <typename Visit>
+  bool VisitBox(int32_t id, const BBox<D>& box, Visit&& visit) const {
+    const Node& node = nodes_[static_cast<size_t>(id)];
+    if (node.box.MinSquaredDistance(box) > 0) return true;
+    if (node.end > node.begin) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        const uint32_t idx = order_[i];
+        if (box.Contains(points_[idx])) {
+          if (!visit(idx)) return false;
+        }
+      }
+      return true;
+    }
+    if (!VisitBox(node.left, box, visit)) return false;
+    return VisitBox(node.right, box, visit);
+  }
+
+  std::span<const Point<D>> points_;
+  std::vector<uint32_t> order_;
+  std::vector<Node> nodes_;
+  std::mutex nodes_mu_;
+  int32_t root_ = -1;
+};
+
+}  // namespace pdbscan::geometry
+
+#endif  // PDBSCAN_GEOMETRY_KD_TREE_H_

@@ -1,0 +1,284 @@
+// Per-cell 2^d-ary quadtree for range counting — Section 5.2 of the paper.
+//
+// A grid cell of side epsilon/sqrt(d) is recursively divided into 2^d
+// sub-cells. The tree supports:
+//   * exact RangeCount(p, eps) with a cap for early termination (used when
+//     marking core points, and with cap=1 as the quadtree-BCP connectivity
+//     test of "our-exact-qt");
+//   * approximate RangeCount(p, eps, rho) whose answer lies between the
+//     number of points in the eps-ball and in the eps(1+rho)-ball (the
+//     Gan–Tao approximate query driving "our-approx"/"our-approx-qt").
+//
+// Construction follows the paper: points are partitioned among children with
+// a stable integer sort on the 2^d child keys, children build recursively in
+// parallel, a leaf-size threshold bounds tree height, and single-child
+// levels are collapsed so every internal node has at least two non-empty
+// children. For the approximate tree, nodes stop dividing once their side
+// length is at most rho * eps / sqrt(d) (depth 1 + ceil(log2(1/rho))); such
+// "epsilon leaves" are counted wholesale when they intersect the query ball,
+// which is what makes the query O(1 + (1/rho)^(d-1)).
+#ifndef PDBSCAN_GEOMETRY_QUADTREE_H_
+#define PDBSCAN_GEOMETRY_QUADTREE_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "geometry/point.h"
+#include "parallel/scheduler.h"
+#include "primitives/integer_sort.h"
+
+namespace pdbscan::geometry {
+
+template <int D>
+class CellQuadtree {
+ public:
+  CellQuadtree() = default;
+
+  // Builds the tree over global `points`, restricted to the given `indices`
+  // (taken by value; the tree owns and permutes them). `box` is the cell's
+  // geometric bounding box. `max_level` caps subdivision depth: nodes at
+  // max_level become epsilon-leaves (pass kNoDepthLimit for the exact tree).
+  CellQuadtree(std::span<const Point<D>> points, std::vector<uint32_t> indices,
+               const BBox<D>& box, int max_level = kNoDepthLimit,
+               size_t leaf_threshold = kDefaultLeafThreshold)
+      : points_(points),
+        order_(std::move(indices)),
+        max_level_(max_level),
+        leaf_threshold_(leaf_threshold) {
+    nodes_.reserve(order_.size() / leaf_threshold_ * 2 + 2);
+    if (!order_.empty()) root_ = BuildNode(0, order_.size(), box, 0);
+  }
+
+  static constexpr int kNoDepthLimit = std::numeric_limits<int>::max();
+  static constexpr size_t kDefaultLeafThreshold = 16;
+
+  // Depth limit for the approximate tree over a DBSCAN grid cell (diameter
+  // exactly eps): the box halves each level and an epsilon-leaf must have
+  // diameter at most rho * eps, giving ceil(log2(1/rho)) levels — the
+  // 1 + ceil(log2(1/rho)) tree height of Section 5.2 (they count the root).
+  static int ApproxMaxLevel(double rho) {
+    if (rho >= 1) return 0;
+    return static_cast<int>(std::ceil(std::log2(1.0 / rho)));
+  }
+
+  // General form for a box of the given diameter: levels until the diameter
+  // shrinks to rho * eps.
+  static int ApproxMaxLevelFor(double diameter, double eps, double rho) {
+    const double target = rho * eps;
+    if (diameter <= target) return 0;
+    return static_cast<int>(std::ceil(std::log2(diameter / target)));
+  }
+
+  bool empty() const { return root_ < 0; }
+  size_t num_points() const { return order_.size(); }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  // Exact count of points within `radius` of `center`, stopping early once
+  // the count reaches `cap`.
+  size_t CountInBall(const Point<D>& center, double radius,
+                     size_t cap = SIZE_MAX) const {
+    if (root_ < 0 || cap == 0) return 0;
+    return CountExact(root_, center, radius * radius, cap);
+  }
+
+  // True iff some point lies within `radius` of `center`.
+  bool ContainsInBall(const Point<D>& center, double radius) const {
+    return CountInBall(center, radius, 1) > 0;
+  }
+
+  // Approximate count: a value between |B(center, radius)| and
+  // |B(center, radius * (1 + rho))|, capped at `cap`.
+  size_t ApproxCountInBall(const Point<D>& center, double radius, double rho,
+                           size_t cap = SIZE_MAX) const {
+    if (root_ < 0 || cap == 0) return 0;
+    const double r2 = radius * radius;
+    const double r2_outer = radius * (1 + rho) * radius * (1 + rho);
+    return CountApprox(root_, center, radius, r2, r2_outer, cap);
+  }
+
+  // True iff the approximate count is non-zero: guaranteed true when a point
+  // lies within `radius`, guaranteed false when no point lies within
+  // `radius * (1 + rho)`, and either answer in between.
+  bool ApproxContainsInBall(const Point<D>& center, double radius,
+                            double rho) const {
+    return ApproxCountInBall(center, radius, rho, 1) > 0;
+  }
+
+ private:
+  struct Node {
+    BBox<D> box;
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    uint32_t count = 0;
+    std::vector<int32_t> children;  // Empty for leaves.
+    bool epsilon_leaf = false;      // Leaf due to the depth cap.
+  };
+
+  static constexpr size_t kParallelBuildCutoff = 4096;
+  static constexpr size_t kNumChildSlots = size_t{1} << D;
+  // Hard cap: with duplicate (or nearly-coincident) points no subdivision
+  // can separate them; beyond ~60 halvings the boxes are degenerate anyway.
+  static constexpr int kHardDepthCap = 60;
+
+  int32_t BuildNode(size_t lo, size_t hi, BBox<D> box, int level) {
+    Node node;
+    node.begin = static_cast<uint32_t>(lo);
+    node.end = static_cast<uint32_t>(hi);
+    node.count = static_cast<uint32_t>(hi - lo);
+    const size_t n = hi - lo;
+
+    // Collapse levels where all points fall into one sub-cell, so that every
+    // internal node has at least two non-empty children.
+    std::vector<size_t> counts;
+    while (true) {
+      if (n <= leaf_threshold_ || level >= max_level_ ||
+          level >= kHardDepthCap) {
+        node.box = box;
+        node.epsilon_leaf = level >= max_level_;
+        return Emplace(std::move(node));
+      }
+      counts.assign(kNumChildSlots, 0);
+      for (size_t i = lo; i < hi; ++i) {
+        ++counts[ChildKey(points_[order_[i]], box)];
+      }
+      size_t non_empty = 0;
+      size_t only = 0;
+      for (size_t k = 0; k < kNumChildSlots; ++k) {
+        if (counts[k] > 0) {
+          ++non_empty;
+          only = k;
+        }
+      }
+      if (non_empty >= 2) break;
+      box = ChildBox(box, only);
+      ++level;
+    }
+    node.box = box;
+
+    // Stable integer sort on child keys groups each child's points.
+    auto key_of = [&](uint32_t idx) { return ChildKey(points_[idx], box); };
+    primitives::IntegerSort(
+        std::span<uint32_t>(order_.data() + lo, hi - lo), kNumChildSlots,
+        key_of);
+
+    // Child ranges from the counts, then recurse (in parallel when large).
+    struct ChildRange {
+      size_t key, lo, hi;
+    };
+    std::vector<ChildRange> ranges;
+    size_t offset = lo;
+    for (size_t k = 0; k < kNumChildSlots; ++k) {
+      if (counts[k] == 0) continue;
+      ranges.push_back({k, offset, offset + counts[k]});
+      offset += counts[k];
+    }
+    std::vector<int32_t> children(ranges.size());
+    auto build_child = [&](size_t c) {
+      children[c] = BuildNode(ranges[c].lo, ranges[c].hi,
+                              ChildBox(box, ranges[c].key), level + 1);
+    };
+    if (n >= kParallelBuildCutoff) {
+      parallel::parallel_for(0, ranges.size(), build_child, 1);
+    } else {
+      for (size_t c = 0; c < ranges.size(); ++c) build_child(c);
+    }
+    node.children = std::move(children);
+    return Emplace(std::move(node));
+  }
+
+  size_t ChildKey(const Point<D>& p, const BBox<D>& box) const {
+    size_t key = 0;
+    for (int i = 0; i < D; ++i) {
+      const double mid = 0.5 * (box.min[i] + box.max[i]);
+      key = (key << 1) | (p[i] >= mid ? 1 : 0);
+    }
+    return key;
+  }
+
+  static BBox<D> ChildBox(const BBox<D>& box, size_t key) {
+    BBox<D> child;
+    for (int i = 0; i < D; ++i) {
+      const double mid = 0.5 * (box.min[i] + box.max[i]);
+      const bool high = (key >> (D - 1 - i)) & 1;
+      child.min[i] = high ? mid : box.min[i];
+      child.max[i] = high ? box.max[i] : mid;
+    }
+    return child;
+  }
+
+  int32_t Emplace(Node&& node) {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    nodes_.push_back(std::move(node));
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  size_t CountExact(int32_t id, const Point<D>& center, double r2,
+                    size_t cap) const {
+    const Node& node = nodes_[static_cast<size_t>(id)];
+    if (node.box.MinSquaredDistance(center) > r2) return 0;
+    if (node.box.MaxSquaredDistance(center) <= r2) {
+      return node.count < cap ? node.count : cap;
+    }
+    if (node.children.empty()) {
+      size_t count = 0;
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        if (points_[order_[i]].SquaredDistance(center) <= r2) {
+          if (++count >= cap) return cap;
+        }
+      }
+      return count;
+    }
+    size_t count = 0;
+    for (int32_t child : node.children) {
+      count += CountExact(child, center, r2, cap - count);
+      if (count >= cap) return cap;
+    }
+    return count;
+  }
+
+  size_t CountApprox(int32_t id, const Point<D>& center, double radius,
+                     double r2, double r2_outer, size_t cap) const {
+    const Node& node = nodes_[static_cast<size_t>(id)];
+    if (node.box.MinSquaredDistance(center) > r2) return 0;
+    if (node.box.MaxSquaredDistance(center) <= r2_outer) {
+      return node.count < cap ? node.count : cap;
+    }
+    if (node.children.empty()) {
+      if (node.epsilon_leaf) {
+        // Depth-capped leaf intersecting the eps-ball: its diameter is at
+        // most rho * eps, so all its points are within eps * (1 + rho).
+        return node.count < cap ? node.count : cap;
+      }
+      size_t count = 0;
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        if (points_[order_[i]].SquaredDistance(center) <= r2) {
+          if (++count >= cap) return cap;
+        }
+      }
+      return count;
+    }
+    size_t count = 0;
+    for (int32_t child : node.children) {
+      count += CountApprox(child, center, radius, r2, r2_outer, cap - count);
+      if (count >= cap) return cap;
+    }
+    return count;
+  }
+
+  std::span<const Point<D>> points_;
+  std::vector<uint32_t> order_;
+  std::vector<Node> nodes_;
+  std::mutex nodes_mu_;
+  int max_level_ = kNoDepthLimit;
+  size_t leaf_threshold_ = kDefaultLeafThreshold;
+  int32_t root_ = -1;
+};
+
+}  // namespace pdbscan::geometry
+
+#endif  // PDBSCAN_GEOMETRY_QUADTREE_H_

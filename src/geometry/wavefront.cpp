@@ -1,0 +1,156 @@
+#include "geometry/wavefront.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pdbscan::geometry {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Height of the upper cap of the radius-r circle centered at c, at
+// horizontal coordinate u; -inf outside the circle's u-extent.
+double CapHeight(const Point<2>& c, double r, double u) {
+  const double dx = u - c[0];
+  const double under = r * r - dx * dx;
+  if (under < 0) return kNegInf;
+  return c[1] + std::sqrt(under);
+}
+
+double ArcHeight(const Arc& a, double r, double u) {
+  return CapHeight(a.center, r, u);
+}
+
+// Appends the piece [lo, hi] of circle `center` to `out`, coalescing with a
+// preceding piece of the same circle.
+void AppendArc(std::vector<Arc>& out, const Point<2>& center, double lo,
+               double hi) {
+  if (!(lo < hi)) return;
+  if (!out.empty() && out.back().center == center &&
+      out.back().hi >= lo - 1e-12 * (1 + std::abs(lo))) {
+    out.back().hi = hi;
+    return;
+  }
+  out.push_back(Arc{center, lo, hi});
+}
+
+// Merges two envelopes (each a sorted list of disjoint arcs, possibly with
+// gaps) into their upper envelope. Relies on the single-crossing property of
+// equal-radius caps (Appendix A of the paper): within any interval where two
+// arcs are both defined, their height difference changes sign at most once.
+std::vector<Arc> MergeEnvelopes(const std::vector<Arc>& e1,
+                                const std::vector<Arc>& e2, double r) {
+  std::vector<Arc> out;
+  out.reserve(e1.size() + e2.size());
+
+  // Sweep over all arc boundaries.
+  std::vector<double> events;
+  events.reserve(2 * (e1.size() + e2.size()));
+  for (const Arc& a : e1) {
+    events.push_back(a.lo);
+    events.push_back(a.hi);
+  }
+  for (const Arc& a : e2) {
+    events.push_back(a.lo);
+    events.push_back(a.hi);
+  }
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+
+  size_t i1 = 0, i2 = 0;
+  for (size_t ev = 0; ev + 1 < events.size(); ++ev) {
+    const double s = events[ev];
+    const double e = events[ev + 1];
+    // Advance past arcs that end at or before s.
+    while (i1 < e1.size() && e1[i1].hi <= s) ++i1;
+    while (i2 < e2.size() && e2[i2].hi <= s) ++i2;
+    const Arc* a1 =
+        (i1 < e1.size() && e1[i1].lo <= s && e1[i1].hi >= e) ? &e1[i1] : nullptr;
+    const Arc* a2 =
+        (i2 < e2.size() && e2[i2].lo <= s && e2[i2].hi >= e) ? &e2[i2] : nullptr;
+    if (a1 == nullptr && a2 == nullptr) continue;
+    if (a1 == nullptr) {
+      AppendArc(out, a2->center, s, e);
+      continue;
+    }
+    if (a2 == nullptr) {
+      AppendArc(out, a1->center, s, e);
+      continue;
+    }
+    const double d_s = ArcHeight(*a1, r, s) - ArcHeight(*a2, r, s);
+    const double d_e = ArcHeight(*a1, r, e) - ArcHeight(*a2, r, e);
+    if (d_s >= 0 && d_e >= 0) {
+      AppendArc(out, a1->center, s, e);
+      continue;
+    }
+    if (d_s <= 0 && d_e <= 0) {
+      AppendArc(out, a2->center, s, e);
+      continue;
+    }
+    // Exactly one crossing in (s, e): bisect the height difference.
+    double lo = s, hi = e;
+    for (int iter = 0; iter < 64 && hi - lo > 0; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      const double d = ArcHeight(*a1, r, mid) - ArcHeight(*a2, r, mid);
+      if ((d >= 0) == (d_s >= 0)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const double cross = 0.5 * (lo + hi);
+    const Arc* left_winner = d_s >= 0 ? a1 : a2;
+    const Arc* right_winner = d_s >= 0 ? a2 : a1;
+    AppendArc(out, left_winner->center, s, cross);
+    AppendArc(out, right_winner->center, cross, e);
+  }
+  return out;
+}
+
+std::vector<Arc> BuildRecursive(std::span<const Point<2>> centers, double r) {
+  if (centers.size() == 1) {
+    return {Arc{centers[0], centers[0][0] - r, centers[0][0] + r}};
+  }
+  const size_t mid = centers.size() / 2;
+  // Serial recursion: per-cell point counts are small; parallelism comes
+  // from running many cells' builds and queries concurrently.
+  std::vector<Arc> left = BuildRecursive(centers.subspan(0, mid), r);
+  std::vector<Arc> right = BuildRecursive(centers.subspan(mid), r);
+  return MergeEnvelopes(left, right, r);
+}
+
+}  // namespace
+
+Envelope::Envelope(std::vector<Point<2>> centers, double radius)
+    : radius_(radius) {
+  if (centers.empty()) return;
+  std::sort(centers.begin(), centers.end(),
+            [](const Point<2>& a, const Point<2>& b) {
+              if (a[0] != b[0]) return a[0] < b[0];
+              return a[1] < b[1];
+            });
+  arcs_ = BuildRecursive(std::span<const Point<2>>(centers), radius);
+}
+
+bool Envelope::Contains(const Point<2>& q) const {
+  if (arcs_.empty()) return false;
+  // Find the last arc with lo <= q.u and check it covers q.u.
+  const double u = q[0];
+  size_t lo = 0, hi = arcs_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (arcs_[mid].lo <= u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) return false;
+  const Arc& arc = arcs_[lo - 1];
+  if (u > arc.hi) return false;
+  return q.SquaredDistance(arc.center) <= radius_ * radius_;
+}
+
+}  // namespace pdbscan::geometry

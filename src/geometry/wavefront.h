@@ -1,0 +1,76 @@
+// Wavefronts for unit-spherical emptiness checking (USEC) with line
+// separation — Section 4.4 and Appendix A of the paper.
+//
+// Given the core points of a cell on one side of an axis-parallel line, the
+// *wavefront* is the outer boundary of the union of their epsilon-radius
+// disks on the other side of the line: the upper envelope of equal-radius
+// circular caps. Appendix A proves that two such caps cross at most once,
+// so the envelope has linearly many arcs and can be built by
+// divide-and-conquer merging.
+//
+// A USEC connectivity query between two cells picks the separating line,
+// takes one cell's wavefront, and asks whether any of the other cell's core
+// points lies inside the wavefront; if so, the cells' bichromatic closest
+// pair is within epsilon and the cells are connected in the cell graph.
+//
+// Coordinate frames: everything here is expressed in a canonical frame
+// where the separating line is horizontal, the envelope's disks are centered
+// at or below the line, and queries come from above. A cell needs two
+// envelopes: one beyond its top border (identity frame) and one beyond its
+// left border (frame (u, v) = (y, -x), a rotation that keeps circles
+// circles).
+//
+// Substitution (documented in DESIGN.md): the paper merges wavefronts with
+// balanced binary trees to get O(log^3 n) depth; we build each cell's
+// envelope serially with the same divide-and-conquer merge and run cells'
+// builds and queries in parallel. The produced wavefront is identical.
+#ifndef PDBSCAN_GEOMETRY_WAVEFRONT_H_
+#define PDBSCAN_GEOMETRY_WAVEFRONT_H_
+
+#include <span>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace pdbscan::geometry {
+
+// One arc of the envelope: the circle centered at `center` is the topmost
+// disk boundary for u in [lo, hi].
+struct Arc {
+  Point<2> center;
+  double lo;
+  double hi;
+};
+
+// Upper envelope of equal-radius disks (in the canonical frame).
+class Envelope {
+ public:
+  Envelope() = default;
+
+  // Builds the envelope of `radius`-disks around `centers` (any order;
+  // sorted internally). Centers need not be distinct.
+  Envelope(std::vector<Point<2>> centers, double radius);
+
+  // True iff q is within `radius` of some center. Precondition: q.v is at
+  // least every center's v (q lies on the far side of the separating line),
+  // which the DBSCAN USEC dispatch guarantees.
+  bool Contains(const Point<2>& q) const;
+
+  const std::vector<Arc>& arcs() const { return arcs_; }
+  double radius() const { return radius_; }
+  bool empty() const { return arcs_.empty(); }
+
+ private:
+  std::vector<Arc> arcs_;  // Sorted by lo; disjoint; may have gaps.
+  double radius_ = 0;
+};
+
+// Maps a point into the left-border frame: the envelope beyond a cell's left
+// border is the top envelope of the rotated points.
+inline Point<2> LeftFrame(const Point<2>& p) {
+  return Point<2>{{p[1], -p[0]}};
+}
+
+}  // namespace pdbscan::geometry
+
+#endif  // PDBSCAN_GEOMETRY_WAVEFRONT_H_

@@ -1,0 +1,162 @@
+#include "parallel/scheduler.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <random>
+#include <vector>
+
+#include "util/env.h"
+
+namespace pdbscan::parallel {
+namespace internal {
+
+namespace {
+// Slot index of the current thread within the pool's deque array. Workers
+// get 0..P-2; external threads (e.g., main) share the last slot.
+thread_local int tls_slot = -1;
+}  // namespace
+
+struct Pool::Impl {
+  struct Queue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  explicit Impl(int total_threads)
+      : queues(static_cast<size_t>(total_threads)), stop(false), pending(0) {
+    const int num_threads = total_threads - 1;
+    workers.reserve(static_cast<size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) {
+      workers.emplace_back([this, t]() { WorkerLoop(t); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(sleep_mu);
+      stop.store(true, std::memory_order_release);
+    }
+    sleep_cv.notify_all();
+    for (auto& w : workers) w.join();
+  }
+
+  void WorkerLoop(int slot) {
+    tls_slot = slot;
+    std::minstd_rand rng(static_cast<unsigned>(slot) * 0x9e3779b9u + 1);
+    while (true) {
+      Task task;
+      if (TryPop(slot, rng, &task)) {
+        Run(task);
+        continue;
+      }
+      // No work found: sleep until something is submitted or we shut down.
+      std::unique_lock<std::mutex> lock(sleep_mu);
+      sleep_cv.wait(lock, [this]() {
+        return stop.load(std::memory_order_acquire) ||
+               pending.load(std::memory_order_acquire) > 0;
+      });
+      if (stop.load(std::memory_order_acquire)) return;
+    }
+  }
+
+  bool TryPop(int self, std::minstd_rand& rng, Task* out) {
+    // Own queue first (LIFO for locality), then steal (FIFO).
+    {
+      Queue& q = queues[static_cast<size_t>(self)];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (!q.tasks.empty()) {
+        *out = std::move(q.tasks.back());
+        q.tasks.pop_back();
+        pending.fetch_sub(1, std::memory_order_acq_rel);
+        return true;
+      }
+    }
+    const size_t nq = queues.size();
+    const size_t start = rng() % nq;
+    for (size_t i = 0; i < nq; ++i) {
+      Queue& q = queues[(start + i) % nq];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (!q.tasks.empty()) {
+        *out = std::move(q.tasks.front());
+        q.tasks.pop_front();
+        pending.fetch_sub(1, std::memory_order_acq_rel);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static void Run(Task& task) {
+    task.fn();
+    task.remaining->fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  std::vector<Queue> queues;
+  std::vector<std::thread> workers;
+  std::mutex sleep_mu;
+  std::condition_variable sleep_cv;
+  std::atomic<bool> stop;
+  std::atomic<size_t> pending;
+};
+
+Pool::Pool(int total_threads)
+    : impl_(std::make_unique<Impl>(total_threads)),
+      total_threads_(total_threads) {}
+
+Pool::~Pool() = default;
+
+void Pool::Submit(Task task) {
+  int slot = tls_slot;
+  if (slot < 0) slot = total_threads_ - 1;  // External threads share a slot.
+  {
+    Impl::Queue& q = impl_->queues[static_cast<size_t>(slot)];
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.tasks.push_back(std::move(task));
+  }
+  impl_->pending.fetch_add(1, std::memory_order_acq_rel);
+  impl_->sleep_cv.notify_one();
+}
+
+bool Pool::RunOne() {
+  int slot = tls_slot;
+  if (slot < 0) slot = total_threads_ - 1;
+  thread_local std::minstd_rand rng(std::random_device{}());
+  Task task;
+  if (impl_->TryPop(slot, rng, &task)) {
+    Impl::Run(task);
+    return true;
+  }
+  return false;
+}
+
+void Pool::WaitFor(std::atomic<size_t>& remaining) {
+  while (remaining.load(std::memory_order_acquire) > 0) {
+    if (!RunOne()) std::this_thread::yield();
+  }
+}
+
+}  // namespace internal
+
+Scheduler::Scheduler() {
+  int n = util::GetEnvInt("PDBSCAN_NUM_THREADS", 0);
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n <= 0) n = 1;
+  pool_ = std::make_unique<internal::Pool>(n);
+}
+
+Scheduler& Scheduler::Get() {
+  static Scheduler* scheduler = new Scheduler();
+  return *scheduler;
+}
+
+int Scheduler::num_workers() const { return pool_->total_threads(); }
+
+void Scheduler::SetNumWorkers(int n) {
+  if (n < 1) n = 1;
+  if (n == pool_->total_threads()) return;
+  pool_.reset();  // Join old workers before spawning new ones.
+  pool_ = std::make_unique<internal::Pool>(n);
+}
+
+}  // namespace pdbscan::parallel

@@ -1,0 +1,174 @@
+// Fork-join work-stealing scheduler.
+//
+// This is the runtime substrate standing in for the Cilk Plus scheduler used
+// by the paper (Blumofe & Leiserson [13], Leiserson [66]). It provides the
+// two primitives the paper's algorithms are written in terms of:
+//
+//   * parallel_for(lo, hi, f)  — data-parallel loop ("par-for" in the paper's
+//     pseudocode), split into grains executed by a pool of workers.
+//   * fork_join(f1, f2)        — binary fork ("spawn/sync"), the building
+//     block for divide-and-conquer (samplesort, parallel merge, quadtree
+//     construction, wavefront construction).
+//
+// Design notes:
+//   * P-1 worker threads plus the submitting thread; a thread blocked on a
+//     join *helps* by executing queued tasks, so nested parallelism cannot
+//     deadlock (help-first work stealing).
+//   * With num_workers() == 1 there are no threads at all and every primitive
+//     degenerates to its serial loop, which keeps single-threaded baselines
+//     honest (no scheduling overhead in "serial" measurements).
+//   * The pool size is taken from the PDBSCAN_NUM_THREADS environment
+//     variable (default: hardware concurrency) and can be changed at runtime
+//     with set_num_workers() while no parallel work is in flight.
+#ifndef PDBSCAN_PARALLEL_SCHEDULER_H_
+#define PDBSCAN_PARALLEL_SCHEDULER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <utility>
+
+namespace pdbscan::parallel {
+
+namespace internal {
+
+// A unit of queued work. `remaining` is the join counter shared with whoever
+// is waiting on this task's completion.
+struct Task {
+  std::function<void()> fn;
+  std::atomic<size_t>* remaining = nullptr;
+};
+
+class Pool {
+ public:
+  explicit Pool(int total_threads);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  // Total parallelism: worker threads + the submitting thread.
+  int total_threads() const { return total_threads_; }
+
+  // Enqueues `count` tasks created by `make(i)` for i in [0, count) and
+  // decrements `*remaining` as each completes. The caller must have set
+  // `*remaining` beforehand.
+  void Submit(Task task);
+
+  // Runs queued tasks until *remaining == 0. Called by threads blocked on a
+  // join; never sleeps while tasks might still be pending for this join.
+  void WaitFor(std::atomic<size_t>& remaining);
+
+  // Executes one queued task if available. Returns false if none was found.
+  bool RunOne();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  int total_threads_;
+};
+
+}  // namespace internal
+
+// Process-wide scheduler singleton.
+class Scheduler {
+ public:
+  // Returns the global scheduler, creating it on first use with
+  // PDBSCAN_NUM_THREADS (or hardware concurrency) threads.
+  static Scheduler& Get();
+
+  // Total parallelism (worker threads + caller).
+  int num_workers() const;
+
+  // Re-creates the pool with `n` total threads (n >= 1). Must not be called
+  // while parallel work is running.
+  void SetNumWorkers(int n);
+
+  // Parallel loop over [lo, hi). `f` is invoked once per index. `grain` is
+  // the largest contiguous block executed serially; 0 picks
+  // max(1, (hi-lo) / (8 * num_workers())).
+  template <typename F>
+  void ParallelFor(size_t lo, size_t hi, F&& f, size_t grain = 0) {
+    if (hi <= lo) return;
+    const size_t n = hi - lo;
+    const int p = num_workers();
+    if (p == 1 || n == 1) {
+      for (size_t i = lo; i < hi; ++i) f(i);
+      return;
+    }
+    if (grain == 0) grain = n / (8 * static_cast<size_t>(p)) + 1;
+    const size_t num_chunks = (n + grain - 1) / grain;
+    if (num_chunks <= 1) {
+      for (size_t i = lo; i < hi; ++i) f(i);
+      return;
+    }
+    std::atomic<size_t> remaining(num_chunks - 1);
+    for (size_t c = 1; c < num_chunks; ++c) {
+      const size_t b = lo + c * grain;
+      const size_t e = b + grain < hi ? b + grain : hi;
+      pool_->Submit(internal::Task{
+          [&f, b, e]() {
+            for (size_t i = b; i < e; ++i) f(i);
+          },
+          &remaining});
+    }
+    // The caller runs the first chunk itself, then helps drain the rest.
+    const size_t first_end = lo + grain < hi ? lo + grain : hi;
+    for (size_t i = lo; i < first_end; ++i) f(i);
+    pool_->WaitFor(remaining);
+  }
+
+  // Runs f1 and f2 potentially in parallel; returns when both are done.
+  template <typename F1, typename F2>
+  void ForkJoin(F1&& f1, F2&& f2) {
+    if (num_workers() == 1) {
+      f1();
+      f2();
+      return;
+    }
+    std::atomic<size_t> remaining(1);
+    pool_->Submit(internal::Task{[&f1]() { f1(); }, &remaining});
+    f2();
+    pool_->WaitFor(remaining);
+  }
+
+ private:
+  Scheduler();
+  std::unique_ptr<internal::Pool> pool_;
+};
+
+// Convenience free functions mirroring the paper's pseudocode.
+template <typename F>
+inline void parallel_for(size_t lo, size_t hi, F&& f, size_t grain = 0) {
+  Scheduler::Get().ParallelFor(lo, hi, std::forward<F>(f), grain);
+}
+
+template <typename F1, typename F2>
+inline void fork_join(F1&& f1, F2&& f2) {
+  Scheduler::Get().ForkJoin(std::forward<F1>(f1), std::forward<F2>(f2));
+}
+
+inline int num_workers() { return Scheduler::Get().num_workers(); }
+
+inline void set_num_workers(int n) { Scheduler::Get().SetNumWorkers(n); }
+
+// RAII helper that forces a worker count for a scope (used by tests and the
+// thread-scaling benchmarks).
+class ScopedNumWorkers {
+ public:
+  explicit ScopedNumWorkers(int n) : saved_(num_workers()) {
+    set_num_workers(n);
+  }
+  ~ScopedNumWorkers() { set_num_workers(saved_); }
+  ScopedNumWorkers(const ScopedNumWorkers&) = delete;
+  ScopedNumWorkers& operator=(const ScopedNumWorkers&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace pdbscan::parallel
+
+#endif  // PDBSCAN_PARALLEL_SCHEDULER_H_

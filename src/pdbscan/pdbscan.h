@@ -1,0 +1,99 @@
+// Public API of the pdbscan library — parallel exact and approximate
+// Euclidean DBSCAN (Wang, Gu & Shun, SIGMOD 2020).
+//
+// Quickstart:
+//
+//   #include "pdbscan/pdbscan.h"
+//
+//   std::vector<pdbscan::Point2> pts = ...;
+//   pdbscan::Clustering result =
+//       pdbscan::Dbscan<2>(pts, /*epsilon=*/1.0, /*min_pts=*/10);
+//   // result.cluster[i]        : primary cluster of point i (-1 = noise)
+//   // result.is_core[i]        : core-point flag
+//   // result.memberships(i)    : all clusters of point i (border points
+//   //                            can belong to several)
+//
+// Configuration (pdbscan::Options) selects the paper's variants:
+//   OurExact(), OurExactQt(), OurApprox(rho), OurApproxQt(rho),
+//   Our2dGridBcp(), Our2dGridUsec(), Our2dGridDelaunay(),
+//   Our2dBoxBcp(), Our2dBoxUsec(), Our2dBoxDelaunay(), WithBucketing(...).
+//
+// Exact variants return the clustering of the standard DBSCAN definition;
+// approximate variants satisfy Gan & Tao's rho-approximate definition.
+// Outputs are deterministic: equal inputs give identical labels regardless
+// of thread count or schedule.
+//
+// Threading: the library uses a process-wide work-stealing pool sized from
+// PDBSCAN_NUM_THREADS (default: hardware concurrency); see
+// parallel/scheduler.h and pdbscan::parallel::set_num_workers().
+#ifndef PDBSCAN_PDBSCAN_H_
+#define PDBSCAN_PDBSCAN_H_
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "dbscan/pipeline.h"
+#include "dbscan/types.h"
+#include "geometry/point.h"
+#include "parallel/scheduler.h"
+
+namespace pdbscan {
+
+template <int D>
+using Point = geometry::Point<D>;
+using Point2 = geometry::Point<2>;
+using Point3 = geometry::Point<3>;
+
+// Dimensions instantiated for the runtime-dispatch overload (the paper's
+// evaluation uses 2, 3, 5, 7 and 13).
+inline constexpr int kSupportedDims[] = {2, 3, 4, 5, 7, 13};
+
+// Clusters `points` with the given parameters. See dbscan/types.h for the
+// result contract.
+template <int D>
+Clustering Dbscan(std::span<const Point<D>> points, double epsilon,
+                  size_t min_pts, const Options& options = Options()) {
+  return dbscan::RunDbscan<D>(points, epsilon, min_pts, options);
+}
+
+template <int D>
+Clustering Dbscan(const std::vector<Point<D>>& points, double epsilon,
+                  size_t min_pts, const Options& options = Options()) {
+  return Dbscan<D>(std::span<const Point<D>>(points), epsilon, min_pts,
+                   options);
+}
+
+// Runtime-dimension overload over row-major coordinates (n x dim doubles).
+// Throws std::invalid_argument for dimensions not in kSupportedDims.
+inline Clustering Dbscan(const double* data, size_t n, int dim, double epsilon,
+                         size_t min_pts, const Options& options = Options()) {
+  auto run = [&]<int D>() {
+    std::vector<Point<D>> pts(n);
+    parallel::parallel_for(0, n, [&](size_t i) {
+      for (int k = 0; k < D; ++k) pts[i][k] = data[i * static_cast<size_t>(dim) + k];
+    });
+    return Dbscan<D>(pts, epsilon, min_pts, options);
+  };
+  switch (dim) {
+    case 2:
+      return run.template operator()<2>();
+    case 3:
+      return run.template operator()<3>();
+    case 4:
+      return run.template operator()<4>();
+    case 5:
+      return run.template operator()<5>();
+    case 7:
+      return run.template operator()<7>();
+    case 13:
+      return run.template operator()<13>();
+    default:
+      throw std::invalid_argument(
+          "unsupported dimension (supported: 2, 3, 4, 5, 7, 13)");
+  }
+}
+
+}  // namespace pdbscan
+
+#endif  // PDBSCAN_PDBSCAN_H_

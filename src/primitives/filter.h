@@ -1,0 +1,53 @@
+// Parallel filter (pack) — Table 1: O(n) work, O(log n) depth [56].
+// Flags -> prefix sum -> scatter, exactly as described in Section 2 of the
+// paper.
+#ifndef PDBSCAN_PRIMITIVES_FILTER_H_
+#define PDBSCAN_PRIMITIVES_FILTER_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "parallel/scheduler.h"
+#include "primitives/scan.h"
+
+namespace pdbscan::primitives {
+
+// Returns the elements a[i] for which pred(a[i]) is true, preserving order.
+template <typename T, typename Pred>
+std::vector<T> Filter(std::span<const T> a, Pred&& pred) {
+  const size_t n = a.size();
+  std::vector<size_t> flags(n);
+  parallel::parallel_for(0, n,
+                         [&](size_t i) { flags[i] = pred(a[i]) ? 1 : 0; });
+  const size_t count = ScanExclusive(std::span<size_t>(flags));
+  std::vector<T> out(count);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    const bool keep = (i + 1 < n) ? flags[i] != flags[i + 1] : flags[i] != count;
+    if (keep) out[flags[i]] = a[i];
+  });
+  return out;
+}
+
+template <typename T, typename Pred>
+std::vector<T> Filter(const std::vector<T>& a, Pred&& pred) {
+  return Filter(std::span<const T>(a), pred);
+}
+
+// Returns the *indices* i in [0, n) for which pred(i) is true, in order.
+template <typename Pred>
+std::vector<size_t> FilterIndex(size_t n, Pred&& pred) {
+  std::vector<size_t> flags(n);
+  parallel::parallel_for(0, n, [&](size_t i) { flags[i] = pred(i) ? 1 : 0; });
+  const size_t count = ScanExclusive(std::span<size_t>(flags));
+  std::vector<size_t> out(count);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    const bool keep = (i + 1 < n) ? flags[i] != flags[i + 1] : flags[i] != count;
+    if (keep) out[flags[i]] = i;
+  });
+  return out;
+}
+
+}  // namespace pdbscan::primitives
+
+#endif  // PDBSCAN_PRIMITIVES_FILTER_H_

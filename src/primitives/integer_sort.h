@@ -1,0 +1,84 @@
+// Parallel stable integer sort for small key ranges — Table 1: O(n) work,
+// O(log n) depth for polylogarithmic key ranges [86]. Exactly the algorithm
+// sketched in Section 2 of the paper: per-partition histograms built
+// serially in parallel across partitions, a prefix sum over per-key counts
+// to obtain unique offsets, and a parallel scatter.
+//
+// Used by the quadtree builder (keys in [0, 2^d)) and by the box-method
+// strip bookkeeping.
+#ifndef PDBSCAN_PRIMITIVES_INTEGER_SORT_H_
+#define PDBSCAN_PRIMITIVES_INTEGER_SORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parallel/scheduler.h"
+
+namespace pdbscan::primitives {
+
+// Stable-sorts `a` by key(a[i]) where keys lie in [0, num_buckets).
+// `num_buckets` should be small (hundreds); work is O(n + num_buckets * P).
+template <typename T, typename KeyF>
+void IntegerSort(std::span<T> a, size_t num_buckets, KeyF&& key) {
+  const size_t n = a.size();
+  if (n == 0 || num_buckets <= 1) return;
+  constexpr size_t kBlock = 1 << 14;
+  const size_t num_blocks = (n + kBlock - 1) / kBlock;
+
+  if (num_blocks == 1 || parallel::num_workers() == 1) {
+    // Serial counting sort.
+    std::vector<size_t> counts(num_buckets + 1, 0);
+    for (size_t i = 0; i < n; ++i) ++counts[key(a[i]) + 1];
+    for (size_t k = 1; k <= num_buckets; ++k) counts[k] += counts[k - 1];
+    std::vector<T> out(n);
+    for (size_t i = 0; i < n; ++i) out[counts[key(a[i])]++] = std::move(a[i]);
+    std::move(out.begin(), out.end(), a.begin());
+    return;
+  }
+
+  std::vector<size_t> counts(num_blocks * num_buckets, 0);
+  parallel::parallel_for(
+      0, num_blocks,
+      [&](size_t b) {
+        const size_t lo = b * kBlock;
+        const size_t hi = lo + kBlock < n ? lo + kBlock : n;
+        size_t* my_counts = counts.data() + b * num_buckets;
+        for (size_t i = lo; i < hi; ++i) ++my_counts[key(a[i])];
+      },
+      1);
+
+  // Offsets: bucket-major, block-minor for stability.
+  size_t offset = 0;
+  for (size_t k = 0; k < num_buckets; ++k) {
+    for (size_t b = 0; b < num_blocks; ++b) {
+      const size_t c = counts[b * num_buckets + k];
+      counts[b * num_buckets + k] = offset;
+      offset += c;
+    }
+  }
+
+  std::vector<T> out(n);
+  parallel::parallel_for(
+      0, num_blocks,
+      [&](size_t b) {
+        const size_t lo = b * kBlock;
+        const size_t hi = lo + kBlock < n ? lo + kBlock : n;
+        size_t* my_offsets = counts.data() + b * num_buckets;
+        for (size_t i = lo; i < hi; ++i) {
+          out[my_offsets[key(a[i])]++] = std::move(a[i]);
+        }
+      },
+      1);
+  parallel::parallel_for(0, n, [&](size_t i) { a[i] = std::move(out[i]); });
+}
+
+template <typename T, typename KeyF>
+void IntegerSort(std::vector<T>& a, size_t num_buckets, KeyF&& key) {
+  IntegerSort(std::span<T>(a), num_buckets, key);
+}
+
+}  // namespace pdbscan::primitives
+
+#endif  // PDBSCAN_PRIMITIVES_INTEGER_SORT_H_

@@ -1,0 +1,68 @@
+// Parallel merge — Table 1: O(n) work, O(log n) depth [56].
+//
+// Divide-and-conquer dual binary search: split the larger input at its
+// midpoint, locate the split point in the other input by binary search, and
+// merge the two halves in parallel. Used by the box-method neighbor linking
+// (Section 4.2) and by tests of the USEC query decomposition.
+#ifndef PDBSCAN_PRIMITIVES_MERGE_H_
+#define PDBSCAN_PRIMITIVES_MERGE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "parallel/scheduler.h"
+
+namespace pdbscan::primitives {
+
+namespace internal {
+inline constexpr size_t kMergeSerialCutoff = 1 << 13;
+}  // namespace internal
+
+// Merges sorted ranges `a` and `b` into `out` (out.size() == a.size() +
+// b.size()) under comparator `cmp`. Stable with respect to a-before-b.
+template <typename T, typename Cmp = std::less<T>>
+void ParallelMerge(std::span<const T> a, std::span<const T> b,
+                   std::span<T> out, Cmp cmp = Cmp()) {
+  if (a.size() + b.size() <= internal::kMergeSerialCutoff ||
+      parallel::num_workers() == 1) {
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin(), cmp);
+    return;
+  }
+  if (a.size() < b.size()) {
+    // Keep `a` as the larger side; swap with care for stability:
+    // elements of `b` equal to an element of `a` must come after it, so
+    // when splitting on b's midpoint we use lower_bound in `a`.
+    const size_t mid_b = b.size() / 2;
+    const size_t split_a = static_cast<size_t>(
+        std::lower_bound(a.begin(), a.end(), b[mid_b], cmp) - a.begin());
+    parallel::fork_join(
+        [&]() {
+          ParallelMerge(a.subspan(0, split_a), b.subspan(0, mid_b),
+                        out.subspan(0, split_a + mid_b), cmp);
+        },
+        [&]() {
+          ParallelMerge(a.subspan(split_a), b.subspan(mid_b),
+                        out.subspan(split_a + mid_b), cmp);
+        });
+    return;
+  }
+  const size_t mid_a = a.size() / 2;
+  const size_t split_b = static_cast<size_t>(
+      std::upper_bound(b.begin(), b.end(), a[mid_a], cmp) - b.begin());
+  parallel::fork_join(
+      [&]() {
+        ParallelMerge(a.subspan(0, mid_a), b.subspan(0, split_b),
+                      out.subspan(0, mid_a + split_b), cmp);
+      },
+      [&]() {
+        ParallelMerge(a.subspan(mid_a), b.subspan(split_b),
+                      out.subspan(mid_a + split_b), cmp);
+      });
+}
+
+}  // namespace pdbscan::primitives
+
+#endif  // PDBSCAN_PRIMITIVES_MERGE_H_

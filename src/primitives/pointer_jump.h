@@ -1,0 +1,55 @@
+// Pointer jumping for flag propagation along a linked structure —
+// the parallel strip/box construction primitive of Section 4.2 of the paper.
+//
+// Each node i has a parent next[i] (next[i] == i marks a list tail). Nodes
+// carry a 0/1 flag; PropagateFlags makes flag[j] = 1 for every node j
+// reachable from a flagged node by following parent pointers. On each round
+// every flagged node flags its parent and all nodes jump to their
+// grandparent, so the algorithm finishes in O(log n) rounds.
+#ifndef PDBSCAN_PRIMITIVES_POINTER_JUMP_H_
+#define PDBSCAN_PRIMITIVES_POINTER_JUMP_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/scheduler.h"
+
+namespace pdbscan::primitives {
+
+// `next` is consumed (pointers are rewritten to ancestors). `flags` is
+// updated in place: final flags are the closure of the initial flags under
+// "flag my parent". Writes to flags are monotone (0 -> 1), so the benign
+// write race is safe with relaxed atomics.
+inline void PointerJumpPropagate(std::vector<size_t>& next,
+                                 std::vector<uint8_t>& flags) {
+  const size_t n = next.size();
+  if (n == 0) return;
+  auto* atomic_flags = reinterpret_cast<std::atomic<uint8_t>*>(flags.data());
+  static_assert(sizeof(std::atomic<uint8_t>) == sizeof(uint8_t));
+  std::vector<size_t> next_copy(n);
+  std::atomic<bool> changed(true);
+  while (changed.load(std::memory_order_acquire)) {
+    changed.store(false, std::memory_order_release);
+    parallel::parallel_for(0, n, [&](size_t i) {
+      const size_t p = next[i];
+      if (p == i) return;
+      if (atomic_flags[i].load(std::memory_order_relaxed) == 1 &&
+          atomic_flags[p].load(std::memory_order_relaxed) == 0) {
+        atomic_flags[p].store(1, std::memory_order_relaxed);
+        changed.store(true, std::memory_order_relaxed);
+      }
+      const size_t gp = next[p];
+      next_copy[i] = gp;
+      if (gp != p) changed.store(true, std::memory_order_relaxed);
+    });
+    parallel::parallel_for(0, n, [&](size_t i) {
+      if (next[i] != i) next[i] = next_copy[i];
+    });
+  }
+}
+
+}  // namespace pdbscan::primitives
+
+#endif  // PDBSCAN_PRIMITIVES_POINTER_JUMP_H_

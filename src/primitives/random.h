@@ -1,0 +1,54 @@
+// Deterministic hash-based pseudorandomness (PBBS-style).
+//
+// Parallel algorithms need per-index random values that do not depend on the
+// execution schedule; seeded counter hashing provides exactly that.
+#ifndef PDBSCAN_PRIMITIVES_RANDOM_H_
+#define PDBSCAN_PRIMITIVES_RANDOM_H_
+
+#include <cstdint>
+
+namespace pdbscan::primitives {
+
+// Finalizer from splitmix64; a high-quality 64-bit mixing function.
+inline uint64_t Hash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Combines two 64-bit values into one hash (for multi-word keys).
+inline uint64_t HashCombine64(uint64_t seed, uint64_t value) {
+  return Hash64(seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                        (seed >> 2)));
+}
+
+// A stateless random generator: the i-th draw is a pure function of
+// (seed, i), so parallel loops can draw independently per index.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0) : seed_(seed) {}
+
+  // i-th 64-bit pseudorandom value.
+  uint64_t IthRand(uint64_t i) const { return Hash64(seed_ ^ Hash64(i)); }
+
+  // i-th pseudorandom value in [0, bound).
+  uint64_t IthRand(uint64_t i, uint64_t bound) const {
+    return IthRand(i) % bound;
+  }
+
+  // i-th pseudorandom double in [0, 1).
+  double IthDouble(uint64_t i) const {
+    return static_cast<double>(IthRand(i) >> 11) * 0x1.0p-53;
+  }
+
+  // A fresh generator whose stream is independent of this one.
+  Random Fork(uint64_t stream) const { return Random(Hash64(seed_ ^ Hash64(~stream))); }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace pdbscan::primitives
+
+#endif  // PDBSCAN_PRIMITIVES_RANDOM_H_

@@ -1,0 +1,74 @@
+// Parallel reduction and element-wise map helpers.
+#ifndef PDBSCAN_PRIMITIVES_REDUCE_H_
+#define PDBSCAN_PRIMITIVES_REDUCE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "parallel/scheduler.h"
+
+namespace pdbscan::primitives {
+
+// Reduces f(lo), ..., f(hi-1) with the associative operator `op`, starting
+// from `identity`. O(n) work, O(log n) depth (blocked tree reduction).
+template <typename T, typename F, typename Op>
+T ReduceIndex(size_t lo, size_t hi, T identity, F&& f, Op&& op) {
+  const size_t n = hi > lo ? hi - lo : 0;
+  if (n == 0) return identity;
+  constexpr size_t kBlock = 2048;
+  const size_t num_blocks = (n + kBlock - 1) / kBlock;
+  if (num_blocks == 1 || parallel::num_workers() == 1) {
+    T acc = identity;
+    for (size_t i = lo; i < hi; ++i) acc = op(acc, f(i));
+    return acc;
+  }
+  std::vector<T> block_acc(num_blocks, identity);
+  parallel::parallel_for(
+      0, num_blocks,
+      [&](size_t b) {
+        const size_t s = lo + b * kBlock;
+        const size_t e = s + kBlock < hi ? s + kBlock : hi;
+        T acc = identity;
+        for (size_t i = s; i < e; ++i) acc = op(acc, f(i));
+        block_acc[b] = acc;
+      },
+      1);
+  T acc = identity;
+  for (size_t b = 0; b < num_blocks; ++b) acc = op(acc, block_acc[b]);
+  return acc;
+}
+
+// Sum of the elements of `a`.
+template <typename T>
+T ReduceSum(std::span<const T> a) {
+  return ReduceIndex(
+      size_t{0}, a.size(), T{}, [&](size_t i) { return a[i]; },
+      [](T x, T y) { return x + y; });
+}
+
+// Maximum of f(i) over [lo, hi); returns `identity` for an empty range.
+template <typename T, typename F>
+T ReduceMax(size_t lo, size_t hi, T identity, F&& f) {
+  return ReduceIndex(lo, hi, identity, f,
+                     [](T x, T y) { return x < y ? y : x; });
+}
+
+// Minimum of f(i) over [lo, hi); returns `identity` for an empty range.
+template <typename T, typename F>
+T ReduceMin(size_t lo, size_t hi, T identity, F&& f) {
+  return ReduceIndex(lo, hi, identity, f,
+                     [](T x, T y) { return y < x ? y : x; });
+}
+
+// Number of indices in [lo, hi) satisfying the predicate.
+template <typename Pred>
+size_t CountIf(size_t lo, size_t hi, Pred&& pred) {
+  return ReduceIndex(
+      lo, hi, size_t{0}, [&](size_t i) { return pred(i) ? size_t{1} : size_t{0}; },
+      [](size_t x, size_t y) { return x + y; });
+}
+
+}  // namespace pdbscan::primitives
+
+#endif  // PDBSCAN_PRIMITIVES_REDUCE_H_

@@ -1,0 +1,130 @@
+// Parallel prefix sum (scan) — Table 1 of the paper: O(n) work, O(log n)
+// depth [56]. Implemented as the standard blocked two-pass algorithm:
+// per-block sums in parallel, a scan over the (few) block sums, then a
+// parallel second pass that rewrites each block.
+#ifndef PDBSCAN_PRIMITIVES_SCAN_H_
+#define PDBSCAN_PRIMITIVES_SCAN_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "parallel/scheduler.h"
+
+namespace pdbscan::primitives {
+
+namespace internal {
+inline constexpr size_t kScanBlockSize = 2048;
+}  // namespace internal
+
+// In-place exclusive scan with addition: a[i] becomes sum of a[0..i).
+// Returns the total sum of the input.
+template <typename T>
+T ScanExclusive(std::span<T> a) {
+  const size_t n = a.size();
+  if (n == 0) return T{};
+  const size_t block = internal::kScanBlockSize;
+  const size_t num_blocks = (n + block - 1) / block;
+  if (num_blocks == 1 || parallel::num_workers() == 1) {
+    T sum{};
+    for (size_t i = 0; i < n; ++i) {
+      T value = a[i];
+      a[i] = sum;
+      sum += value;
+    }
+    return sum;
+  }
+  std::vector<T> block_sums(num_blocks);
+  parallel::parallel_for(
+      0, num_blocks,
+      [&](size_t b) {
+        const size_t lo = b * block;
+        const size_t hi = lo + block < n ? lo + block : n;
+        T sum{};
+        for (size_t i = lo; i < hi; ++i) sum += a[i];
+        block_sums[b] = sum;
+      },
+      1);
+  T total{};
+  for (size_t b = 0; b < num_blocks; ++b) {
+    T value = block_sums[b];
+    block_sums[b] = total;
+    total += value;
+  }
+  parallel::parallel_for(
+      0, num_blocks,
+      [&](size_t b) {
+        const size_t lo = b * block;
+        const size_t hi = lo + block < n ? lo + block : n;
+        T sum = block_sums[b];
+        for (size_t i = lo; i < hi; ++i) {
+          T value = a[i];
+          a[i] = sum;
+          sum += value;
+        }
+      },
+      1);
+  return total;
+}
+
+// Convenience overload for vectors.
+template <typename T>
+T ScanExclusive(std::vector<T>& a) {
+  return ScanExclusive(std::span<T>(a));
+}
+
+// Inclusive scan: a[i] becomes sum of a[0..i]. Returns the total.
+template <typename T>
+T ScanInclusive(std::span<T> a) {
+  const size_t n = a.size();
+  if (n == 0) return T{};
+  const size_t block = internal::kScanBlockSize;
+  const size_t num_blocks = (n + block - 1) / block;
+  if (num_blocks == 1 || parallel::num_workers() == 1) {
+    T sum{};
+    for (size_t i = 0; i < n; ++i) {
+      sum += a[i];
+      a[i] = sum;
+    }
+    return sum;
+  }
+  std::vector<T> block_sums(num_blocks);
+  parallel::parallel_for(
+      0, num_blocks,
+      [&](size_t b) {
+        const size_t lo = b * block;
+        const size_t hi = lo + block < n ? lo + block : n;
+        T sum{};
+        for (size_t i = lo; i < hi; ++i) {
+          sum += a[i];
+          a[i] = sum;
+        }
+        block_sums[b] = sum;
+      },
+      1);
+  T total{};
+  for (size_t b = 0; b < num_blocks; ++b) {
+    T value = block_sums[b];
+    block_sums[b] = total;
+    total += value;
+  }
+  parallel::parallel_for(
+      1, num_blocks,
+      [&](size_t b) {
+        const size_t lo = b * block;
+        const size_t hi = lo + block < n ? lo + block : n;
+        const T offset = block_sums[b];
+        for (size_t i = lo; i < hi; ++i) a[i] += offset;
+      },
+      1);
+  return total;
+}
+
+template <typename T>
+T ScanInclusive(std::vector<T>& a) {
+  return ScanInclusive(std::span<T>(a));
+}
+
+}  // namespace pdbscan::primitives
+
+#endif  // PDBSCAN_PRIMITIVES_SCAN_H_

@@ -1,0 +1,76 @@
+// Fixed-width table + CSV output for the benchmark harnesses. Each bench
+// binary reproduces one table or figure of the paper and prints the same
+// rows/series the paper reports.
+#ifndef PDBSCAN_UTIL_BENCH_TABLE_H_
+#define PDBSCAN_UTIL_BENCH_TABLE_H_
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pdbscan::util {
+
+// Collects rows of string cells and prints them as an aligned table.
+class BenchTable {
+ public:
+  explicit BenchTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Formats a double with a sensible precision for timing tables.
+  static std::string Num(double v, int precision = 4) {
+    std::ostringstream out;
+    out << std::setprecision(precision) << v;
+    return out.str();
+  }
+
+  void Print(std::ostream& out = std::cout) const {
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        out << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+            << row[c];
+      }
+      out << '\n';
+    };
+    print_row(header_);
+    size_t total = 0;
+    for (const size_t w : widths) total += w + 2;
+    out << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) print_row(row);
+    out.flush();
+  }
+
+  // Also emits machine-readable CSV (one line per row) prefixed with '#csv'.
+  void PrintCsv(std::ostream& out = std::cout) const {
+    auto csv_row = [&](const std::vector<std::string>& row) {
+      out << "#csv ";
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) out << ',';
+        out << row[c];
+      }
+      out << '\n';
+    };
+    csv_row(header_);
+    for (const auto& row : rows_) csv_row(row);
+    out.flush();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pdbscan::util
+
+#endif  // PDBSCAN_UTIL_BENCH_TABLE_H_

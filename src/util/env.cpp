@@ -1,0 +1,31 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace pdbscan::util {
+
+int GetEnvInt(const char* name, int default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return default_value;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value) return default_value;
+  return static_cast<int>(parsed);
+}
+
+double GetEnvDouble(const char* name, double default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return default_value;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value) return default_value;
+  return parsed;
+}
+
+std::string GetEnvString(const char* name, const std::string& default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return default_value;
+  return value;
+}
+
+}  // namespace pdbscan::util

@@ -1,0 +1,23 @@
+// Small helpers for reading configuration from environment variables.
+#ifndef PDBSCAN_UTIL_ENV_H_
+#define PDBSCAN_UTIL_ENV_H_
+
+#include <string>
+
+namespace pdbscan::util {
+
+// Returns the integer value of environment variable `name`, or
+// `default_value` if unset or unparsable.
+int GetEnvInt(const char* name, int default_value);
+
+// Returns the double value of environment variable `name`, or
+// `default_value` if unset or unparsable.
+double GetEnvDouble(const char* name, double default_value);
+
+// Returns the string value of environment variable `name`, or
+// `default_value` if unset.
+std::string GetEnvString(const char* name, const std::string& default_value);
+
+}  // namespace pdbscan::util
+
+#endif  // PDBSCAN_UTIL_ENV_H_

@@ -1,0 +1,32 @@
+// Wall-clock timer used by benchmarks and examples.
+#ifndef PDBSCAN_UTIL_TIMER_H_
+#define PDBSCAN_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace pdbscan::util {
+
+// Monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  // Resets the start time to now.
+  void Reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pdbscan::util
+
+#endif  // PDBSCAN_UTIL_TIMER_H_

@@ -1,0 +1,154 @@
+// Correctness of approximate DBSCAN ("our-approx", "our-approx-qt") against
+// Gan & Tao's rho-approximate definition, plus its relationship to exact
+// DBSCAN at the extremes of rho.
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dbscan/verify.h"
+#include "parallel/scheduler.h"
+#include "pdbscan/pdbscan.h"
+
+namespace pdbscan {
+namespace {
+
+using dbscan::BruteForceDbscan;
+using dbscan::IsValidApproxClustering;
+using dbscan::SameClustering;
+using geometry::Point;
+
+template <int D>
+std::vector<Point<D>> BlobPoints(size_t n, size_t blobs, double side,
+                                 double sigma, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, side);
+  std::normal_distribution<double> gauss(0.0, sigma);
+  std::vector<Point<D>> centers(blobs);
+  for (auto& c : centers) {
+    for (int k = 0; k < D; ++k) c[k] = coord(rng);
+  }
+  std::vector<Point<D>> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 10 == 9) {
+      for (int k = 0; k < D; ++k) pts[i][k] = coord(rng);
+    } else {
+      const auto& c = centers[i % blobs];
+      for (int k = 0; k < D; ++k) pts[i][k] = c[k] + gauss(rng);
+    }
+  }
+  return pts;
+}
+
+struct ApproxParams {
+  size_t n;
+  double epsilon;
+  size_t min_pts;
+  double rho;
+  uint64_t seed;
+};
+
+class ApproxTest : public ::testing::TestWithParam<ApproxParams> {};
+
+TEST_P(ApproxTest, SatisfiesGanTaoDefinition2d) {
+  const auto p = GetParam();
+  auto pts = BlobPoints<2>(p.n, 4, 25.0, 1.0, p.seed);
+  for (const Options& options : {OurApprox(p.rho), OurApproxQt(p.rho),
+                                 WithBucketing(OurApprox(p.rho))}) {
+    const auto got = Dbscan<2>(pts, p.epsilon, p.min_pts, options);
+    EXPECT_TRUE(IsValidApproxClustering<2>(pts, p.epsilon, p.min_pts, p.rho, got))
+        << options.Name() << " rho=" << p.rho << " eps=" << p.epsilon;
+  }
+}
+
+TEST_P(ApproxTest, SatisfiesGanTaoDefinition3d) {
+  const auto p = GetParam();
+  auto pts = BlobPoints<3>(p.n, 4, 15.0, 1.0, p.seed + 100);
+  for (const Options& options : {OurApprox(p.rho), OurApproxQt(p.rho)}) {
+    const auto got = Dbscan<3>(pts, p.epsilon, p.min_pts, options);
+    EXPECT_TRUE(IsValidApproxClustering<3>(pts, p.epsilon, p.min_pts, p.rho, got))
+        << options.Name() << " rho=" << p.rho;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ApproxTest,
+    ::testing::Values(ApproxParams{300, 1.0, 4, 0.01, 1},
+                      ApproxParams{300, 1.5, 6, 0.1, 2},
+                      ApproxParams{500, 2.0, 8, 0.5, 3},
+                      ApproxParams{500, 1.0, 4, 1.0, 4},
+                      ApproxParams{400, 0.8, 3, 0.001, 5},
+                      ApproxParams{600, 3.0, 12, 0.05, 6}));
+
+TEST(Approx, FiveDimensional) {
+  auto pts = BlobPoints<5>(400, 3, 12.0, 1.0, 7);
+  for (double rho : {0.01, 0.2}) {
+    const auto got = Dbscan<5>(pts, 2.5, 5, OurApproxQt(rho));
+    EXPECT_TRUE(IsValidApproxClustering<5>(pts, 2.5, 5, rho, got)) << rho;
+  }
+}
+
+TEST(Approx, SevenDimensional) {
+  auto pts = BlobPoints<7>(250, 3, 10.0, 1.0, 8);
+  const auto got = Dbscan<7>(pts, 3.0, 5, OurApprox(0.1));
+  EXPECT_TRUE(IsValidApproxClustering<7>(pts, 3.0, 5, 0.1, got));
+}
+
+TEST(Approx, WellSeparatedClustersMatchExactExactly) {
+  // When no inter-point distance falls in (eps, eps(1+rho)], the approximate
+  // answer is forced to equal the exact one. Deterministic construction:
+  // points spaced 0.05 apart on line segments, so every intra-cluster
+  // distance is a multiple of 0.05 and none lands in (0.52, 0.5252].
+  std::vector<Point<2>> pts;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 30; ++i) {
+      pts.push_back(Point<2>{{c * 100.0 + 0.05 * i, 0.0}});
+    }
+  }
+  const double epsilon = 0.52;
+  const double rho = 0.01;
+  const auto exact = BruteForceDbscan<2>(pts, epsilon, 5);
+  // Premise: no distances in the (eps, eps(1+rho)] band.
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t j = i + 1; j < pts.size(); ++j) {
+      const double d = std::sqrt(pts[i].SquaredDistance(pts[j]));
+      ASSERT_FALSE(d > epsilon && d <= epsilon * (1 + rho));
+    }
+  }
+  const auto approx = Dbscan<2>(pts, epsilon, 5, OurApprox(rho));
+  EXPECT_TRUE(SameClustering(exact, approx));
+  EXPECT_EQ(approx.num_clusters, 3u);
+}
+
+TEST(Approx, CoreFlagsAlwaysMatchExact) {
+  // The approximation only affects connectivity, never core status.
+  auto pts = BlobPoints<3>(500, 4, 15.0, 1.0, 10);
+  const auto exact = BruteForceDbscan<3>(pts, 1.5, 6);
+  for (double rho : {0.01, 0.5, 2.0}) {
+    const auto approx = Dbscan<3>(pts, 1.5, 6, OurApprox(rho));
+    EXPECT_EQ(exact.is_core, approx.is_core) << rho;
+  }
+}
+
+TEST(Approx, DeterministicAcrossWorkerCounts) {
+  auto pts = BlobPoints<3>(1000, 5, 20.0, 1.0, 11);
+  parallel::set_num_workers(1);
+  const auto reference = Dbscan<3>(pts, 1.5, 6, OurApproxQt(0.1));
+  for (int workers : {2, 8}) {
+    parallel::set_num_workers(workers);
+    const auto got = Dbscan<3>(pts, 1.5, 6, OurApproxQt(0.1));
+    ASSERT_EQ(reference.cluster, got.cluster) << workers;
+    ASSERT_EQ(reference.membership_ids, got.membership_ids);
+  }
+  parallel::set_num_workers(4);
+}
+
+TEST(Approx, LargeRhoStillValid) {
+  // rho > 1 is legal: connectivity may reach out to eps * (1 + rho).
+  auto pts = BlobPoints<2>(300, 3, 20.0, 1.0, 12);
+  const auto got = Dbscan<2>(pts, 1.0, 4, OurApprox(4.0));
+  EXPECT_TRUE(IsValidApproxClustering<2>(pts, 1.0, 4, 4.0, got));
+}
+
+}  // namespace
+}  // namespace pdbscan

@@ -1,0 +1,139 @@
+// The baseline algorithms must agree with the brute-force reference — they
+// double as independent oracles for the main implementation.
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/hpdbscan.h"
+#include "baselines/pointwise.h"
+#include "baselines/rpdbscan.h"
+#include "dbscan/verify.h"
+#include "parallel/scheduler.h"
+#include "pdbscan/pdbscan.h"
+
+namespace pdbscan {
+namespace {
+
+using dbscan::BruteForceDbscan;
+using dbscan::SameClustering;
+using geometry::Point;
+
+template <int D>
+std::vector<Point<D>> BlobPoints(size_t n, size_t blobs, double side,
+                                 double sigma, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, side);
+  std::normal_distribution<double> gauss(0.0, sigma);
+  std::vector<Point<D>> centers(blobs);
+  for (auto& c : centers) {
+    for (int k = 0; k < D; ++k) c[k] = coord(rng);
+  }
+  std::vector<Point<D>> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 10 == 9) {
+      for (int k = 0; k < D; ++k) pts[i][k] = coord(rng);
+    } else {
+      const auto& c = centers[i % blobs];
+      for (int k = 0; k < D; ++k) pts[i][k] = c[k] + gauss(rng);
+    }
+  }
+  return pts;
+}
+
+struct BaselineParams {
+  size_t n;
+  double epsilon;
+  size_t min_pts;
+  uint64_t seed;
+};
+
+class BaselineTest : public ::testing::TestWithParam<BaselineParams> {};
+
+TEST_P(BaselineTest, OriginalDbscanMatchesBruteForce2d) {
+  const auto p = GetParam();
+  auto pts = BlobPoints<2>(p.n, 4, 25.0, 1.0, p.seed);
+  const auto expected = BruteForceDbscan<2>(pts, p.epsilon, p.min_pts);
+  const auto got = baselines::OriginalDbscan<2>(pts, p.epsilon, p.min_pts);
+  EXPECT_TRUE(SameClustering(expected, got));
+}
+
+TEST_P(BaselineTest, PdsDbscanMatchesBruteForce2d) {
+  const auto p = GetParam();
+  auto pts = BlobPoints<2>(p.n, 4, 25.0, 1.0, p.seed);
+  const auto expected = BruteForceDbscan<2>(pts, p.epsilon, p.min_pts);
+  const auto got = baselines::PdsDbscan<2>(pts, p.epsilon, p.min_pts);
+  EXPECT_TRUE(SameClustering(expected, got));
+}
+
+TEST_P(BaselineTest, HpDbscanMatchesBruteForce2d) {
+  const auto p = GetParam();
+  auto pts = BlobPoints<2>(p.n, 4, 25.0, 1.0, p.seed);
+  const auto expected = BruteForceDbscan<2>(pts, p.epsilon, p.min_pts);
+  const auto got = baselines::HpDbscan<2>(pts, p.epsilon, p.min_pts);
+  EXPECT_TRUE(SameClustering(expected, got));
+}
+
+TEST_P(BaselineTest, RpDbscanMatchesBruteForce2d) {
+  const auto p = GetParam();
+  auto pts = BlobPoints<2>(p.n, 4, 25.0, 1.0, p.seed);
+  const auto expected = BruteForceDbscan<2>(pts, p.epsilon, p.min_pts);
+  const auto got = baselines::RpDbscan<2>(pts, p.epsilon, p.min_pts);
+  EXPECT_TRUE(SameClustering(expected, got));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BaselineTest,
+    ::testing::Values(BaselineParams{200, 1.0, 4, 1},
+                      BaselineParams{400, 1.5, 6, 2},
+                      BaselineParams{600, 2.5, 10, 3},
+                      BaselineParams{300, 0.5, 2, 4}));
+
+TEST(Baselines, AgreeInThreeAndFiveDimensions) {
+  {
+    auto pts = BlobPoints<3>(400, 3, 15.0, 1.0, 11);
+    const auto expected = BruteForceDbscan<3>(pts, 1.5, 5);
+    EXPECT_TRUE(SameClustering(expected, baselines::PdsDbscan<3>(pts, 1.5, 5)));
+    EXPECT_TRUE(SameClustering(expected, baselines::HpDbscan<3>(pts, 1.5, 5)));
+    EXPECT_TRUE(SameClustering(expected, baselines::RpDbscan<3>(pts, 1.5, 5)));
+    EXPECT_TRUE(
+        SameClustering(expected, baselines::OriginalDbscan<3>(pts, 1.5, 5)));
+  }
+  {
+    auto pts = BlobPoints<5>(300, 3, 12.0, 1.0, 12);
+    const auto expected = BruteForceDbscan<5>(pts, 2.5, 5);
+    EXPECT_TRUE(SameClustering(expected, baselines::PdsDbscan<5>(pts, 2.5, 5)));
+    EXPECT_TRUE(SameClustering(expected, baselines::HpDbscan<5>(pts, 2.5, 5)));
+  }
+}
+
+TEST(Baselines, AgreeWithMainImplementationAtScale) {
+  // Cross-check two independent implementations on a larger input where
+  // brute force would be slow: our pipeline vs the pointwise baseline.
+  auto pts = BlobPoints<3>(20000, 8, 60.0, 1.0, 13);
+  const auto ours = Dbscan<3>(pts, 1.2, 10, OurExact());
+  const auto baseline = baselines::PdsDbscan<3>(pts, 1.2, 10);
+  EXPECT_TRUE(SameClustering(ours, baseline));
+  const auto ours_qt = Dbscan<3>(pts, 1.2, 10, OurExactQt());
+  EXPECT_TRUE(SameClustering(ours_qt, baseline));
+}
+
+TEST(Baselines, RpDbscanPartitionCountDoesNotChangeResult) {
+  auto pts = BlobPoints<2>(500, 4, 25.0, 1.0, 14);
+  const auto p1 = baselines::RpDbscan<2>(pts, 1.5, 6, 1);
+  const auto p4 = baselines::RpDbscan<2>(pts, 1.5, 6, 4);
+  const auto p16 = baselines::RpDbscan<2>(pts, 1.5, 6, 16);
+  EXPECT_TRUE(SameClustering(p1, p4));
+  EXPECT_TRUE(SameClustering(p1, p16));
+}
+
+TEST(Baselines, EmptyInputs) {
+  std::vector<Point<2>> pts;
+  EXPECT_EQ(baselines::PdsDbscan<2>(pts, 1.0, 3).num_clusters, 0u);
+  EXPECT_EQ(baselines::HpDbscan<2>(pts, 1.0, 3).num_clusters, 0u);
+  EXPECT_EQ(baselines::RpDbscan<2>(pts, 1.0, 3).num_clusters, 0u);
+  EXPECT_EQ(baselines::OriginalDbscan<2>(pts, 1.0, 3).num_clusters, 0u);
+}
+
+}  // namespace
+}  // namespace pdbscan

@@ -1,0 +1,177 @@
+// Tests for the concurrent containers: phase-concurrent hash table and
+// lock-free union-find.
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "containers/hash_table.h"
+#include "containers/union_find.h"
+#include "parallel/scheduler.h"
+#include "primitives/random.h"
+
+namespace pdbscan {
+namespace {
+
+using parallel::ScopedNumWorkers;
+
+struct U64Hash {
+  uint64_t operator()(uint64_t k) const { return primitives::Hash64(k); }
+};
+struct U64Eq {
+  bool operator()(uint64_t a, uint64_t b) const { return a == b; }
+};
+using Map = containers::ConcurrentMap<uint64_t, uint64_t, U64Hash, U64Eq>;
+
+TEST(HashTable, InsertThenFind) {
+  Map map(100);
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_TRUE(map.Insert(k, k * 10));
+  }
+  EXPECT_EQ(map.size(), 100u);
+  for (uint64_t k = 0; k < 100; ++k) {
+    const uint64_t* v = map.Find(k);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, k * 10);
+  }
+  EXPECT_EQ(map.Find(1000), nullptr);
+}
+
+TEST(HashTable, DuplicateInsertKeepsFirstValue) {
+  Map map(10);
+  EXPECT_TRUE(map.Insert(7, 1));
+  EXPECT_FALSE(map.Insert(7, 2));
+  EXPECT_EQ(*map.Find(7), 1u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(HashTable, ParallelInsertsAllLand) {
+  ScopedNumWorkers scope(8);
+  const size_t n = 100000;
+  Map map(n);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    map.Insert(static_cast<uint64_t>(i), static_cast<uint64_t>(i) + 1);
+  });
+  EXPECT_EQ(map.size(), n);
+  std::atomic<size_t> bad(0);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    const uint64_t* v = map.Find(static_cast<uint64_t>(i));
+    if (v == nullptr || *v != i + 1) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+TEST(HashTable, ParallelDuplicateInsertsKeepOneWinner) {
+  ScopedNumWorkers scope(8);
+  Map map(64);
+  // 10000 concurrent inserts on 64 keys: exactly 64 must win.
+  std::atomic<size_t> winners(0);
+  parallel::parallel_for(0, 10000, [&](size_t i) {
+    if (map.Insert(static_cast<uint64_t>(i % 64), static_cast<uint64_t>(i))) {
+      winners.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(winners.load(), 64u);
+  EXPECT_EQ(map.size(), 64u);
+}
+
+TEST(HashTable, ForEachVisitsEveryEntryOnce) {
+  Map map(1000);
+  for (uint64_t k = 0; k < 1000; ++k) map.Insert(k * 3, k);
+  std::vector<uint64_t> keys;
+  map.ForEach([&](uint64_t k, uint64_t) { keys.push_back(k); });
+  std::sort(keys.begin(), keys.end());
+  ASSERT_EQ(keys.size(), 1000u);
+  for (uint64_t k = 0; k < 1000; ++k) EXPECT_EQ(keys[k], k * 3);
+}
+
+TEST(UnionFind, BasicLinkAndFind) {
+  containers::UnionFind uf(10);
+  EXPECT_NE(uf.Find(1), uf.Find(2));
+  EXPECT_TRUE(uf.Link(1, 2));
+  EXPECT_EQ(uf.Find(1), uf.Find(2));
+  EXPECT_FALSE(uf.Link(2, 1));  // Already joined.
+  EXPECT_TRUE(uf.SameSet(1, 2));
+  EXPECT_FALSE(uf.SameSet(1, 3));
+}
+
+TEST(UnionFind, RootIsMinimumOfComponent) {
+  containers::UnionFind uf(100);
+  uf.Link(50, 10);
+  uf.Link(10, 70);
+  uf.Link(99, 70);
+  EXPECT_EQ(uf.Find(50), 10u);
+  EXPECT_EQ(uf.Find(99), 10u);
+  EXPECT_EQ(uf.Find(70), 10u);
+}
+
+TEST(UnionFind, ChainMatchesSerialReference) {
+  const size_t n = 5000;
+  containers::UnionFind uf(n);
+  std::mt19937 rng(5);
+  std::vector<std::pair<size_t, size_t>> links;
+  for (size_t i = 0; i < n; ++i) {
+    links.push_back({rng() % n, rng() % n});
+  }
+  // Serial reference with simple DSU.
+  std::vector<size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (auto [a, b] : links) {
+    uf.Link(a, b);
+    const size_t ra = find(a), rb = find(b);
+    if (ra != rb) parent[std::max(ra, rb)] = std::min(ra, rb);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j : {(i * 7) % n, (i + 13) % n}) {
+      EXPECT_EQ(uf.SameSet(i, j), find(i) == find(j));
+    }
+  }
+}
+
+TEST(UnionFind, ConcurrentLinksFormExpectedComponents) {
+  ScopedNumWorkers scope(8);
+  const size_t n = 100000;
+  containers::UnionFind uf(n);
+  // Link i with i+2: two components (evens, odds).
+  parallel::parallel_for(0, n - 2, [&](size_t i) { uf.Link(i, i + 2); });
+  const size_t even_root = uf.Find(0);
+  const size_t odd_root = uf.Find(1);
+  EXPECT_NE(even_root, odd_root);
+  std::atomic<size_t> bad(0);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    if (uf.Find(i) != (i % 2 == 0 ? even_root : odd_root)) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+TEST(UnionFind, ConcurrentRandomLinksMatchSerialPartition) {
+  ScopedNumWorkers scope(8);
+  const size_t n = 20000;
+  std::mt19937 rng(17);
+  std::vector<std::pair<size_t, size_t>> links(n);
+  for (auto& l : links) l = {rng() % n, rng() % n};
+
+  containers::UnionFind concurrent(n);
+  parallel::parallel_for(0, links.size(), [&](size_t i) {
+    concurrent.Link(links[i].first, links[i].second);
+  });
+  containers::UnionFind serial(n);
+  for (auto [a, b] : links) serial.Link(a, b);
+
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(concurrent.Find(i), serial.Find(i)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace pdbscan

@@ -1,0 +1,189 @@
+// Tests for the dataset generators and IO.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/io.h"
+#include "data/seed_spreader.h"
+#include "data/synthetic_real.h"
+#include "data/uniform.h"
+
+namespace pdbscan {
+namespace {
+
+using geometry::Point;
+
+TEST(SeedSpreader, SizeSeedAndDomain) {
+  data::SeedSpreaderParams params;
+  params.n = 5000;
+  params.domain = 1000;
+  params.seed = 3;
+  data::SeedSpreaderResult meta;
+  auto pts = data::SeedSpreader<3>(params, &meta);
+  ASSERT_EQ(pts.size(), 5000u);
+  EXPECT_GE(meta.num_restarts, 1u);
+  for (const auto& p : pts) {
+    for (int k = 0; k < 3; ++k) {
+      ASSERT_GE(p[k], 0.0);
+      ASSERT_LE(p[k], 1000.0);
+    }
+  }
+  // Deterministic in the seed.
+  auto again = data::SeedSpreader<3>(params);
+  EXPECT_TRUE(std::equal(pts.begin(), pts.end(), again.begin()));
+  params.seed = 4;
+  auto different = data::SeedSpreader<3>(params);
+  EXPECT_FALSE(std::equal(pts.begin(), pts.end(), different.begin()));
+}
+
+TEST(SeedSpreader, ClusteredNotUniform) {
+  // Points from the spreader are locally dense: the mean nearest-neighbor
+  // distance must be far below that of a uniform sample of the same size.
+  auto clustered = data::SsSimden<2>(2000, 5);
+  auto uniform = data::UniformFill<2>(2000, 5);
+  // Rescale uniform to the spreader's domain for a fair comparison.
+  for (auto& p : uniform) {
+    p[0] *= 1e5 / std::sqrt(2000.0);
+    p[1] *= 1e5 / std::sqrt(2000.0);
+  }
+  auto mean_nn = [](const std::vector<Point<2>>& pts) {
+    double total = 0;
+    for (size_t i = 0; i < pts.size(); i += 10) {
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t j = 0; j < pts.size(); ++j) {
+        if (j == i) continue;
+        best = std::min(best, pts[i].SquaredDistance(pts[j]));
+      }
+      total += std::sqrt(best);
+    }
+    return total / (pts.size() / 10);
+  };
+  EXPECT_LT(mean_nn(clustered) * 5, mean_nn(uniform));
+}
+
+TEST(SeedSpreader, VardenHasWiderDensitySpread) {
+  auto simden = data::SsSimden<2>(4000, 7);
+  auto varden = data::SsVarden<2>(4000, 7);
+  auto nn_spread = [](const std::vector<Point<2>>& pts) {
+    std::vector<double> nn;
+    for (size_t i = 0; i < pts.size(); i += 20) {
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t j = 0; j < pts.size(); ++j) {
+        if (j != i) best = std::min(best, pts[i].SquaredDistance(pts[j]));
+      }
+      nn.push_back(std::sqrt(best));
+    }
+    std::sort(nn.begin(), nn.end());
+    const double lo = nn[nn.size() / 10];
+    const double hi = nn[nn.size() * 9 / 10];
+    return hi / std::max(lo, 1e-12);
+  };
+  EXPECT_GT(nn_spread(varden), nn_spread(simden));
+}
+
+TEST(UniformFill, BoundsAndDeterminism) {
+  auto pts = data::UniformFill<3>(1000, 9);
+  ASSERT_EQ(pts.size(), 1000u);
+  const double side = std::sqrt(1000.0);
+  for (const auto& p : pts) {
+    for (int k = 0; k < 3; ++k) {
+      ASSERT_GE(p[k], 0.0);
+      ASSERT_LT(p[k], side);
+    }
+  }
+  auto again = data::UniformFill<3>(1000, 9);
+  EXPECT_TRUE(std::equal(pts.begin(), pts.end(), again.begin()));
+}
+
+TEST(SyntheticReal, GeneratorsProduceRequestedSizes) {
+  EXPECT_EQ(data::GeoLifeLike(1000).size(), 1000u);
+  EXPECT_EQ(data::Cosmo50Like(1000).size(), 1000u);
+  EXPECT_EQ(data::OpenStreetMapLike(1000).size(), 1000u);
+  EXPECT_EQ(data::HouseholdLike(1000).size(), 1000u);
+  EXPECT_EQ(data::TeraClickLogLike(1000).size(), 1000u);
+}
+
+TEST(SyntheticReal, GeoLifeIsHeavilySkewed) {
+  // The skew property the paper's Figure 6(j) depends on: a large share of
+  // points concentrated in a tiny fraction of space.
+  auto pts = data::GeoLifeLike(20000);
+  // Count points within radius 30 of the densest sampled point.
+  size_t best = 0;
+  for (size_t c = 0; c < pts.size(); c += 500) {
+    size_t count = 0;
+    for (const auto& p : pts) {
+      if (p.SquaredDistance(pts[c]) <= 30.0 * 30.0) ++count;
+    }
+    best = std::max(best, count);
+  }
+  EXPECT_GT(best, pts.size() / 10);  // >10% of mass in one small ball.
+}
+
+TEST(SyntheticReal, TeraClickConcentratesInOneCellAtLargeEpsilon) {
+  auto pts = data::TeraClickLogLike(5000);
+  // With the Table 2 epsilon (1500), cell side is 1500/sqrt(13) ≈ 416;
+  // nearly all points (exp(1) * 20 scale) land in the cell at the origin.
+  size_t in_first_cell = 0;
+  for (const auto& p : pts) {
+    bool inside = true;
+    for (int k = 0; k < 13; ++k) inside = inside && p[k] < 416.0;
+    in_first_cell += inside;
+  }
+  EXPECT_GT(in_first_cell, pts.size() * 95 / 100);
+}
+
+TEST(Io, CsvRoundTrip) {
+  auto pts = data::SsSimden<3>(500, 21);
+  auto flat = data::ToFlat<3>(pts);
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "pdbscan_test_roundtrip.csv";
+  data::WriteCsv(path, flat);
+  auto loaded = data::ReadCsv(path);
+  ASSERT_EQ(loaded.dim, 3);
+  ASSERT_EQ(loaded.size(), 500u);
+  auto pts2 = data::FromFlat<3>(loaded);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (int k = 0; k < 3; ++k) {
+      ASSERT_DOUBLE_EQ(pts[i][k], pts2[i][k]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Io, BinaryRoundTrip) {
+  auto pts = data::UniformFill<7>(300, 22);
+  auto flat = data::ToFlat<7>(pts);
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "pdbscan_test_roundtrip.bin";
+  data::WriteBinary(path, flat);
+  auto loaded = data::ReadBinary(path);
+  ASSERT_EQ(loaded.dim, 7);
+  ASSERT_EQ(loaded.coords, flat.coords);
+  std::remove(path.c_str());
+}
+
+TEST(Io, ErrorsOnMissingAndMalformedFiles) {
+  EXPECT_THROW(data::ReadCsv("/nonexistent/file.csv"), std::runtime_error);
+  EXPECT_THROW(data::ReadBinary("/nonexistent/file.bin"), std::runtime_error);
+  const std::string path =
+      std::filesystem::temp_directory_path() / "pdbscan_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "1.0,2.0\n3.0\n";  // Inconsistent dimension.
+  }
+  EXPECT_THROW(data::ReadCsv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Io, DimensionMismatchThrows) {
+  data::FlatDataset flat;
+  flat.dim = 3;
+  flat.coords = {1, 2, 3};
+  EXPECT_THROW(data::FromFlat<2>(flat), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pdbscan

@@ -1,0 +1,339 @@
+// End-to-end correctness of every exact DBSCAN configuration against the
+// O(n^2) brute-force reference, across dimensions, parameters and worker
+// counts — the core property suite of the library.
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/seed_spreader.h"
+#include "data/uniform.h"
+#include "dbscan/verify.h"
+#include "parallel/scheduler.h"
+#include "pdbscan/pdbscan.h"
+
+namespace pdbscan {
+namespace {
+
+using dbscan::BruteForceDbscan;
+using dbscan::SameClustering;
+using geometry::Point;
+
+template <int D>
+std::vector<Point<D>> RandomPoints(size_t n, double side, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, side);
+  std::vector<Point<D>> pts(n);
+  for (auto& p : pts) {
+    for (int k = 0; k < D; ++k) p[k] = coord(rng);
+  }
+  return pts;
+}
+
+// Clustered data: Gaussian blobs plus uniform noise — representative of
+// real DBSCAN inputs with clear cluster structure.
+template <int D>
+std::vector<Point<D>> BlobPoints(size_t n, size_t blobs, double side,
+                                 double sigma, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, side);
+  std::normal_distribution<double> gauss(0.0, sigma);
+  std::vector<Point<D>> centers(blobs);
+  for (auto& c : centers) {
+    for (int k = 0; k < D; ++k) c[k] = coord(rng);
+  }
+  std::vector<Point<D>> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 10 == 9) {  // 10% noise.
+      for (int k = 0; k < D; ++k) pts[i][k] = coord(rng);
+    } else {
+      const auto& c = centers[i % blobs];
+      for (int k = 0; k < D; ++k) pts[i][k] = c[k] + gauss(rng);
+    }
+  }
+  return pts;
+}
+
+std::vector<Options> ExactConfigs2d() {
+  return {Our2dGridBcp(),
+          OurExactQt(),
+          Our2dGridUsec(),
+          Our2dGridDelaunay(),
+          Our2dBoxBcp(),
+          Our2dBoxUsec(),
+          Our2dBoxDelaunay(),
+          WithBucketing(Our2dGridBcp()),
+          WithBucketing(Our2dGridUsec()),
+          WithBucketing(Our2dBoxBcp())};
+}
+
+template <int D>
+std::vector<Options> ExactConfigsHighDim() {
+  return {OurExact(), OurExactQt(), WithBucketing(OurExact()),
+          WithBucketing(OurExactQt())};
+}
+
+// --- 2D: every configuration matches brute force --------------------------
+
+struct Params2d {
+  size_t n;
+  double epsilon;
+  size_t min_pts;
+  uint64_t seed;
+  bool blobs;
+};
+
+class Dbscan2dTest : public ::testing::TestWithParam<Params2d> {};
+
+TEST_P(Dbscan2dTest, AllConfigsMatchBruteForce) {
+  const auto p = GetParam();
+  std::vector<Point<2>> pts =
+      p.blobs ? BlobPoints<2>(p.n, 5, 30.0, 1.0, p.seed)
+              : RandomPoints<2>(p.n, 30.0, p.seed);
+  const auto expected = BruteForceDbscan<2>(pts, p.epsilon, p.min_pts);
+  for (const auto& options : ExactConfigs2d()) {
+    const auto got = Dbscan<2>(pts, p.epsilon, p.min_pts, options);
+    EXPECT_TRUE(SameClustering(expected, got))
+        << options.Name() << " n=" << p.n << " eps=" << p.epsilon
+        << " minpts=" << p.min_pts << " seed=" << p.seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Dbscan2dTest,
+    ::testing::Values(Params2d{60, 1.0, 3, 1, false},
+                      Params2d{200, 1.5, 5, 2, false},
+                      Params2d{200, 3.0, 10, 3, false},
+                      Params2d{500, 1.0, 4, 4, true},
+                      Params2d{500, 2.0, 8, 5, true},
+                      Params2d{800, 0.7, 3, 6, true},
+                      Params2d{800, 5.0, 20, 7, false},
+                      Params2d{1200, 1.2, 6, 8, true},
+                      Params2d{300, 0.2, 2, 9, false},
+                      Params2d{300, 30.0, 2, 10, false}));
+
+// --- Higher dimensions ------------------------------------------------------
+
+template <int D>
+void CheckHighDim(size_t n, double epsilon, size_t min_pts, uint64_t seed) {
+  auto pts = BlobPoints<D>(n, 4, 15.0, 1.0, seed);
+  const auto expected = BruteForceDbscan<D>(pts, epsilon, min_pts);
+  for (const auto& options : ExactConfigsHighDim<D>()) {
+    const auto got = Dbscan<D>(pts, epsilon, min_pts, options);
+    EXPECT_TRUE(SameClustering(expected, got))
+        << options.Name() << " D=" << D << " eps=" << epsilon;
+  }
+}
+
+TEST(DbscanHighDim, Exact3d) {
+  CheckHighDim<3>(500, 1.5, 5, 21);
+  CheckHighDim<3>(500, 3.0, 12, 22);
+}
+TEST(DbscanHighDim, Exact4d) { CheckHighDim<4>(400, 2.0, 5, 23); }
+TEST(DbscanHighDim, Exact5d) {
+  CheckHighDim<5>(400, 2.5, 5, 24);
+  CheckHighDim<5>(400, 4.0, 10, 25);
+}
+TEST(DbscanHighDim, Exact7d) { CheckHighDim<7>(300, 3.5, 5, 26); }
+
+// --- Edge cases ----------------------------------------------------------------
+
+TEST(DbscanEdge, EmptyInput) {
+  std::vector<Point<2>> pts;
+  const auto result = Dbscan<2>(pts, 1.0, 3);
+  EXPECT_EQ(result.size(), 0u);
+  EXPECT_EQ(result.num_clusters, 0u);
+}
+
+TEST(DbscanEdge, SinglePoint) {
+  std::vector<Point<2>> pts = {Point<2>{{0, 0}}};
+  const auto noise = Dbscan<2>(pts, 1.0, 2);
+  EXPECT_EQ(noise.num_clusters, 0u);
+  EXPECT_EQ(noise.cluster[0], Clustering::kNoise);
+  const auto core = Dbscan<2>(pts, 1.0, 1);
+  EXPECT_EQ(core.num_clusters, 1u);
+  EXPECT_EQ(core.cluster[0], 0);
+  EXPECT_TRUE(core.is_core[0]);
+}
+
+TEST(DbscanEdge, AllCoincidentPoints) {
+  std::vector<Point<3>> pts(100, Point<3>{{5, 5, 5}});
+  const auto result = Dbscan<3>(pts, 1.0, 10);
+  EXPECT_EQ(result.num_clusters, 1u);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(result.cluster[i], 0);
+    EXPECT_TRUE(result.is_core[i]);
+  }
+}
+
+TEST(DbscanEdge, MinPtsOneEveryPointIsItsOwnCore) {
+  auto pts = RandomPoints<2>(50, 100.0, 31);  // Sparse: all isolated.
+  const auto result = Dbscan<2>(pts, 0.001, 1);
+  EXPECT_EQ(result.num_clusters, 50u);
+  for (size_t i = 0; i < pts.size(); ++i) EXPECT_TRUE(result.is_core[i]);
+}
+
+TEST(DbscanEdge, HugeEpsilonOneCluster) {
+  auto pts = RandomPoints<3>(200, 10.0, 32);
+  const auto result = Dbscan<3>(pts, 1000.0, 5);
+  EXPECT_EQ(result.num_clusters, 1u);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_TRUE(result.is_core[i]);
+    EXPECT_EQ(result.cluster[i], 0);
+  }
+}
+
+TEST(DbscanEdge, TinyEpsilonAllNoise) {
+  auto pts = RandomPoints<2>(200, 100.0, 33);
+  const auto result = Dbscan<2>(pts, 1e-9, 2);
+  EXPECT_EQ(result.num_clusters, 0u);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(result.cluster[i], Clustering::kNoise);
+  }
+}
+
+TEST(DbscanEdge, InvalidArgumentsThrow) {
+  std::vector<Point<2>> pts = {Point<2>{{0, 0}}};
+  EXPECT_THROW(Dbscan<2>(pts, -1.0, 3), std::invalid_argument);
+  EXPECT_THROW(Dbscan<2>(pts, 0.0, 3), std::invalid_argument);
+  EXPECT_THROW(Dbscan<2>(pts, 1.0, 0), std::invalid_argument);
+  Options box_in_3d;
+  box_in_3d.cell_method = CellMethod::kBox;
+  std::vector<Point<3>> pts3 = {Point<3>{{0, 0, 0}}};
+  EXPECT_THROW(Dbscan<3>(pts3, 1.0, 3, box_in_3d), std::invalid_argument);
+  Options usec_in_3d;
+  usec_in_3d.connect_method = ConnectMethod::kUsec;
+  EXPECT_THROW(Dbscan<3>(pts3, 1.0, 3, usec_in_3d), std::invalid_argument);
+}
+
+TEST(DbscanEdge, BorderPointWithTwoClusters) {
+  // Two dense blobs whose nearest members are exactly epsilon away from a
+  // lone middle point: the middle point reaches only one point per blob
+  // (3 < minPts including itself), so it is a border point of both clusters.
+  std::vector<Point<2>> pts;
+  for (int i = 0; i < 5; ++i) {
+    pts.push_back(Point<2>{{-2.0, 0.1 * i}});  // Cluster A.
+    pts.push_back(Point<2>{{2.0, 0.1 * i}});   // Cluster B.
+  }
+  pts.push_back(Point<2>{{0.0, 0.0}});  // Border of both (eps = 2.0).
+  const auto expected = BruteForceDbscan<2>(pts, 2.0, 4);
+  ASSERT_EQ(expected.num_clusters, 2u);
+  ASSERT_EQ(expected.memberships(10).size(), 2u);
+  ASSERT_FALSE(expected.is_core[10]);
+  for (const auto& options : ExactConfigs2d()) {
+    const auto got = Dbscan<2>(pts, 2.0, 4, options);
+    EXPECT_TRUE(SameClustering(expected, got)) << options.Name();
+    EXPECT_EQ(got.memberships(10).size(), 2u) << options.Name();
+  }
+}
+
+// --- Determinism and thread-count independence --------------------------------
+
+TEST(DbscanDeterminism, SameLabelsForAllWorkerCountsAndRuns) {
+  auto pts = BlobPoints<2>(2000, 6, 40.0, 1.0, 41);
+  parallel::set_num_workers(1);
+  const auto reference = Dbscan<2>(pts, 1.0, 8);
+  for (int workers : {2, 4, 8}) {
+    parallel::set_num_workers(workers);
+    for (int run = 0; run < 2; ++run) {
+      const auto got = Dbscan<2>(pts, 1.0, 8);
+      ASSERT_EQ(reference.cluster, got.cluster) << "workers " << workers;
+      ASSERT_EQ(reference.is_core, got.is_core);
+      ASSERT_EQ(reference.membership_ids, got.membership_ids);
+      ASSERT_EQ(reference.membership_offsets, got.membership_offsets);
+    }
+  }
+  parallel::set_num_workers(4);
+}
+
+TEST(DbscanDeterminism, LabelsAreConsecutiveFirstAppearance) {
+  auto pts = BlobPoints<2>(1500, 5, 30.0, 1.0, 42);
+  const auto result = Dbscan<2>(pts, 1.0, 8);
+  ASSERT_GT(result.num_clusters, 1u);
+  // First-appearance labeling: scanning points in order, the first time a
+  // cluster id appears it must be exactly one more than the largest id seen.
+  int64_t max_seen = -1;
+  for (size_t i = 0; i < result.size(); ++i) {
+    for (const int64_t id : result.memberships(i)) {
+      ASSERT_LE(id, max_seen + 1);
+      max_seen = std::max(max_seen, id);
+    }
+  }
+  EXPECT_EQ(static_cast<size_t>(max_seen + 1), result.num_clusters);
+}
+
+// --- Output structure invariants -----------------------------------------------
+
+TEST(DbscanOutput, CoreAndMembershipConsistency) {
+  auto pts = BlobPoints<3>(800, 4, 20.0, 1.0, 43);
+  const auto result = Dbscan<3>(pts, 1.5, 6);
+  for (size_t i = 0; i < result.size(); ++i) {
+    const auto m = result.memberships(i);
+    if (result.is_core[i]) {
+      ASSERT_EQ(m.size(), 1u);
+      ASSERT_EQ(result.cluster[i], m[0]);
+    }
+    if (m.empty()) {
+      ASSERT_EQ(result.cluster[i], Clustering::kNoise);
+    } else {
+      ASSERT_EQ(result.cluster[i], m[0]);
+      for (size_t k = 1; k < m.size(); ++k) ASSERT_LT(m[k - 1], m[k]);
+      for (const int64_t id : m) {
+        ASSERT_GE(id, 0);
+        ASSERT_LT(id, static_cast<int64_t>(result.num_clusters));
+      }
+    }
+  }
+}
+
+// --- Runtime-dimension dispatch -------------------------------------------------
+
+TEST(DbscanRuntimeDim, FlatDispatchMatchesTyped) {
+  auto pts = BlobPoints<3>(300, 3, 15.0, 1.0, 44);
+  std::vector<double> flat;
+  for (const auto& p : pts) {
+    flat.push_back(p[0]);
+    flat.push_back(p[1]);
+    flat.push_back(p[2]);
+  }
+  const auto typed = Dbscan<3>(pts, 1.5, 5);
+  const auto dispatched = Dbscan(flat.data(), pts.size(), 3, 1.5, 5);
+  EXPECT_EQ(typed.cluster, dispatched.cluster);
+  EXPECT_EQ(typed.is_core, dispatched.is_core);
+  EXPECT_THROW(Dbscan(flat.data(), 100, 6, 1.0, 3), std::invalid_argument);
+}
+
+// --- Dataset-level sanity on the paper's generators ----------------------------
+
+TEST(DbscanDatasets, SeedSpreaderFindsPlantedClusters) {
+  data::SeedSpreaderResult meta;
+  data::SeedSpreaderParams params;
+  params.n = 4000;
+  params.domain = 1e4;
+  params.restart_expected = 6;
+  params.seed = 45;
+  auto pts = data::SeedSpreader<2>(params, &meta);
+  const auto result = Dbscan<2>(pts, /*epsilon=*/200.0, /*min_pts=*/10);
+  // Clusters found should be on the order of the number of restarts (some
+  // walks can overlap or die early, so allow slack).
+  EXPECT_GE(result.num_clusters, 2u);
+  EXPECT_LE(result.num_clusters, meta.num_restarts + 4);
+  // Most points should be clustered (noise fraction is tiny).
+  size_t noise = 0;
+  for (size_t i = 0; i < result.size(); ++i) {
+    noise += result.cluster[i] == Clustering::kNoise;
+  }
+  EXPECT_LT(noise, result.size() / 5);
+}
+
+TEST(DbscanDatasets, GridAndBoxAgreeOnSeedSpreader) {
+  auto pts = data::SsVarden<2>(3000, 46);
+  const auto grid = Dbscan<2>(pts, 150.0, 10, Our2dGridBcp());
+  const auto box = Dbscan<2>(pts, 150.0, 10, Our2dBoxBcp());
+  EXPECT_TRUE(SameClustering(grid, box));
+  const auto usec = Dbscan<2>(pts, 150.0, 10, Our2dGridUsec());
+  EXPECT_TRUE(SameClustering(grid, usec));
+}
+
+}  // namespace
+}  // namespace pdbscan

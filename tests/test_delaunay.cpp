@@ -1,0 +1,238 @@
+// Validation of the 2D Delaunay triangulation: structural invariants and
+// the empty-circumcircle property against brute force.
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/delaunay.h"
+#include "geometry/point.h"
+
+namespace pdbscan {
+namespace {
+
+using geometry::Delaunay;
+using geometry::Point;
+
+std::vector<Point<2>> RandomPoints(size_t n, uint64_t seed, double side = 100) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, side);
+  std::vector<Point<2>> pts(n);
+  for (auto& p : pts) p = {{coord(rng), coord(rng)}};
+  return pts;
+}
+
+long double Cross(const Point<2>& a, const Point<2>& b, const Point<2>& c) {
+  return (static_cast<long double>(b[0]) - a[0]) * (static_cast<long double>(c[1]) - a[1]) -
+         (static_cast<long double>(b[1]) - a[1]) * (static_cast<long double>(c[0]) - a[0]);
+}
+
+long double InCircle(const Point<2>& a, const Point<2>& b, const Point<2>& c,
+                     const Point<2>& p) {
+  const long double adx = a[0] - p[0], ady = a[1] - p[1];
+  const long double bdx = b[0] - p[0], bdy = b[1] - p[1];
+  const long double cdx = c[0] - p[0], cdy = c[1] - p[1];
+  const long double ad2 = adx * adx + ady * ady;
+  const long double bd2 = bdx * bdx + bdy * bdy;
+  const long double cd2 = cdx * cdx + cdy * cdy;
+  return adx * (bdy * cd2 - bd2 * cdy) - ady * (bdx * cd2 - bd2 * cdx) +
+         ad2 * (bdx * cdy - bdy * cdx);
+}
+
+// Structural + Delaunay-property validation.
+void ValidateTriangulation(const std::vector<Point<2>>& pts,
+                           const Delaunay& dt, bool check_circumcircles,
+                           bool jittered = false) {
+  const auto& tris = dt.triangles();
+  const auto& he = dt.halfedges();
+  ASSERT_EQ(tris.size(), he.size());
+  ASSERT_EQ(tris.size() % 3, 0u);
+
+  // Halfedge involution and twin vertex consistency.
+  for (size_t e = 0; e < he.size(); ++e) {
+    const int32_t t = he[e];
+    if (t < 0) continue;
+    ASSERT_EQ(he[static_cast<size_t>(t)], static_cast<int32_t>(e));
+    // Twins traverse the same segment in opposite directions.
+    const size_t e_base = e - e % 3;
+    const size_t t_base = static_cast<size_t>(t) - static_cast<size_t>(t) % 3;
+    const uint32_t e_from = tris[e];
+    const uint32_t e_to = tris[e_base + (e + 1) % 3];
+    const uint32_t t_from = tris[static_cast<size_t>(t)];
+    const uint32_t t_to = tris[t_base + (static_cast<size_t>(t) + 1) % 3];
+    ASSERT_EQ(e_from, t_to);
+    ASSERT_EQ(e_to, t_from);
+  }
+
+  // Counterclockwise orientation. Under jitter the topology comes from the
+  // perturbed coordinates, so exactly-degenerate original triples may have
+  // zero cross product.
+  for (size_t t = 0; t < tris.size(); t += 3) {
+    const long double c = Cross(pts[tris[t]], pts[tris[t + 1]], pts[tris[t + 2]]);
+    if (jittered) {
+      ASSERT_GE(c, -1e-3L) << "triangle " << t / 3;
+    } else {
+      ASSERT_GT(c, 0.0L) << "triangle " << t / 3;
+    }
+  }
+
+  if (!check_circumcircles) return;
+  // Empty circumcircle: no point strictly inside (tolerance for roundoff).
+  for (size_t t = 0; t < tris.size(); t += 3) {
+    const Point<2>& a = pts[tris[t]];
+    const Point<2>& b = pts[tris[t + 1]];
+    const Point<2>& c = pts[tris[t + 2]];
+    for (size_t p = 0; p < pts.size(); ++p) {
+      if (p == tris[t] || p == tris[t + 1] || p == tris[t + 2]) continue;
+      const long double v = InCircle(a, b, c, pts[p]);
+      ASSERT_LE(v, 1e-3L) << "point " << p << " inside circumcircle of "
+                          << t / 3;
+    }
+  }
+}
+
+class DelaunayRandomTest
+    : public ::testing::TestWithParam<std::pair<size_t, uint64_t>> {};
+
+TEST_P(DelaunayRandomTest, EmptyCircumcircleProperty) {
+  const auto [n, seed] = GetParam();
+  auto pts = RandomPoints(n, seed);
+  Delaunay dt{std::span<const Point<2>>(pts)};
+  EXPECT_FALSE(dt.degenerate());
+  ValidateTriangulation(pts, dt, /*check_circumcircles=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, DelaunayRandomTest,
+    ::testing::Values(std::pair<size_t, uint64_t>{3, 1},
+                      std::pair<size_t, uint64_t>{4, 2},
+                      std::pair<size_t, uint64_t>{5, 3},
+                      std::pair<size_t, uint64_t>{10, 4},
+                      std::pair<size_t, uint64_t>{25, 5},
+                      std::pair<size_t, uint64_t>{50, 6},
+                      std::pair<size_t, uint64_t>{100, 7},
+                      std::pair<size_t, uint64_t>{250, 8},
+                      std::pair<size_t, uint64_t>{250, 9},
+                      std::pair<size_t, uint64_t>{500, 10}));
+
+TEST(Delaunay, LargeRandomSetStructure) {
+  auto pts = RandomPoints(20000, 42);
+  Delaunay dt{std::span<const Point<2>>(pts)};
+  ValidateTriangulation(pts, dt, /*check_circumcircles=*/false);
+  // Euler: for n points with h hull vertices, triangles = 2n - 2 - h.
+  // h >= 3, so triangle count is between n-ish and 2n - 5.
+  EXPECT_GE(dt.num_triangles(), pts.size());
+  EXPECT_LE(dt.num_triangles(), 2 * pts.size() - 5);
+}
+
+TEST(Delaunay, EdgesAreUniqueAndCoverTriangles) {
+  auto pts = RandomPoints(300, 77);
+  Delaunay dt{std::span<const Point<2>>(pts)};
+  auto edges = dt.Edges();
+  std::set<std::pair<uint32_t, uint32_t>> unique_edges(edges.begin(),
+                                                       edges.end());
+  EXPECT_EQ(unique_edges.size(), edges.size());
+  for (auto [u, v] : edges) {
+    EXPECT_LT(u, v);
+    EXPECT_LT(v, pts.size());
+  }
+  // Euler for planar triangulation: E = 3T/2 + h/2... sanity: E >= 3n/2 - 3.
+  EXPECT_GE(edges.size(), pts.size());
+}
+
+TEST(Delaunay, CollinearPointsDegenerateChain) {
+  std::vector<Point<2>> pts;
+  for (int i = 0; i < 10; ++i) pts.push_back({{double(i), 2.0 * i}});
+  Delaunay dt{std::span<const Point<2>>(pts)};
+  EXPECT_TRUE(dt.degenerate());
+  auto edges = dt.Edges();
+  ASSERT_EQ(edges.size(), 9u);
+  // Chain connects consecutive points in x order.
+  for (size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(edges[i].first, i);
+    EXPECT_EQ(edges[i].second, i + 1);
+  }
+}
+
+TEST(Delaunay, CollinearWithJitterTriangulates) {
+  std::vector<Point<2>> pts;
+  for (int i = 0; i < 50; ++i) pts.push_back({{double(i), 0.0}});
+  Delaunay dt{std::span<const Point<2>>(pts), /*jitter_seed=*/12345};
+  EXPECT_FALSE(dt.degenerate());
+  // Every consecutive pair must still be a Delaunay edge (their jittered
+  // positions remain nearest neighbors).
+  auto edges = dt.Edges();
+  std::set<std::pair<uint32_t, uint32_t>> edge_set(edges.begin(), edges.end());
+  for (uint32_t i = 0; i + 1 < 50; ++i) {
+    EXPECT_TRUE(edge_set.count({i, i + 1})) << i;
+  }
+}
+
+TEST(Delaunay, CocircularGridWithJitter) {
+  // A regular grid is maximally degenerate (all 4-point cocircular cells).
+  std::vector<Point<2>> pts;
+  for (int x = 0; x < 12; ++x) {
+    for (int y = 0; y < 12; ++y) pts.push_back({{double(x), double(y)}});
+  }
+  Delaunay dt{std::span<const Point<2>>(pts), /*jitter_seed=*/9};
+  EXPECT_FALSE(dt.degenerate());
+  ValidateTriangulation(pts, dt, /*check_circumcircles=*/false,
+                        /*jittered=*/true);
+  // Grid neighbors (distance 1) must be Delaunay edges.
+  auto edges = dt.Edges();
+  size_t unit_edges = 0;
+  for (auto [u, v] : edges) {
+    if (std::abs(pts[u].SquaredDistance(pts[v]) - 1.0) < 1e-6) ++unit_edges;
+  }
+  EXPECT_EQ(unit_edges, 2u * 12u * 11u);
+}
+
+TEST(Delaunay, DuplicatePointsAreSkippedSafely) {
+  auto pts = RandomPoints(100, 3);
+  pts.insert(pts.end(), pts.begin(), pts.begin() + 20);  // 20 duplicates.
+  Delaunay dt{std::span<const Point<2>>(pts)};
+  ValidateTriangulation(pts, dt, /*check_circumcircles=*/false);
+}
+
+TEST(Delaunay, TinyInputs) {
+  std::vector<Point<2>> empty;
+  EXPECT_TRUE(Delaunay{std::span<const Point<2>>(empty)}.degenerate());
+  std::vector<Point<2>> one = {{{1, 1}}};
+  EXPECT_TRUE(Delaunay{std::span<const Point<2>>(one)}.degenerate());
+  std::vector<Point<2>> two = {{{0, 0}}, {{1, 1}}};
+  Delaunay dt2{std::span<const Point<2>>(two)};
+  EXPECT_TRUE(dt2.degenerate());
+  EXPECT_EQ(dt2.Edges().size(), 1u);
+}
+
+TEST(Delaunay, NearestNeighborEdgeAlwaysPresent) {
+  // The nearest-neighbor graph is a subgraph of the Delaunay triangulation.
+  for (uint64_t seed : {101, 102, 103}) {
+    auto pts = RandomPoints(150, seed);
+    Delaunay dt{std::span<const Point<2>>(pts)};
+    auto edges = dt.Edges();
+    std::set<std::pair<uint32_t, uint32_t>> edge_set(edges.begin(),
+                                                     edges.end());
+    for (uint32_t i = 0; i < pts.size(); ++i) {
+      uint32_t nn = i;
+      double best = std::numeric_limits<double>::infinity();
+      for (uint32_t j = 0; j < pts.size(); ++j) {
+        if (j == i) continue;
+        const double d = pts[i].SquaredDistance(pts[j]);
+        if (d < best) {
+          best = d;
+          nn = j;
+        }
+      }
+      const auto key = std::minmax(i, nn);
+      EXPECT_TRUE(edge_set.count({key.first, key.second}))
+          << "seed " << seed << " point " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdbscan

@@ -1,0 +1,173 @@
+// Tests for the extension modules: OPTICS (hierarchical DBSCAN, the paper's
+// stated future work) and k-distance parameter selection.
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dbscan/verify.h"
+#include "extensions/kdist.h"
+#include "extensions/optics.h"
+#include "pdbscan/pdbscan.h"
+
+namespace pdbscan {
+namespace {
+
+using extensions::ExtractDbscanClustering;
+using extensions::KDistances;
+using extensions::Optics;
+using extensions::OpticsResult;
+using geometry::Point;
+
+template <int D>
+std::vector<Point<D>> BlobPoints(size_t n, size_t blobs, double side,
+                                 double sigma, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, side);
+  std::normal_distribution<double> gauss(0.0, sigma);
+  std::vector<Point<D>> centers(blobs);
+  for (auto& c : centers) {
+    for (int k = 0; k < D; ++k) c[k] = coord(rng);
+  }
+  std::vector<Point<D>> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 10 == 9) {
+      for (int k = 0; k < D; ++k) pts[i][k] = coord(rng);
+    } else {
+      const auto& c = centers[i % blobs];
+      for (int k = 0; k < D; ++k) pts[i][k] = c[k] + gauss(rng);
+    }
+  }
+  return pts;
+}
+
+TEST(Optics, OrderIsAPermutation) {
+  auto pts = BlobPoints<2>(500, 3, 20.0, 0.8, 1);
+  const auto result = Optics<2>(pts, 2.0, 5);
+  ASSERT_EQ(result.order.size(), pts.size());
+  std::vector<uint8_t> seen(pts.size(), 0);
+  for (const uint32_t p : result.order) {
+    ASSERT_LT(p, pts.size());
+    ASSERT_EQ(seen[p], 0);
+    seen[p] = 1;
+  }
+}
+
+TEST(Optics, CoreDistancesMatchBruteForce) {
+  auto pts = BlobPoints<2>(300, 3, 15.0, 0.8, 2);
+  const double eps = 1.5;
+  const size_t min_pts = 6;
+  const auto result = Optics<2>(pts, eps, min_pts);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    std::vector<double> dists;
+    for (size_t j = 0; j < pts.size(); ++j) {
+      const double d = pts[i].Distance(pts[j]);
+      if (d <= eps) dists.push_back(d);
+    }
+    std::sort(dists.begin(), dists.end());
+    if (dists.size() >= min_pts) {
+      ASSERT_NEAR(result.core_distance[i], dists[min_pts - 1], 1e-12) << i;
+    } else {
+      ASSERT_EQ(result.core_distance[i], OpticsResult::kUndefined) << i;
+    }
+  }
+}
+
+TEST(Optics, ReachabilityLowerBoundedByCoreDistanceOfPredecessors) {
+  auto pts = BlobPoints<2>(400, 4, 20.0, 0.7, 3);
+  const auto result = Optics<2>(pts, 2.0, 5);
+  // Every defined reachability is at least the minimum pairwise distance
+  // and at most epsilon (reachability beyond eps is never assigned).
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const double r = result.reachability[i];
+    if (r == OpticsResult::kUndefined) continue;
+    ASSERT_GE(r, 0.0);
+    ASSERT_LE(r, 2.0 + 1e-12);
+  }
+}
+
+// The headline OPTICS property: one run at epsilon answers DBSCAN at every
+// smaller epsilon'. The extracted clustering must match the DBSCAN core
+// partition computed independently by the main pipeline.
+TEST(Optics, ExtractionMatchesDbscanCorePartition) {
+  auto pts = BlobPoints<2>(600, 4, 25.0, 0.8, 4);
+  const double eps = 2.5;
+  const size_t min_pts = 6;
+  const auto optics = Optics<2>(pts, eps, min_pts);
+  for (const double eps_prime : {2.5, 1.5, 0.9}) {
+    const auto labels = ExtractDbscanClustering(optics, eps_prime);
+    const auto dbscan = Dbscan<2>(pts, eps_prime, min_pts, OurExact());
+    for (size_t i = 0; i < pts.size(); ++i) {
+      // Core flags must agree (core <=> core distance <= eps').
+      const bool optics_core = optics.core_distance[i] <= eps_prime;
+      ASSERT_EQ(optics_core, dbscan.is_core[i] != 0)
+          << "eps'=" << eps_prime << " i=" << i;
+    }
+    // Core points: same partition.
+    for (size_t i = 0; i < pts.size(); i += 3) {
+      if (!dbscan.is_core[i]) continue;
+      for (size_t j = i + 1; j < pts.size(); j += 5) {
+        if (!dbscan.is_core[j]) continue;
+        ASSERT_EQ(labels[i] == labels[j], dbscan.cluster[i] == dbscan.cluster[j])
+            << "eps'=" << eps_prime << " pair " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(Optics, EmptyAndTinyInputs) {
+  std::vector<Point<2>> empty;
+  const auto r0 = Optics<2>(empty, 1.0, 3);
+  EXPECT_TRUE(r0.order.empty());
+  std::vector<Point<2>> one = {Point<2>{{0, 0}}};
+  const auto r1 = Optics<2>(one, 1.0, 1);
+  EXPECT_EQ(r1.order.size(), 1u);
+  EXPECT_EQ(r1.core_distance[0], 0.0);
+}
+
+TEST(KDistances, MatchBruteForce) {
+  auto pts = BlobPoints<3>(300, 3, 12.0, 0.8, 5);
+  for (const size_t k : {1u, 4u, 10u}) {
+    const auto kdist = KDistances<3>(pts, k);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      std::vector<double> dists(pts.size());
+      for (size_t j = 0; j < pts.size(); ++j) {
+        dists[j] = pts[i].Distance(pts[j]);
+      }
+      std::nth_element(dists.begin(), dists.begin() + (k - 1), dists.end());
+      ASSERT_NEAR(kdist[i], dists[k - 1], 1e-12) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(KDistances, FirstNeighborIsSelf) {
+  auto pts = BlobPoints<2>(100, 2, 10.0, 0.5, 6);
+  const auto kdist = KDistances<2>(pts, 1);
+  for (const double d : kdist) EXPECT_EQ(d, 0.0);
+}
+
+TEST(KDistances, SortedCurveIsMonotone) {
+  auto pts = BlobPoints<2>(500, 3, 20.0, 0.8, 7);
+  const auto curve = extensions::SortedKDistanceCurve<2>(pts, 5);
+  ASSERT_EQ(curve.size(), pts.size());
+  for (size_t i = 1; i < curve.size(); ++i) {
+    ASSERT_LE(curve[i], curve[i - 1]);
+  }
+}
+
+TEST(KDistances, SuggestedEpsilonRecoversPlantedScale) {
+  // Dense blobs (sigma 0.5) in a sparse field: the elbow should land between
+  // the intra-blob scale and the background spacing.
+  auto pts = BlobPoints<2>(2000, 4, 100.0, 0.5, 8);
+  const double eps = extensions::SuggestEpsilon<2>(pts, 5);
+  EXPECT_GT(eps, 0.01);
+  EXPECT_LT(eps, 50.0);
+  // Clustering at the suggested epsilon should recover roughly the blobs.
+  const auto result = Dbscan<2>(pts, eps, 5);
+  EXPECT_GE(result.num_clusters, 3u);
+  EXPECT_LE(result.num_clusters, 40u);
+}
+
+}  // namespace
+}  // namespace pdbscan

@@ -1,0 +1,282 @@
+// Tests for points/boxes, k-d tree and quadtree range counting.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/kd_tree.h"
+#include "geometry/point.h"
+#include "geometry/quadtree.h"
+#include "parallel/scheduler.h"
+
+namespace pdbscan {
+namespace {
+
+using geometry::BBox;
+using geometry::CellQuadtree;
+using geometry::KdTree;
+using geometry::Point;
+
+template <int D>
+std::vector<Point<D>> RandomPoints(size_t n, double side, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, side);
+  std::vector<Point<D>> pts(n);
+  for (auto& p : pts) {
+    for (int k = 0; k < D; ++k) p[k] = coord(rng);
+  }
+  return pts;
+}
+
+TEST(Point, DistanceAndEquality) {
+  Point<3> a{{0, 0, 0}};
+  Point<3> b{{1, 2, 2}};
+  EXPECT_DOUBLE_EQ(a.SquaredDistance(b), 9.0);
+  EXPECT_DOUBLE_EQ(a.Distance(b), 3.0);
+  EXPECT_TRUE(a == a);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BBox, ExtendContainsDistances) {
+  auto box = BBox<2>::Empty();
+  box.Extend(Point<2>{{0, 0}});
+  box.Extend(Point<2>{{2, 4}});
+  EXPECT_TRUE(box.Contains(Point<2>{{1, 2}}));
+  EXPECT_TRUE(box.Contains(Point<2>{{0, 0}}));
+  EXPECT_FALSE(box.Contains(Point<2>{{3, 2}}));
+  EXPECT_DOUBLE_EQ(box.MinSquaredDistance(Point<2>{{1, 2}}), 0.0);
+  EXPECT_DOUBLE_EQ(box.MinSquaredDistance(Point<2>{{5, 4}}), 9.0);
+  EXPECT_DOUBLE_EQ(box.MaxSquaredDistance(Point<2>{{0, 0}}), 4 + 16);
+  BBox<2> other{{{3, 5}}, {{4, 6}}};
+  EXPECT_DOUBLE_EQ(box.MinSquaredDistance(other), 1 + 1);
+  BBox<2> overlapping{{{1, 1}}, {{5, 5}}};
+  EXPECT_DOUBLE_EQ(box.MinSquaredDistance(overlapping), 0.0);
+}
+
+TEST(CellCoords, CellOfAndBBoxRoundTrip) {
+  Point<2> origin{{0, 0}};
+  const double side = 0.5;
+  const auto c = geometry::CellOf<2>(Point<2>{{1.2, 0.9}}, origin, side);
+  EXPECT_EQ(c[0], 2);
+  EXPECT_EQ(c[1], 1);
+  const auto box = geometry::CellBBox<2>(c, origin, side);
+  EXPECT_DOUBLE_EQ(box.min[0], 1.0);
+  EXPECT_DOUBLE_EQ(box.max[0], 1.5);
+  // Negative coordinates floor correctly.
+  const auto neg = geometry::CellOf<2>(Point<2>{{-0.1, -0.6}}, origin, side);
+  EXPECT_EQ(neg[0], -1);
+  EXPECT_EQ(neg[1], -2);
+}
+
+TEST(HashCellCoords, DistinctCoordsRarelyCollide) {
+  std::vector<uint64_t> hashes;
+  for (int32_t x = -20; x <= 20; ++x) {
+    for (int32_t y = -20; y <= 20; ++y) {
+      hashes.push_back(geometry::HashCellCoords<2>({x, y}));
+    }
+  }
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(std::unique(hashes.begin(), hashes.end()) - hashes.begin(),
+            static_cast<long>(hashes.size()));
+}
+
+// --- KdTree -----------------------------------------------------------------
+
+template <int D>
+void CheckBallQueriesAgainstBruteForce(size_t n, double radius, uint64_t seed) {
+  auto pts = RandomPoints<D>(n, 10.0, seed);
+  KdTree<D> tree{std::span<const Point<D>>(pts)};
+  std::mt19937_64 rng(seed + 99);
+  std::uniform_real_distribution<double> coord(-1.0, 11.0);
+  for (int q = 0; q < 50; ++q) {
+    Point<D> center;
+    for (int k = 0; k < D; ++k) center[k] = coord(rng);
+    std::vector<uint32_t> expected;
+    for (size_t i = 0; i < n; ++i) {
+      if (pts[i].SquaredDistance(center) <= radius * radius) {
+        expected.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    std::vector<uint32_t> got;
+    tree.ForEachInBall(center, radius, [&](uint32_t i) {
+      got.push_back(i);
+      return true;
+    });
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expected) << "query " << q;
+    ASSERT_EQ(tree.CountInBall(center, radius), expected.size());
+  }
+}
+
+TEST(KdTree, BallQueries2d) { CheckBallQueriesAgainstBruteForce<2>(2000, 1.0, 1); }
+TEST(KdTree, BallQueries3d) { CheckBallQueriesAgainstBruteForce<3>(2000, 2.0, 2); }
+TEST(KdTree, BallQueries5d) { CheckBallQueriesAgainstBruteForce<5>(1000, 4.0, 3); }
+
+TEST(KdTree, BoxQueriesMatchBruteForce) {
+  auto pts = RandomPoints<3>(3000, 10.0, 5);
+  KdTree<3> tree{std::span<const Point<3>>(pts)};
+  std::mt19937_64 rng(55);
+  std::uniform_real_distribution<double> coord(0.0, 10.0);
+  for (int q = 0; q < 30; ++q) {
+    BBox<3> box;
+    for (int k = 0; k < 3; ++k) {
+      double a = coord(rng), b = coord(rng);
+      box.min[k] = std::min(a, b);
+      box.max[k] = std::max(a, b);
+    }
+    std::vector<uint32_t> expected;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (box.Contains(pts[i])) expected.push_back(static_cast<uint32_t>(i));
+    }
+    std::vector<uint32_t> got;
+    tree.ForEachInBox(box, [&](uint32_t i) {
+      got.push_back(i);
+      return true;
+    });
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expected);
+  }
+}
+
+TEST(KdTree, EarlyTerminationStopsTraversal) {
+  auto pts = RandomPoints<2>(10000, 1.0, 8);  // Dense: everything close.
+  KdTree<2> tree{std::span<const Point<2>>(pts)};
+  size_t visits = 0;
+  tree.ForEachInBall(pts[0], 2.0, [&](uint32_t) {
+    ++visits;
+    return visits < 5;
+  });
+  EXPECT_EQ(visits, 5u);
+  EXPECT_EQ(tree.CountInBall(pts[0], 2.0, 7), 7u);
+}
+
+TEST(KdTree, EmptyAndSinglePoint) {
+  std::vector<Point<2>> empty;
+  KdTree<2> tree{std::span<const Point<2>>(empty)};
+  EXPECT_EQ(tree.CountInBall(Point<2>{{0, 0}}, 10.0), 0u);
+  std::vector<Point<2>> one = {Point<2>{{1, 1}}};
+  KdTree<2> tree1{std::span<const Point<2>>(one)};
+  EXPECT_EQ(tree1.CountInBall(Point<2>{{1, 1}}, 0.1), 1u);
+  EXPECT_EQ(tree1.CountInBall(Point<2>{{5, 5}}, 0.1), 0u);
+}
+
+TEST(KdTree, ParallelBuildMatchesSerialQueries) {
+  parallel::ScopedNumWorkers scope(8);
+  auto pts = RandomPoints<3>(50000, 20.0, 13);
+  KdTree<3> tree{std::span<const Point<3>>(pts)};
+  size_t count = 0;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].SquaredDistance(pts[0]) <= 4.0) ++count;
+  }
+  EXPECT_EQ(tree.CountInBall(pts[0], 2.0), count);
+}
+
+// --- Quadtree -----------------------------------------------------------------
+
+template <int D>
+void CheckQuadtreeExactCounts(size_t n, uint64_t seed) {
+  auto pts = RandomPoints<D>(n, 4.0, seed);
+  BBox<D> box;
+  for (int k = 0; k < D; ++k) {
+    box.min[k] = 0;
+    box.max[k] = 4.0;
+  }
+  std::vector<uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  CellQuadtree<D> tree(std::span<const Point<D>>(pts), std::move(idx), box);
+  std::mt19937_64 rng(seed * 3 + 1);
+  std::uniform_real_distribution<double> coord(-1.0, 5.0);
+  std::uniform_real_distribution<double> rad(0.1, 3.0);
+  for (int q = 0; q < 60; ++q) {
+    Point<D> center;
+    for (int k = 0; k < D; ++k) center[k] = coord(rng);
+    const double r = rad(rng);
+    size_t expected = 0;
+    for (const auto& p : pts) {
+      if (p.SquaredDistance(center) <= r * r) ++expected;
+    }
+    ASSERT_EQ(tree.CountInBall(center, r), expected) << "query " << q;
+    ASSERT_EQ(tree.ContainsInBall(center, r), expected > 0);
+    // Capped count clamps.
+    ASSERT_EQ(tree.CountInBall(center, r, 3),
+              std::min<size_t>(expected, 3));
+  }
+}
+
+TEST(Quadtree, ExactCounts2d) { CheckQuadtreeExactCounts<2>(3000, 21); }
+TEST(Quadtree, ExactCounts3d) { CheckQuadtreeExactCounts<3>(2000, 22); }
+TEST(Quadtree, ExactCounts5d) { CheckQuadtreeExactCounts<5>(1000, 23); }
+TEST(Quadtree, ExactCounts7d) { CheckQuadtreeExactCounts<7>(500, 24); }
+
+TEST(Quadtree, ApproxCountSandwichedBetweenInnerAndOuter) {
+  const int kD = 3;
+  const size_t n = 3000;
+  auto pts = RandomPoints<kD>(n, 4.0, 31);
+  BBox<kD> box;
+  for (int k = 0; k < kD; ++k) {
+    box.min[k] = 0;
+    box.max[k] = 4.0;
+  }
+  const double diameter = std::sqrt(box.min.SquaredDistance(box.max));
+  for (double rho : {0.5, 0.1, 0.01}) {
+    std::vector<uint32_t> idx(n);
+    std::iota(idx.begin(), idx.end(), 0u);
+    CellQuadtree<kD> tree(std::span<const Point<kD>>(pts), std::move(idx), box,
+                          CellQuadtree<kD>::ApproxMaxLevelFor(diameter, 0.4, rho));
+    std::mt19937_64 rng(32);
+    std::uniform_real_distribution<double> coord(0.0, 4.0);
+    for (int q = 0; q < 40; ++q) {
+      Point<kD> center;
+      for (int k = 0; k < kD; ++k) center[k] = coord(rng);
+      const double r = 0.4;
+      size_t inner = 0, outer = 0;
+      for (const auto& p : pts) {
+        const double d2 = p.SquaredDistance(center);
+        if (d2 <= r * r) ++inner;
+        if (d2 <= r * (1 + rho) * r * (1 + rho)) ++outer;
+      }
+      const size_t approx = tree.ApproxCountInBall(center, r, rho);
+      ASSERT_GE(approx, inner) << "rho " << rho;
+      ASSERT_LE(approx, outer) << "rho " << rho;
+      // The boolean query agrees with the sandwich.
+      const bool contains = tree.ApproxContainsInBall(center, r, rho);
+      if (inner > 0) ASSERT_TRUE(contains);
+      if (outer == 0) ASSERT_FALSE(contains);
+    }
+  }
+}
+
+TEST(Quadtree, DuplicatePointsDoNotRecurseForever) {
+  std::vector<Point<2>> pts(100, Point<2>{{1.0, 1.0}});
+  pts.push_back(Point<2>{{2.0, 2.0}});
+  BBox<2> box{{{0, 0}}, {{4, 4}}};
+  std::vector<uint32_t> idx(pts.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  CellQuadtree<2> tree(std::span<const Point<2>>(pts), std::move(idx), box);
+  EXPECT_EQ(tree.CountInBall(Point<2>{{1, 1}}, 0.5), 100u);
+  EXPECT_EQ(tree.CountInBall(Point<2>{{2, 2}}, 0.5), 1u);
+}
+
+TEST(Quadtree, EmptyTree) {
+  std::vector<Point<2>> pts;
+  BBox<2> box{{{0, 0}}, {{1, 1}}};
+  CellQuadtree<2> tree(std::span<const Point<2>>(pts), {}, box);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.CountInBall(Point<2>{{0, 0}}, 5.0), 0u);
+}
+
+TEST(Quadtree, ApproxMaxLevelFormula) {
+  EXPECT_EQ(CellQuadtree<2>::ApproxMaxLevel(1.0), 0);
+  EXPECT_EQ(CellQuadtree<2>::ApproxMaxLevel(0.5), 1);
+  EXPECT_EQ(CellQuadtree<2>::ApproxMaxLevel(0.25), 2);
+  EXPECT_EQ(CellQuadtree<2>::ApproxMaxLevel(0.01), 7);
+  // The general form reduces to the grid form when diameter == eps.
+  EXPECT_EQ(CellQuadtree<2>::ApproxMaxLevelFor(1.0, 1.0, 0.01), 7);
+  EXPECT_EQ(CellQuadtree<2>::ApproxMaxLevelFor(0.005, 1.0, 0.01), 0);
+}
+
+}  // namespace
+}  // namespace pdbscan

@@ -1,0 +1,201 @@
+// Randomized property sweep: for a wide range of generated configurations
+// (data shape, n, epsilon, minPts, dimension), every exact variant must
+// reproduce the brute-force clustering exactly, and every approximate
+// variant must satisfy the Gan–Tao definition. This is the broadest
+// correctness net in the suite; each case is small enough for the O(n^2)
+// oracle.
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dbscan/verify.h"
+#include "pdbscan/pdbscan.h"
+
+namespace pdbscan {
+namespace {
+
+using dbscan::BruteForceDbscan;
+using dbscan::IsValidApproxClustering;
+using dbscan::SameClustering;
+using geometry::Point;
+
+enum class Shape { kUniform, kBlobs, kLines, kGridish, kMixed };
+
+template <int D>
+std::vector<Point<D>> GenerateShape(Shape shape, size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, 20.0);
+  std::normal_distribution<double> gauss(0.0, 0.7);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::vector<Point<D>> pts(n);
+  switch (shape) {
+    case Shape::kUniform:
+      for (auto& p : pts) {
+        for (int k = 0; k < D; ++k) p[k] = coord(rng);
+      }
+      break;
+    case Shape::kBlobs: {
+      std::vector<Point<D>> centers(4);
+      for (auto& c : centers) {
+        for (int k = 0; k < D; ++k) c[k] = coord(rng);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        const auto& c = centers[i % centers.size()];
+        for (int k = 0; k < D; ++k) pts[i][k] = c[k] + gauss(rng);
+      }
+      break;
+    }
+    case Shape::kLines: {
+      // Points along axis-parallel segments: stresses degenerate geometry
+      // (collinear Delaunay inputs, single-row grids).
+      for (size_t i = 0; i < n; ++i) {
+        const int axis = static_cast<int>(rng() % D);
+        const double offset = coord(rng);
+        for (int k = 0; k < D; ++k) pts[i][k] = std::floor(coord(rng) / 5) * 5;
+        pts[i][axis] = offset;
+      }
+      break;
+    }
+    case Shape::kGridish: {
+      // Near-lattice points: exact ties in distances and cell boundaries.
+      for (size_t i = 0; i < n; ++i) {
+        for (int k = 0; k < D; ++k) {
+          pts[i][k] = std::floor(coord(rng)) + (u01(rng) < 0.3 ? 0.5 : 0.0);
+        }
+      }
+      break;
+    }
+    case Shape::kMixed: {
+      for (size_t i = 0; i < n; ++i) {
+        if (u01(rng) < 0.5) {
+          for (int k = 0; k < D; ++k) pts[i][k] = coord(rng);
+        } else {
+          for (int k = 0; k < D; ++k) pts[i][k] = 10 + gauss(rng);
+        }
+      }
+      break;
+    }
+  }
+  return pts;
+}
+
+struct SweepCase {
+  Shape shape;
+  size_t n;
+  double epsilon;
+  size_t min_pts;
+  uint64_t seed;
+};
+
+std::vector<SweepCase> MakeCases(uint64_t base_seed, size_t count) {
+  std::mt19937_64 rng(base_seed);
+  std::vector<SweepCase> cases;
+  const Shape shapes[] = {Shape::kUniform, Shape::kBlobs, Shape::kLines,
+                          Shape::kGridish, Shape::kMixed};
+  for (size_t i = 0; i < count; ++i) {
+    SweepCase c;
+    c.shape = shapes[rng() % 5];
+    c.n = 50 + rng() % 350;
+    const double eps_choices[] = {0.3, 0.7, 1.1, 2.0, 4.5};
+    c.epsilon = eps_choices[rng() % 5];
+    const size_t minpts_choices[] = {1, 2, 4, 8, 20};
+    c.min_pts = minpts_choices[rng() % 5];
+    c.seed = rng();
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+class PropertySweep2d : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertySweep2d, AllExactVariantsMatchOracle) {
+  for (const auto& c : MakeCases(GetParam(), 6)) {
+    auto pts = GenerateShape<2>(c.shape, c.n, c.seed);
+    const auto expected = BruteForceDbscan<2>(pts, c.epsilon, c.min_pts);
+    const std::vector<Options> configs = {
+        Our2dGridBcp(),          OurExactQt(),      Our2dGridUsec(),
+        Our2dGridDelaunay(),     Our2dBoxBcp(),     Our2dBoxUsec(),
+        Our2dBoxDelaunay(),      WithBucketing(Our2dGridBcp()),
+        WithBucketing(Our2dBoxUsec())};
+    for (const auto& options : configs) {
+      const auto got = Dbscan<2>(pts, c.epsilon, c.min_pts, options);
+      ASSERT_TRUE(SameClustering(expected, got))
+          << options.Name() << " shape=" << static_cast<int>(c.shape)
+          << " n=" << c.n << " eps=" << c.epsilon << " minpts=" << c.min_pts
+          << " seed=" << c.seed;
+    }
+  }
+}
+
+TEST_P(PropertySweep2d, ApproxVariantsSatisfyDefinition) {
+  std::mt19937_64 rng(GetParam() * 77 + 1);
+  for (const auto& c : MakeCases(GetParam() + 1000, 4)) {
+    auto pts = GenerateShape<2>(c.shape, c.n, c.seed);
+    const double rho_choices[] = {0.01, 0.1, 0.6};
+    const double rho = rho_choices[rng() % 3];
+    for (const auto& options : {OurApprox(rho), OurApproxQt(rho)}) {
+      const auto got = Dbscan<2>(pts, c.epsilon, c.min_pts, options);
+      ASSERT_TRUE(
+          IsValidApproxClustering<2>(pts, c.epsilon, c.min_pts, rho, got))
+          << options.Name() << " rho=" << rho << " n=" << c.n
+          << " eps=" << c.epsilon << " seed=" << c.seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep2d,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+class PropertySweep3d : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertySweep3d, ExactAndApproxAgainstOracle) {
+  for (const auto& c : MakeCases(GetParam() + 5000, 4)) {
+    auto pts = GenerateShape<3>(c.shape, c.n, c.seed);
+    const auto expected = BruteForceDbscan<3>(pts, c.epsilon, c.min_pts);
+    for (const auto& options :
+         {OurExact(), OurExactQt(), WithBucketing(OurExactQt())}) {
+      const auto got = Dbscan<3>(pts, c.epsilon, c.min_pts, options);
+      ASSERT_TRUE(SameClustering(expected, got))
+          << options.Name() << " n=" << c.n << " eps=" << c.epsilon
+          << " seed=" << c.seed;
+    }
+    const auto approx = Dbscan<3>(pts, c.epsilon, c.min_pts, OurApproxQt(0.05));
+    ASSERT_TRUE(
+        IsValidApproxClustering<3>(pts, c.epsilon, c.min_pts, 0.05, approx));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep3d,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+class PropertySweepHighDim : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertySweepHighDim, FiveAndSevenDimensions) {
+  {
+    auto c = MakeCases(GetParam() + 9000, 1)[0];
+    auto pts = GenerateShape<5>(c.shape, std::min<size_t>(c.n, 250), c.seed);
+    const auto expected = BruteForceDbscan<5>(pts, c.epsilon * 2, c.min_pts);
+    for (const auto& options : {OurExact(), OurExactQt()}) {
+      ASSERT_TRUE(SameClustering(
+          expected, Dbscan<5>(pts, c.epsilon * 2, c.min_pts, options)))
+          << options.Name() << " seed=" << c.seed;
+    }
+  }
+  {
+    auto c = MakeCases(GetParam() + 11000, 1)[0];
+    auto pts = GenerateShape<7>(c.shape, std::min<size_t>(c.n, 200), c.seed);
+    const auto expected = BruteForceDbscan<7>(pts, c.epsilon * 3, c.min_pts);
+    for (const auto& options : {OurExact(), OurExactQt()}) {
+      ASSERT_TRUE(SameClustering(
+          expected, Dbscan<7>(pts, c.epsilon * 3, c.min_pts, options)))
+          << options.Name() << " seed=" << c.seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweepHighDim,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace pdbscan

@@ -1,0 +1,88 @@
+// Tests for the utility helpers: environment parsing, the stopwatch, and
+// the benchmark table formatter.
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/bench_table.h"
+#include "util/env.h"
+#include "util/timer.h"
+
+namespace pdbscan {
+namespace {
+
+TEST(Env, IntParsingAndDefaults) {
+  ::setenv("PDBSCAN_TEST_INT", "42", 1);
+  EXPECT_EQ(util::GetEnvInt("PDBSCAN_TEST_INT", 7), 42);
+  ::setenv("PDBSCAN_TEST_INT", "-3", 1);
+  EXPECT_EQ(util::GetEnvInt("PDBSCAN_TEST_INT", 7), -3);
+  ::setenv("PDBSCAN_TEST_INT", "junk", 1);
+  EXPECT_EQ(util::GetEnvInt("PDBSCAN_TEST_INT", 7), 7);
+  ::setenv("PDBSCAN_TEST_INT", "", 1);
+  EXPECT_EQ(util::GetEnvInt("PDBSCAN_TEST_INT", 7), 7);
+  ::unsetenv("PDBSCAN_TEST_INT");
+  EXPECT_EQ(util::GetEnvInt("PDBSCAN_TEST_INT", 7), 7);
+}
+
+TEST(Env, DoubleParsingAndDefaults) {
+  ::setenv("PDBSCAN_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(util::GetEnvDouble("PDBSCAN_TEST_DBL", 1.0), 2.5);
+  ::setenv("PDBSCAN_TEST_DBL", "1e-3", 1);
+  EXPECT_DOUBLE_EQ(util::GetEnvDouble("PDBSCAN_TEST_DBL", 1.0), 1e-3);
+  ::setenv("PDBSCAN_TEST_DBL", "x", 1);
+  EXPECT_DOUBLE_EQ(util::GetEnvDouble("PDBSCAN_TEST_DBL", 1.0), 1.0);
+  ::unsetenv("PDBSCAN_TEST_DBL");
+}
+
+TEST(Env, StringDefaults) {
+  ::setenv("PDBSCAN_TEST_STR", "hello", 1);
+  EXPECT_EQ(util::GetEnvString("PDBSCAN_TEST_STR", "d"), "hello");
+  ::unsetenv("PDBSCAN_TEST_STR");
+  EXPECT_EQ(util::GetEnvString("PDBSCAN_TEST_STR", "d"), "d");
+}
+
+TEST(Timer, MeasuresElapsedTimeMonotonically) {
+  util::Timer timer;
+  const double t0 = timer.Seconds();
+  EXPECT_GE(t0, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double t1 = timer.Seconds();
+  EXPECT_GT(t1, t0);
+  EXPECT_GE(t1, 0.009);
+  EXPECT_NEAR(timer.Millis(), timer.Seconds() * 1000, 50);
+  timer.Reset();
+  EXPECT_LT(timer.Seconds(), t1);
+}
+
+TEST(BenchTable, AlignsColumnsAndPrintsAllRows) {
+  util::BenchTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22222"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22222"), std::string::npos);
+  // Header + separator + 2 rows = 4 lines.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(BenchTable, CsvOutput) {
+  util::BenchTable table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream out;
+  table.PrintCsv(out);
+  EXPECT_EQ(out.str(), "#csv a,b\n#csv 1,2\n");
+}
+
+TEST(BenchTable, NumFormatsPrecision) {
+  EXPECT_EQ(util::BenchTable::Num(1.0), "1");
+  EXPECT_EQ(util::BenchTable::Num(0.123456, 3), "0.123");
+  EXPECT_EQ(util::BenchTable::Num(1234.5678, 6), "1234.57");
+}
+
+}  // namespace
+}  // namespace pdbscan

@@ -1,0 +1,187 @@
+// Meta-tests: the verification oracles themselves (BruteForceDbscan,
+// SameClustering, IsValidApproxClustering) checked on hand-computed examples
+// and on deliberately corrupted clusterings. A silent oracle bug would make
+// the whole suite vacuous, so the oracles get their own tests.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dbscan/verify.h"
+#include "geometry/point.h"
+
+namespace pdbscan {
+namespace {
+
+using dbscan::BruteForceDbscan;
+using dbscan::IsValidApproxClustering;
+using dbscan::SameClustering;
+using geometry::Point;
+
+// A hand-checkable configuration:
+//   indices 0,1,2: tight triple at x = 0 (pairwise distance 0.1).
+//   indices 3,4,5: tight triple at x = 10.
+//   index 6: at x = 1.05, within eps=1 of point 1 (0.1, 0) only -> border.
+//   index 7: at x = 5, isolated (noise).
+std::vector<Point<2>> HandExample() {
+  return {
+      Point<2>{{0.0, 0.0}}, Point<2>{{0.1, 0.0}}, Point<2>{{0.05, 0.1}},
+      Point<2>{{10.0, 0.0}}, Point<2>{{10.1, 0.0}}, Point<2>{{10.05, 0.1}},
+      Point<2>{{1.05, 0.0}}, Point<2>{{5.0, 0.0}},
+  };
+}
+
+TEST(BruteForce, HandComputedExample) {
+  auto pts = HandExample();
+  const auto c = BruteForceDbscan<2>(pts, 1.0, 3);
+  EXPECT_EQ(c.num_clusters, 2u);
+  // Triples are core.
+  for (size_t i : {0u, 1u, 2u, 3u, 4u, 5u}) EXPECT_TRUE(c.is_core[i]) << i;
+  EXPECT_FALSE(c.is_core[6]);
+  EXPECT_FALSE(c.is_core[7]);
+  // First-appearance labels: cluster of 0/1/2 is 0; cluster of 3/4/5 is 1.
+  EXPECT_EQ(c.cluster[0], 0);
+  EXPECT_EQ(c.cluster[1], 0);
+  EXPECT_EQ(c.cluster[2], 0);
+  EXPECT_EQ(c.cluster[3], 1);
+  EXPECT_EQ(c.cluster[4], 1);
+  EXPECT_EQ(c.cluster[5], 1);
+  // Border point 6 belongs to cluster 0 only.
+  EXPECT_EQ(c.cluster[6], 0);
+  EXPECT_EQ(c.memberships(6).size(), 1u);
+  // Noise.
+  EXPECT_EQ(c.cluster[7], Clustering::kNoise);
+  EXPECT_TRUE(c.memberships(7).empty());
+}
+
+TEST(SameClusteringCheck, AcceptsRelabeledClustering) {
+  auto pts = HandExample();
+  const auto a = BruteForceDbscan<2>(pts, 1.0, 3);
+  // Relabel: swap cluster ids 0 and 1 everywhere.
+  Clustering b = a;
+  for (auto& id : b.cluster) {
+    if (id >= 0) id = 1 - id;
+  }
+  for (auto& id : b.membership_ids) id = 1 - id;
+  EXPECT_TRUE(SameClustering(a, b));
+  EXPECT_TRUE(SameClustering(b, a));
+}
+
+TEST(SameClusteringCheck, RejectsCorruptions) {
+  auto pts = HandExample();
+  const auto a = BruteForceDbscan<2>(pts, 1.0, 3);
+  {
+    // Flip a core flag.
+    Clustering b = a;
+    b.is_core[0] = 0;
+    EXPECT_FALSE(SameClustering(a, b));
+  }
+  {
+    // Move a point to the other cluster.
+    Clustering b = a;
+    b.cluster[5] = 0;
+    b.membership_ids[b.membership_offsets[5]] = 0;
+    EXPECT_FALSE(SameClustering(a, b));
+  }
+  {
+    // Merge the two clusters.
+    Clustering b = a;
+    for (auto& id : b.cluster) {
+      if (id > 0) id = 0;
+    }
+    for (auto& id : b.membership_ids) {
+      if (id > 0) id = 0;
+    }
+    b.num_clusters = 1;
+    EXPECT_FALSE(SameClustering(a, b));
+  }
+  {
+    // Drop the border membership.
+    Clustering b = a;
+    b.cluster[6] = Clustering::kNoise;
+    b.membership_ids.erase(b.membership_ids.begin() +
+                           static_cast<long>(b.membership_offsets[6]));
+    for (size_t i = 7; i < b.membership_offsets.size(); ++i) {
+      --b.membership_offsets[i];
+    }
+    EXPECT_FALSE(SameClustering(a, b));
+  }
+}
+
+TEST(ApproxValidator, AcceptsExactClustering) {
+  auto pts = HandExample();
+  const auto exact = BruteForceDbscan<2>(pts, 1.0, 3);
+  // The exact clustering is always a valid rho-approximate clustering.
+  EXPECT_TRUE(IsValidApproxClustering<2>(pts, 1.0, 3, 0.5, exact));
+  EXPECT_TRUE(IsValidApproxClustering<2>(pts, 1.0, 3, 0.0, exact));
+}
+
+TEST(ApproxValidator, AcceptsMergeWithinBand) {
+  // Two pairs of core points at distance 1.2: with eps=1, rho=0.5 they may
+  // or may not be merged; both answers must validate.
+  std::vector<Point<2>> pts = {
+      Point<2>{{0.0, 0.0}}, Point<2>{{0.1, 0.0}},  // Pair A (core, minPts=2).
+      Point<2>{{1.3, 0.0}}, Point<2>{{1.4, 0.0}},  // Pair B, 1.2 from A.
+  };
+  const auto split = BruteForceDbscan<2>(pts, 1.0, 2);
+  ASSERT_EQ(split.num_clusters, 2u);
+  EXPECT_TRUE(IsValidApproxClustering<2>(pts, 1.0, 2, 0.5, split));
+  // Construct the merged clustering by hand.
+  Clustering merged = split;
+  for (auto& id : merged.cluster) id = 0;
+  for (auto& id : merged.membership_ids) id = 0;
+  merged.num_clusters = 1;
+  EXPECT_TRUE(IsValidApproxClustering<2>(pts, 1.0, 2, 0.5, merged));
+  // But merging is invalid when the band does not reach (rho = 0.1).
+  EXPECT_FALSE(IsValidApproxClustering<2>(pts, 1.0, 2, 0.1, merged));
+}
+
+TEST(ApproxValidator, RejectsWrongCoreFlags) {
+  auto pts = HandExample();
+  auto c = BruteForceDbscan<2>(pts, 1.0, 3);
+  c.is_core[7] = 1;  // The isolated point can never be core.
+  EXPECT_FALSE(IsValidApproxClustering<2>(pts, 1.0, 3, 0.5, c));
+}
+
+TEST(ApproxValidator, RejectsSplitOfTrueCluster) {
+  // Two core points within eps must share a cluster even approximately.
+  std::vector<Point<2>> pts = {
+      Point<2>{{0.0, 0.0}}, Point<2>{{0.1, 0.0}}, Point<2>{{0.2, 0.0}},
+  };
+  auto c = BruteForceDbscan<2>(pts, 1.0, 2);
+  ASSERT_EQ(c.num_clusters, 1u);
+  Clustering split = c;
+  split.num_clusters = 2;
+  split.cluster = {0, 0, 1};
+  split.membership_ids = {0, 0, 1};
+  EXPECT_FALSE(IsValidApproxClustering<2>(pts, 1.0, 2, 0.5, split));
+}
+
+TEST(BruteForce, MinPtsOneMakesEverythingCore) {
+  auto pts = HandExample();
+  const auto c = BruteForceDbscan<2>(pts, 0.01, 1);
+  for (size_t i = 0; i < pts.size(); ++i) EXPECT_TRUE(c.is_core[i]);
+  EXPECT_EQ(c.num_clusters, pts.size());  // All isolated at eps=0.01.
+}
+
+TEST(BruteForce, ChainsConnectThroughCorePointsOnly) {
+  // A chain a-b-c where b is NOT core must not connect a and c.
+  // a cluster: two points at x=0; c cluster: two points at x=2;
+  // b alone at x=1 within eps of both sides but with only 3 neighbors
+  // (minPts=4 counting itself -> not core... choose counts carefully).
+  std::vector<Point<2>> pts = {
+      Point<2>{{0.0, 0.0}}, Point<2>{{0.0, 0.1}}, Point<2>{{0.0, 0.2}},
+      Point<2>{{0.0, 0.3}}, Point<2>{{2.0, 0.0}}, Point<2>{{2.0, 0.1}},
+      Point<2>{{2.0, 0.2}}, Point<2>{{2.0, 0.3}},
+      Point<2>{{1.0, 0.0}},  // b: neighbors are 0, 4 and itself = 3 < 4.
+  };
+  const auto c = BruteForceDbscan<2>(pts, 1.0, 4);
+  ASSERT_TRUE(c.is_core[0] && c.is_core[4]);
+  ASSERT_FALSE(c.is_core[8]);
+  EXPECT_EQ(c.num_clusters, 2u);
+  EXPECT_NE(c.cluster[0], c.cluster[4]);
+  // b is border of both clusters.
+  EXPECT_EQ(c.memberships(8).size(), 2u);
+}
+
+}  // namespace
+}  // namespace pdbscan

@@ -1,0 +1,133 @@
+// Tests for the USEC wavefront (upper envelope of equal-radius circles).
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/point.h"
+#include "geometry/wavefront.h"
+
+namespace pdbscan {
+namespace {
+
+using geometry::Envelope;
+using geometry::Point;
+
+// Brute-force containment: q within r of some center.
+bool BruteContains(const std::vector<Point<2>>& centers, double r,
+                   const Point<2>& q) {
+  for (const auto& c : centers) {
+    if (q.SquaredDistance(c) <= r * r) return true;
+  }
+  return false;
+}
+
+TEST(Envelope, SingleCircle) {
+  Envelope env({Point<2>{{0, -1}}}, 2.0);
+  ASSERT_EQ(env.arcs().size(), 1u);
+  EXPECT_TRUE(env.Contains(Point<2>{{0, 0}}));
+  EXPECT_TRUE(env.Contains(Point<2>{{0, 0.99}}));
+  EXPECT_FALSE(env.Contains(Point<2>{{0, 1.01}}));
+  EXPECT_FALSE(env.Contains(Point<2>{{2.1, 0}}));
+}
+
+TEST(Envelope, EmptyCenters) {
+  Envelope env({}, 1.0);
+  EXPECT_TRUE(env.empty());
+  EXPECT_FALSE(env.Contains(Point<2>{{0, 0}}));
+}
+
+TEST(Envelope, ArcsAreSortedAndDisjoint) {
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> x(0.0, 20.0), y(-3.0, 0.0);
+  std::vector<Point<2>> centers(200);
+  for (auto& c : centers) c = {{x(rng), y(rng)}};
+  Envelope env(centers, 2.5);
+  const auto& arcs = env.arcs();
+  ASSERT_FALSE(arcs.empty());
+  for (size_t i = 0; i < arcs.size(); ++i) {
+    ASSERT_LE(arcs[i].lo, arcs[i].hi);
+    if (i > 0) ASSERT_LE(arcs[i - 1].hi, arcs[i].lo + 1e-9);
+  }
+}
+
+class EnvelopeRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+// The core contract: for query points on the far side of the line (here
+// y >= 0, centers at y <= 0), Contains matches brute force.
+TEST_P(EnvelopeRandomTest, ContainsMatchesBruteForce) {
+  const uint64_t seed = GetParam();
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> cx(0.0, 30.0), cy(-4.0, 0.0);
+  const size_t n = 1 + static_cast<size_t>(rng() % 300);
+  std::vector<Point<2>> centers(n);
+  for (auto& c : centers) c = {{cx(rng), cy(rng)}};
+  const double r = 3.0;
+  Envelope env(centers, r);
+
+  std::uniform_real_distribution<double> qx(-5.0, 35.0), qy(0.0, 4.0);
+  size_t inside = 0;
+  for (int q = 0; q < 2000; ++q) {
+    const Point<2> query{{qx(rng), qy(rng)}};
+    const bool expected = BruteContains(centers, r, query);
+    ASSERT_EQ(env.Contains(query), expected)
+        << "seed " << seed << " q=(" << query[0] << "," << query[1] << ")";
+    inside += expected;
+  }
+  // Sanity: the test actually exercises both outcomes.
+  EXPECT_GT(inside, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnvelopeRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Envelope, DisconnectedUnionHasGaps) {
+  // Two circles far apart in x: queries between them must be outside.
+  Envelope env({Point<2>{{0, -0.5}}, Point<2>{{20, -0.5}}}, 1.0);
+  EXPECT_TRUE(env.Contains(Point<2>{{0, 0.2}}));
+  EXPECT_TRUE(env.Contains(Point<2>{{20, 0.2}}));
+  EXPECT_FALSE(env.Contains(Point<2>{{10, 0.0}}));
+}
+
+TEST(Envelope, LowerCircleHiddenThenEmerges) {
+  // Circle b is mostly below a but extends further right: the envelope must
+  // expose b's arc on the right.
+  std::vector<Point<2>> centers = {Point<2>{{0, 0}}, Point<2>{{2.5, -2.0}}};
+  const double r = 3.0;
+  Envelope env(centers, r);
+  // q near x=4.5 is only inside b.
+  const Point<2> q{{4.5, 0.05}};
+  ASSERT_TRUE(BruteContains(centers, r, q));
+  EXPECT_TRUE(env.Contains(q));
+}
+
+TEST(Envelope, DuplicateCentersHandled) {
+  std::vector<Point<2>> centers(50, Point<2>{{1.0, -1.0}});
+  Envelope env(centers, 2.0);
+  EXPECT_TRUE(env.Contains(Point<2>{{1.0, 0.5}}));
+  EXPECT_FALSE(env.Contains(Point<2>{{1.0, 1.5}}));
+}
+
+TEST(LeftFrame, RotationPreservesDistances) {
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> coord(-10.0, 10.0);
+  for (int i = 0; i < 100; ++i) {
+    const Point<2> a{{coord(rng), coord(rng)}};
+    const Point<2> b{{coord(rng), coord(rng)}};
+    EXPECT_NEAR(a.SquaredDistance(b),
+                geometry::LeftFrame(a).SquaredDistance(geometry::LeftFrame(b)),
+                1e-12);
+  }
+}
+
+TEST(LeftFrame, MapsLeftwardToUpward) {
+  // A point left of another gets a larger v (the envelope direction).
+  const Point<2> right{{5, 0}};
+  const Point<2> left{{1, 0}};
+  EXPECT_GT(geometry::LeftFrame(left)[1], geometry::LeftFrame(right)[1]);
+}
+
+}  // namespace
+}  // namespace pdbscan
