@@ -6,6 +6,7 @@
 #include "baselines/hpdbscan.h"
 #include "baselines/pointwise.h"
 #include "baselines/rpdbscan.h"
+#include "dbscan/stats.h"
 
 namespace pdbscan::bench {
 
@@ -124,6 +125,81 @@ double RunBaseline(const std::string& name, const BenchDataset& ds, double eps,
     default:
       throw std::invalid_argument("unsupported dimension");
   }
+}
+
+double OneShotMinptsSweepSeconds(const BenchDataset& ds, double eps,
+                                 const std::vector<size_t>& minpts,
+                                 const Options& options) {
+  double total = 0;
+  for (const size_t m : minpts) total += RunOurs(ds, eps, m, options);
+  return total;
+}
+
+double EngineMinptsSweepSeconds(const BenchDataset& ds, double eps,
+                                const std::vector<size_t>& minpts,
+                                const Options& options) {
+  return DispatchDim(ds.dim, [&]<int D>() {
+    util::Timer timer;
+    DbscanEngine<D> engine(options);
+    engine.SetPointsStrided(ds.flat.data(), ds.size(),
+                            static_cast<size_t>(ds.dim));
+    const auto results = engine.Sweep(eps, minpts);
+    (void)results;
+    return timer.Seconds();
+  });
+}
+
+double OneShotEpsilonSweepSeconds(const BenchDataset& ds,
+                                  const std::vector<double>& eps_sweep,
+                                  size_t minpts, const Options& options) {
+  double total = 0;
+  for (const double eps : eps_sweep) total += RunOurs(ds, eps, minpts, options);
+  return total;
+}
+
+double EngineEpsilonSweepSeconds(const BenchDataset& ds,
+                                 const std::vector<double>& eps_sweep,
+                                 size_t minpts, const Options& options) {
+  return DispatchDim(ds.dim, [&]<int D>() {
+    util::Timer timer;
+    DbscanEngine<D> engine(options);
+    engine.SetPointsStrided(ds.flat.data(), ds.size(),
+                            static_cast<size_t>(ds.dim));
+    for (const double eps : eps_sweep) {
+      const auto result = engine.Run(eps, minpts);
+      (void)result;
+    }
+    return timer.Seconds();
+  });
+}
+
+void ResetStageStats() { dbscan::GlobalStats().Reset(); }
+
+void PrintStageStats(const std::string& title) {
+  const auto& stats = dbscan::GlobalStats();
+  const auto load = [](const std::atomic<size_t>& v) {
+    return std::to_string(v.load(std::memory_order_relaxed));
+  };
+  util::BenchTable table({"stage (" + title + ")", "seconds"});
+  table.AddRow({"build_cells", util::BenchTable::Num(stats.build_cells_seconds.load(
+                                   std::memory_order_relaxed))});
+  table.AddRow({"mark_core", util::BenchTable::Num(stats.mark_core_seconds.load(
+                                 std::memory_order_relaxed))});
+  table.AddRow(
+      {"cluster_core", util::BenchTable::Num(stats.cluster_core_seconds.load(
+                           std::memory_order_relaxed))});
+  table.AddRow({"cluster_border",
+                util::BenchTable::Num(stats.cluster_border_seconds.load(
+                    std::memory_order_relaxed))});
+  table.AddRow({"finalize", util::BenchTable::Num(stats.finalize_seconds.load(
+                                std::memory_order_relaxed))});
+  table.Print();
+  util::BenchTable counters({"cache counter", "count"});
+  counters.AddRow({"cells_built", load(stats.cells_built)});
+  counters.AddRow({"cells_reused", load(stats.cells_reused)});
+  counters.AddRow({"counts_built", load(stats.counts_built)});
+  counters.AddRow({"counts_reused", load(stats.counts_reused)});
+  counters.Print();
 }
 
 }  // namespace pdbscan::bench

@@ -135,6 +135,33 @@ inline double RunOurs(const BenchDataset& ds, double eps, size_t minpts,
   });
 }
 
+// One parameter sweep timed two ways — as independent one-shot Dbscan calls
+// and through a single reusable DbscanEngine — exposed as separate phases
+// so the benches can ResetStageStats() between them and report counters
+// for the engine phase alone.
+
+// min_pts sweep at fixed epsilon (the Figure 7 pattern; the engine builds
+// the cell structure and MarkCore counts once).
+double OneShotMinptsSweepSeconds(const BenchDataset& ds, double eps,
+                                 const std::vector<size_t>& minpts,
+                                 const Options& options);
+double EngineMinptsSweepSeconds(const BenchDataset& ds, double eps,
+                                const std::vector<size_t>& minpts,
+                                const Options& options);
+
+// epsilon sweep at fixed min_pts (the Figure 6 pattern; the engine reuses
+// the point layout and workspace allocations across rebuilds).
+double OneShotEpsilonSweepSeconds(const BenchDataset& ds,
+                                  const std::vector<double>& eps_sweep,
+                                  size_t minpts, const Options& options);
+double EngineEpsilonSweepSeconds(const BenchDataset& ds,
+                                 const std::vector<double>& eps_sweep,
+                                 size_t minpts, const Options& options);
+
+// Stage-timing / cache-counter reporting over dbscan::GlobalStats().
+void ResetStageStats();
+void PrintStageStats(const std::string& title);
+
 // Baseline algorithms with runtime-dim dispatch. Names: "pdsdbscan",
 // "hpdbscan", "rpdbscan", "original".
 double RunBaseline(const std::string& name, const BenchDataset& ds, double eps,

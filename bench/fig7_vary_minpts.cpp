@@ -5,6 +5,11 @@
 // (MarkCore does O(n * minPts) work), while point-wise baselines are
 // minPts-insensitive (their range queries dominate regardless); crossover
 // can appear near minPts = 10000.
+//
+// The sweep additionally runs through a reusable DbscanEngine: the cell
+// structure is built once and the saturated MarkCore counts answer every
+// minPts setting, so the engine total should beat the sum of one-shot
+// calls ("oneshot" vs "engine" columns).
 #include "common.h"
 
 int main() {
@@ -42,6 +47,30 @@ int main() {
     std::printf("(%s, n=%zu, eps=%g)\n", ds.name.c_str(), ds.size(),
                 ds.default_eps);
     table.Print();
+
+    // Whole-sweep totals: K independent one-shot calls vs one warm engine.
+    // Stats are reset between the phases so the stage/counter table below
+    // reflects the engine runs alone (one cell build per config).
+    std::vector<double> oneshot_totals;
+    for (const auto& [name, options] : PaperConfigsHighDim()) {
+      oneshot_totals.push_back(
+          OneShotMinptsSweepSeconds(ds, ds.default_eps, minpts_sweep, options));
+    }
+    ResetStageStats();
+    util::BenchTable sweep_table(
+        {"sweep total", "oneshot", "engine", "speedup"});
+    size_t config_idx = 0;
+    for (const auto& [name, options] : PaperConfigsHighDim()) {
+      const double oneshot = oneshot_totals[config_idx++];
+      const double engine =
+          EngineMinptsSweepSeconds(ds, ds.default_eps, minpts_sweep, options);
+      sweep_table.AddRow({name, util::BenchTable::Num(oneshot),
+                          util::BenchTable::Num(engine),
+                          util::BenchTable::Num(oneshot /
+                                                std::max(engine, 1e-12))});
+    }
+    sweep_table.Print();
+    PrintStageStats(ds.name + " engine phase");
     std::printf("\n");
   }
   return 0;

@@ -1,16 +1,35 @@
-// Parameter selection workflow: choose epsilon with the sorted k-distance
-// curve (Ester et al.'s methodology), then explore the density hierarchy
-// with OPTICS — one OPTICS run answers DBSCAN for every epsilon' below the
-// chosen epsilon.
+// Parameter selection workflow on a reusable DbscanEngine: choose epsilon
+// with the sorted k-distance curve (Ester et al.'s methodology), explore
+// candidate epsilons and a min_pts sweep through ONE engine — the point
+// layout, workspace, and (for the min_pts sweep) the entire cell structure
+// and MarkCore counts are reused instead of being rebuilt per setting —
+// then explore the density hierarchy with OPTICS.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "data/seed_spreader.h"
+#include "dbscan/stats.h"
 #include "extensions/kdist.h"
 #include "extensions/optics.h"
 #include "pdbscan/pdbscan.h"
 #include "util/timer.h"
+
+namespace {
+
+void ReportClustering(const char* what, double eps, size_t min_pts,
+                      const pdbscan::Clustering& clustering, double seconds) {
+  size_t noise = 0;
+  for (size_t i = 0; i < clustering.size(); ++i) {
+    noise += clustering.cluster[i] == pdbscan::Clustering::kNoise;
+  }
+  std::printf("  %s eps=%10.2f minpts=%5zu: %4zu clusters, %5.1f%% noise, %.3fs\n",
+              what, eps, min_pts, clustering.num_clusters,
+              100.0 * double(noise) / double(std::max<size_t>(clustering.size(), 1)),
+              seconds);
+}
+
+}  // namespace
 
 int main() {
   const size_t n = 20000;
@@ -28,13 +47,42 @@ int main() {
   const double eps = pdbscan::extensions::SuggestEpsilon<2>(pts, min_pts);
   std::printf("suggested epsilon (max curvature): %.2f\n\n", eps);
 
-  // 2. Cluster at the suggested epsilon.
-  pdbscan::util::Timer timer;
-  const auto clustering = pdbscan::Dbscan<2>(pts, eps, min_pts);
-  std::printf("DBSCAN(eps=%.2f, minpts=%zu): %zu clusters in %.3fs\n", eps,
-              min_pts, clustering.num_clusters, timer.Seconds());
+  // 2. Explore candidate epsilons through one engine. The engine keeps the
+  // x/y layout and scratch buffers warm across the rebuilds each new
+  // epsilon requires.
+  pdbscan::DbscanEngine<2> engine;
+  engine.SetPoints(pts);
+  auto candidates = pdbscan::extensions::CandidateEpsilons(curve, 4);
+  candidates.push_back(eps);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::printf("epsilon exploration (one engine, %zu candidates):\n",
+              candidates.size());
+  for (const double e : candidates) {
+    pdbscan::util::Timer timer;
+    const auto clustering = engine.Run(e, min_pts);
+    ReportClustering("DBSCAN", e, min_pts, clustering, timer.Seconds());
+  }
+  std::printf("\n");
 
-  // 3. OPTICS at a generous epsilon: extract clusterings at several lower
+  // 3. min_pts sensitivity at the suggested epsilon: the batched sweep
+  // builds the cell structure once and reuses the MarkCore counts for
+  // every setting.
+  const std::vector<size_t> minpts_sweep = {5, 10, 20, 50, 100};
+  pdbscan::dbscan::GlobalStats().Reset();
+  pdbscan::util::Timer timer;
+  const auto sweep = engine.Sweep(eps, minpts_sweep);
+  const double sweep_seconds = timer.Seconds();
+  std::printf("min_pts sweep at eps=%.2f (%.3fs total, cells built %zu time(s)):\n",
+              eps, sweep_seconds,
+              pdbscan::dbscan::GlobalStats().cells_built.load());
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    ReportClustering("DBSCAN", eps, minpts_sweep[i], sweep[i], 0.0);
+  }
+  std::printf("\n");
+
+  // 4. OPTICS at a generous epsilon: extract clusterings at several lower
   // density levels from the single run.
   timer.Reset();
   const auto optics = pdbscan::extensions::Optics<2>(pts, eps * 2, min_pts);

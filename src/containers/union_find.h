@@ -22,7 +22,24 @@ namespace pdbscan::containers {
 
 class UnionFind {
  public:
-  explicit UnionFind(size_t n) : parent_(std::make_unique<Node[]>(n)), size_(n) {
+  UnionFind() : UnionFind(0) {}
+
+  explicit UnionFind(size_t n)
+      : parent_(std::make_unique<Node[]>(n)), size_(n), capacity_(n) {
+    for (size_t i = 0; i < n; ++i) {
+      parent_[i].store(i, std::memory_order_relaxed);
+    }
+  }
+
+  // Re-initializes to n singleton sets, reusing the existing allocation
+  // whenever it is large enough (the DbscanEngine workspace calls this once
+  // per run). Must not race with Find/Link.
+  void Reset(size_t n) {
+    if (n > capacity_) {
+      parent_ = std::make_unique<Node[]>(n);
+      capacity_ = n;
+    }
+    size_ = n;
     for (size_t i = 0; i < n; ++i) {
       parent_[i].store(i, std::memory_order_relaxed);
     }
@@ -73,6 +90,7 @@ class UnionFind {
   using Node = std::atomic<size_t>;
   std::unique_ptr<Node[]> parent_;
   size_t size_;
+  size_t capacity_;
 };
 
 }  // namespace pdbscan::containers

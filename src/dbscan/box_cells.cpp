@@ -44,8 +44,27 @@ void MarkGroupStarts(const std::vector<double>& keys, size_t lo, size_t hi,
 
 }  // namespace
 
+std::vector<uint32_t> BoxSortByX(std::span<const Point<2>> input) {
+  // Sort point ids by x (ties by y for determinism).
+  std::vector<uint32_t> order(input.size());
+  std::iota(order.begin(), order.end(), 0u);
+  primitives::ParallelSort(order, [&](uint32_t a, uint32_t b) {
+    if (input[a][0] != input[b][0]) return input[a][0] < input[b][0];
+    if (input[a][1] != input[b][1]) return input[a][1] < input[b][1];
+    return a < b;
+  });
+  return order;
+}
+
 CellStructure<2> BuildBoxCells(std::span<const Point<2>> input,
                                double epsilon) {
+  const std::vector<uint32_t> order = BoxSortByX(input);
+  return BuildBoxCells(input, epsilon,
+                       std::span<const uint32_t>(order.data(), order.size()));
+}
+
+CellStructure<2> BuildBoxCells(std::span<const Point<2>> input, double epsilon,
+                               std::span<const uint32_t> x_order) {
   CellStructure<2> cells;
   cells.epsilon = epsilon;
   const size_t n = input.size();
@@ -56,14 +75,9 @@ CellStructure<2> BuildBoxCells(std::span<const Point<2>> input,
   }
   const double width = epsilon / std::sqrt(2.0);
 
-  // Sort point ids by x (ties by y for determinism).
-  std::vector<uint32_t> order(n);
-  std::iota(order.begin(), order.end(), 0u);
-  primitives::ParallelSort(order, [&](uint32_t a, uint32_t b) {
-    if (input[a][0] != input[b][0]) return input[a][0] < input[b][0];
-    if (input[a][1] != input[b][1]) return input[a][1] < input[b][1];
-    return a < b;
-  });
+  // The within-strip y-sort below mutates the order, so work on a copy of
+  // the caller's (possibly cached) x-sorted order.
+  std::vector<uint32_t> order(x_order.begin(), x_order.end());
 
   // Strip starts via pointer jumping on x.
   std::vector<double> xs(n);

@@ -15,16 +15,28 @@
 #ifndef PDBSCAN_DBSCAN_BOX_CELLS_H_
 #define PDBSCAN_DBSCAN_BOX_CELLS_H_
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "dbscan/cell_structure.h"
 #include "geometry/point.h"
 
 namespace pdbscan::dbscan {
 
+// Point ids sorted by (x, y, id) — the epsilon-independent part of the box
+// construction (the strip grouping itself depends on epsilon). The
+// DbscanEngine caches this order across epsilon changes.
+std::vector<uint32_t> BoxSortByX(std::span<const geometry::Point<2>> input);
+
 // Builds the box cell structure for 2D points with parameter `epsilon`.
 CellStructure<2> BuildBoxCells(std::span<const geometry::Point<2>> input,
                                double epsilon);
+
+// Same, reusing a precomputed BoxSortByX(input) order instead of sorting.
+CellStructure<2> BuildBoxCells(std::span<const geometry::Point<2>> input,
+                               double epsilon,
+                               std::span<const uint32_t> x_order);
 
 }  // namespace pdbscan::dbscan
 

@@ -1,0 +1,125 @@
+// Unified cell-source layer: one code path producing the CellStructure for
+// every cell construction (grid for any d, box for 2D), with two levels of
+// caching for the DbscanEngine:
+//
+//   * epsilon-independent layout — the dataset bounding box (grid anchor)
+//     and the (x, y, id)-sorted point order (box strips) are computed once
+//     per point set and reused across epsilon changes;
+//   * the built CellStructure itself, plus the per-cell quadtrees consumed
+//     by the kQuadtree range-count path, keyed on epsilon — reused outright
+//     when epsilon is unchanged (min_pts sweeps).
+//
+// Build/reuse events are recorded in GlobalStats() (cells_built /
+// cells_reused), which is how tests assert that a sweep builds cells once.
+#ifndef PDBSCAN_DBSCAN_CELL_SOURCE_H_
+#define PDBSCAN_DBSCAN_CELL_SOURCE_H_
+
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "dbscan/box_cells.h"
+#include "dbscan/cell_structure.h"
+#include "dbscan/grid.h"
+#include "dbscan/mark_core.h"
+#include "dbscan/stats.h"
+#include "dbscan/types.h"
+#include "geometry/point.h"
+#include "geometry/quadtree.h"
+
+namespace pdbscan::dbscan {
+
+template <int D>
+class CellSource {
+ public:
+  // Points the source at a (caller-owned) point set; drops every cache.
+  void Reset(std::span<const geometry::Point<D>> points, CellMethod method) {
+    points_ = points;
+    method_ = method;
+    bounds_valid_ = false;
+    x_order_valid_ = false;
+    cells_valid_ = false;
+    trees_valid_ = false;
+  }
+
+  // Returns the cell structure for `epsilon`, rebuilding only when epsilon
+  // changed (or the point set was reset). Layout caches survive rebuilds.
+  const CellStructure<D>& Acquire(double epsilon) {
+    auto& stats = GlobalStats();
+    if (cells_valid_ && built_epsilon_ == epsilon) {
+      stats.cells_reused.fetch_add(1, std::memory_order_relaxed);
+      return cells_;
+    }
+    if (method_ == CellMethod::kBox) {
+      if constexpr (D == 2) {
+        if (!x_order_valid_) {
+          x_order_ = BoxSortByX(points_);
+          x_order_valid_ = true;
+        }
+        cells_ = BuildBoxCells(
+            points_, epsilon,
+            std::span<const uint32_t>(x_order_.data(), x_order_.size()));
+      } else {
+        throw std::invalid_argument("the box cell method is 2D only");
+      }
+    } else {
+      if (!bounds_valid_) {
+        bounds_ = ComputeBounds<D>(points_);
+        bounds_valid_ = true;
+      }
+      cells_ = BuildGrid<D>(points_, epsilon, &bounds_);
+    }
+    built_epsilon_ = epsilon;
+    cells_valid_ = true;
+    trees_valid_ = false;
+    ++generation_;
+    stats.cells_built.fetch_add(1, std::memory_order_relaxed);
+    return cells_;
+  }
+
+  // Per-cell quadtrees over the current cell structure (kQuadtree range
+  // counting), built lazily and cached until the cells are rebuilt. Only
+  // valid after Acquire.
+  const std::vector<std::unique_ptr<geometry::CellQuadtree<D>>>&
+  AcquireQuadtrees() {
+    if (!trees_valid_) {
+      trees_ = BuildCellQuadtrees(cells_);
+      trees_valid_ = true;
+    }
+    return trees_;
+  }
+
+  // The current cell structure without touching the reuse counters; only
+  // valid after Acquire.
+  const CellStructure<D>& cells() const { return cells_; }
+
+  bool has_cells() const { return cells_valid_; }
+  double built_epsilon() const { return built_epsilon_; }
+
+  // Incremented on every rebuild; consumers (the engine's neighbor-count
+  // cache) key their own validity on it.
+  size_t generation() const { return generation_; }
+
+ private:
+  std::span<const geometry::Point<D>> points_;
+  CellMethod method_ = CellMethod::kGrid;
+
+  // Epsilon-independent layout caches.
+  bool bounds_valid_ = false;
+  geometry::BBox<D> bounds_;
+  bool x_order_valid_ = false;
+  std::vector<uint32_t> x_order_;
+
+  // Built structure cache, keyed on epsilon.
+  bool cells_valid_ = false;
+  double built_epsilon_ = 0;
+  CellStructure<D> cells_;
+  bool trees_valid_ = false;
+  std::vector<std::unique_ptr<geometry::CellQuadtree<D>>> trees_;
+  size_t generation_ = 0;
+};
+
+}  // namespace pdbscan::dbscan
+
+#endif  // PDBSCAN_DBSCAN_CELL_SOURCE_H_

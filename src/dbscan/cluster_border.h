@@ -19,15 +19,19 @@
 
 namespace pdbscan::dbscan {
 
-// For each non-core point (by reordered position), the sorted list of root
-// cells (union-find roots) of the clusters it belongs to. Core and noise
-// points get empty lists.
+// In-place variant of ClusterBorder: fills `memberships` (resized to the
+// point count; existing inner vectors are cleared but keep their capacity,
+// which is what makes the DbscanEngine's workspace reuse pay off).
 template <int D>
-std::vector<std::vector<uint32_t>> ClusterBorder(
-    const CellStructure<D>& cells, const std::vector<uint8_t>& core_flags,
-    const CoreIndex& core, size_t min_pts, containers::UnionFind& uf) {
+void ClusterBorderInto(const CellStructure<D>& cells,
+                       const std::vector<uint8_t>& core_flags,
+                       const CoreIndex& core, size_t min_pts,
+                       containers::UnionFind& uf,
+                       std::vector<std::vector<uint32_t>>& memberships) {
   const double eps2 = cells.epsilon * cells.epsilon;
-  std::vector<std::vector<uint32_t>> memberships(cells.num_points());
+  memberships.resize(cells.num_points());
+  parallel::parallel_for(0, memberships.size(),
+                         [&](size_t i) { memberships[i].clear(); });
 
   // Does `cell` contain a core point within eps of p?
   auto cell_reaches = [&](size_t cell, const geometry::Point<D>& p) {
@@ -61,6 +65,17 @@ std::vector<std::vector<uint32_t>> ClusterBorder(
         }
       },
       1);
+}
+
+// For each non-core point (by reordered position), the sorted list of root
+// cells (union-find roots) of the clusters it belongs to. Core and noise
+// points get empty lists.
+template <int D>
+std::vector<std::vector<uint32_t>> ClusterBorder(
+    const CellStructure<D>& cells, const std::vector<uint8_t>& core_flags,
+    const CoreIndex& core, size_t min_pts, containers::UnionFind& uf) {
+  std::vector<std::vector<uint32_t>> memberships;
+  ClusterBorderInto(cells, core_flags, core, min_pts, uf, memberships);
   return memberships;
 }
 

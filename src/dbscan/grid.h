@@ -86,10 +86,32 @@ struct CellCoordsEq {
 
 }  // namespace internal
 
+// Bounding box of `input` (parallel reduce). The grid anchors its cells at
+// bounds.min; the result is epsilon-independent, so the DbscanEngine caches
+// it across epsilon changes and passes it back via the BuildGrid overload.
+template <int D>
+geometry::BBox<D> ComputeBounds(std::span<const geometry::Point<D>> input) {
+  using geometry::BBox;
+  return primitives::ReduceIndex(
+      size_t{0}, input.size(), BBox<D>::Empty(),
+      [&](size_t i) {
+        BBox<D> b = BBox<D>::Empty();
+        b.Extend(input[i]);
+        return b;
+      },
+      [](BBox<D> a, const BBox<D>& b) {
+        a.Extend(b);
+        return a;
+      });
+}
+
 // Builds the grid cell structure for `input` with parameter `epsilon`.
+// `bounds_hint`, when non-null, must equal ComputeBounds(input) and skips
+// the reduction pass.
 template <int D>
 CellStructure<D> BuildGrid(std::span<const geometry::Point<D>> input,
-                           double epsilon) {
+                           double epsilon,
+                           const geometry::BBox<D>* bounds_hint = nullptr) {
   using geometry::BBox;
   using geometry::CellCoords;
   using geometry::Point;
@@ -104,17 +126,8 @@ CellStructure<D> BuildGrid(std::span<const geometry::Point<D>> input,
   }
   const double side = epsilon / std::sqrt(double(D));
 
-  const BBox<D> bounds = primitives::ReduceIndex(
-      size_t{0}, n, BBox<D>::Empty(),
-      [&](size_t i) {
-        BBox<D> b = BBox<D>::Empty();
-        b.Extend(input[i]);
-        return b;
-      },
-      [](BBox<D> a, const BBox<D>& b) {
-        a.Extend(b);
-        return a;
-      });
+  const BBox<D> bounds =
+      bounds_hint != nullptr ? *bounds_hint : ComputeBounds<D>(input);
   const Point<D> origin = bounds.min;
 
   // Semisort (cell coords, point index) pairs: same-cell points end up

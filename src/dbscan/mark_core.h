@@ -8,6 +8,7 @@
 #ifndef PDBSCAN_DBSCAN_MARK_CORE_H_
 #define PDBSCAN_DBSCAN_MARK_CORE_H_
 
+#include <algorithm>
 #include <memory>
 #include <numeric>
 #include <vector>
@@ -40,29 +41,33 @@ std::vector<std::unique_ptr<geometry::CellQuadtree<D>>> BuildCellQuadtrees(
   return trees;
 }
 
-// Returns a flag per *reordered* point position: 1 iff the point is core.
+// Per-point epsilon-neighbor counts, saturated at `cap`: counts[i] ==
+// min(cap, number of points within epsilon of reordered point i, counting
+// itself). Thresholding at any min_pts <= cap reproduces MarkCore exactly
+// (core iff count >= min_pts), which is what lets the DbscanEngine compute
+// counts once at cap = max(minPts list) and answer a whole min_pts sweep.
+// `trees` must be the cells' quadtrees when method == kQuadtree (pass the
+// engine's cached trees, or BuildCellQuadtrees(cells)); ignored otherwise.
 template <int D>
-std::vector<uint8_t> MarkCore(const CellStructure<D>& cells, size_t min_pts,
-                              RangeCountMethod method) {
+void MarkCoreCounts(
+    const CellStructure<D>& cells, size_t cap, RangeCountMethod method,
+    const std::vector<std::unique_ptr<geometry::CellQuadtree<D>>>* trees,
+    std::vector<uint32_t>& counts) {
   const size_t num_cells = cells.num_cells();
   const double eps = cells.epsilon;
   const double eps2 = eps * eps;
-  std::vector<uint8_t> core_flags(cells.num_points(), 0);
-
-  std::vector<std::unique_ptr<geometry::CellQuadtree<D>>> trees;
-  if (method == RangeCountMethod::kQuadtree) {
-    trees = BuildCellQuadtrees(cells);
-  }
+  counts.assign(cells.num_points(), 0);
 
   parallel::parallel_for(
       0, num_cells,
       [&](size_t c) {
         const size_t begin = cells.offsets[c];
         const size_t end = cells.offsets[c + 1];
-        if (end - begin >= min_pts) {
+        if (end - begin >= cap) {
           // Dense cell: everything is core (Lines 4-6 of Algorithm 2).
-          parallel::parallel_for(begin, end,
-                                 [&](size_t i) { core_flags[i] = 1; });
+          parallel::parallel_for(
+              begin, end,
+              [&](size_t i) { counts[i] = static_cast<uint32_t>(cap); });
           return;
         }
         const auto neighbors = cells.neighbors(c);
@@ -70,23 +75,46 @@ std::vector<uint8_t> MarkCore(const CellStructure<D>& cells, size_t min_pts,
           const geometry::Point<D>& p = cells.points[i];
           size_t count = end - begin;  // All same-cell points are within eps.
           for (const uint32_t h : neighbors) {
-            if (count >= min_pts) break;
+            if (count >= cap) break;
             if (method == RangeCountMethod::kQuadtree) {
-              count += trees[h]->CountInBall(p, eps, min_pts - count);
+              count += (*trees)[h]->CountInBall(p, eps, cap - count);
             } else {
               // Scan the neighboring cell (prune by its box first).
               if (cells.cell_boxes[h].MinSquaredDistance(p) > eps2) continue;
               const size_t h_begin = cells.offsets[h];
               const size_t h_end = cells.offsets[h + 1];
-              for (size_t j = h_begin; j < h_end && count < min_pts; ++j) {
+              for (size_t j = h_begin; j < h_end && count < cap; ++j) {
                 if (cells.points[j].SquaredDistance(p) <= eps2) ++count;
               }
             }
           }
-          if (count >= min_pts) core_flags[i] = 1;
+          counts[i] = static_cast<uint32_t>(std::min(count, cap));
         }
       },
       1);
+}
+
+// Thresholds saturated counts into core flags; valid for min_pts up to the
+// cap the counts were computed with.
+inline void CoreFlagsFromCounts(const std::vector<uint32_t>& counts,
+                                size_t min_pts, std::vector<uint8_t>& flags) {
+  flags.resize(counts.size());  // Every element is written below.
+  parallel::parallel_for(0, counts.size(),
+                         [&](size_t i) { flags[i] = counts[i] >= min_pts; });
+}
+
+// Returns a flag per *reordered* point position: 1 iff the point is core.
+template <int D>
+std::vector<uint8_t> MarkCore(const CellStructure<D>& cells, size_t min_pts,
+                              RangeCountMethod method) {
+  std::vector<std::unique_ptr<geometry::CellQuadtree<D>>> trees;
+  if (method == RangeCountMethod::kQuadtree) {
+    trees = BuildCellQuadtrees(cells);
+  }
+  std::vector<uint32_t> counts;
+  MarkCoreCounts(cells, min_pts, method, &trees, counts);
+  std::vector<uint8_t> core_flags;
+  CoreFlagsFromCounts(counts, min_pts, core_flags);
   return core_flags;
 }
 

@@ -1,131 +1,27 @@
 // The full DBSCAN pipeline (Algorithm 1 of the paper): cell construction ->
 // MarkCore -> ClusterCore -> ClusterBorder -> label normalization.
+//
+// The pipeline lives in DbscanEngine (engine.h); this header keeps the
+// historical one-shot entry point, implemented as a transient engine so the
+// one-shot and reusable paths are literally the same code.
 #ifndef PDBSCAN_DBSCAN_PIPELINE_H_
 #define PDBSCAN_DBSCAN_PIPELINE_H_
 
-#include <algorithm>
 #include <span>
-#include <stdexcept>
-#include <vector>
 
-#include "containers/union_find.h"
-#include "dbscan/box_cells.h"
-#include "dbscan/cell_structure.h"
-#include "dbscan/cluster_border.h"
-#include "dbscan/cluster_core.h"
-#include "dbscan/grid.h"
-#include "dbscan/mark_core.h"
+#include "dbscan/engine.h"
 #include "dbscan/types.h"
 #include "geometry/point.h"
-#include "parallel/scheduler.h"
 
 namespace pdbscan::dbscan {
-
-namespace internal {
-
-// Relabels union-find roots to consecutive cluster ids, assigned by the
-// first appearance in the caller's point order, and assembles the public
-// Clustering. `point_roots` holds, for each reordered position, the sorted
-// list of root cells the point belongs to (one entry for core points,
-// possibly several for border points, none for noise).
-template <int D>
-Clustering Finalize(const CellStructure<D>& cells,
-                    const std::vector<uint8_t>& core_flags,
-                    const std::vector<std::vector<uint32_t>>& point_roots) {
-  const size_t n = cells.num_points();
-  Clustering out;
-  out.cluster.assign(n, Clustering::kNoise);
-  out.is_core.assign(n, 0);
-  out.membership_offsets.assign(n + 1, 0);
-
-  // Gather per-original-index membership lists.
-  std::vector<const std::vector<uint32_t>*> by_orig(n, nullptr);
-  parallel::parallel_for(0, n, [&](size_t i) {
-    const uint32_t orig = cells.orig_index[i];
-    by_orig[orig] = &point_roots[i];
-    out.is_core[orig] = core_flags[i];
-  });
-
-  // First-appearance relabeling (serial, O(n + memberships)).
-  std::vector<int64_t> root_to_id(cells.num_cells(), -1);
-  int64_t next_id = 0;
-  size_t total_memberships = 0;
-  for (size_t i = 0; i < n; ++i) {
-    for (const uint32_t root : *by_orig[i]) {
-      if (root_to_id[root] < 0) root_to_id[root] = next_id++;
-      ++total_memberships;
-    }
-  }
-  out.num_clusters = static_cast<size_t>(next_id);
-
-  for (size_t i = 0; i < n; ++i) {
-    out.membership_offsets[i + 1] =
-        out.membership_offsets[i] + by_orig[i]->size();
-  }
-  out.membership_ids.resize(total_memberships);
-  parallel::parallel_for(0, n, [&](size_t i) {
-    size_t w = out.membership_offsets[i];
-    for (const uint32_t root : *by_orig[i]) {
-      out.membership_ids[w++] = root_to_id[root];
-    }
-    auto begin = out.membership_ids.begin() + out.membership_offsets[i];
-    auto end = out.membership_ids.begin() + out.membership_offsets[i + 1];
-    std::sort(begin, end);
-    if (begin != end) out.cluster[i] = *begin;
-  });
-  return out;
-}
-
-}  // namespace internal
 
 // Runs DBSCAN over `input` with the given parameters and configuration.
 template <int D>
 Clustering RunDbscan(std::span<const geometry::Point<D>> input, double epsilon,
                      size_t min_pts, const Options& options = Options()) {
-  if (epsilon <= 0) throw std::invalid_argument("epsilon must be positive");
-  if (min_pts == 0) throw std::invalid_argument("min_pts must be positive");
-  if (options.cell_method == CellMethod::kBox && D != 2) {
-    throw std::invalid_argument("the box cell method is 2D only");
-  }
-
-  // Line 2 of Algorithm 1: cells.
-  CellStructure<D> cells;
-  if constexpr (D == 2) {
-    cells = options.cell_method == CellMethod::kBox
-                ? BuildBoxCells(input, epsilon)
-                : BuildGrid<2>(input, epsilon);
-  } else {
-    cells = BuildGrid<D>(input, epsilon);
-  }
-
-  // Line 3: mark core points.
-  const std::vector<uint8_t> core_flags =
-      MarkCore(cells, min_pts, options.range_count);
-  const CoreIndex core = BuildCoreIndex(cells, core_flags);
-
-  // Line 4: cluster core points (cell graph + connected components).
-  containers::UnionFind uf(cells.num_cells());
-  ClusterCore(cells, core, options, uf);
-
-  // Line 5: cluster border points (skipped for DBSCAN*, where clusters
-  // consist of core points only).
-  std::vector<std::vector<uint32_t>> point_roots =
-      options.core_only
-          ? std::vector<std::vector<uint32_t>>(cells.num_points())
-          : ClusterBorder(cells, core_flags, core, min_pts, uf);
-  // Core points belong to exactly their cell's component.
-  parallel::parallel_for(
-      0, cells.num_cells(),
-      [&](size_t c) {
-        if (!core.cell_is_core[c]) return;
-        const uint32_t root = static_cast<uint32_t>(uf.Find(c));
-        for (const uint32_t pos : core.core_of(c)) {
-          point_roots[pos].assign(1, root);
-        }
-      },
-      1);
-
-  return internal::Finalize(cells, core_flags, point_roots);
+  DbscanEngine<D> engine(options);
+  engine.SetPointsView(input);
+  return engine.Run(epsilon, min_pts);
 }
 
 }  // namespace pdbscan::dbscan

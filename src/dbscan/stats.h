@@ -1,10 +1,13 @@
-// Lightweight execution counters for the DBSCAN pipeline.
+// Lightweight execution counters and per-stage timings for the DBSCAN
+// pipeline.
 //
 // The bucketing heuristic of Section 4.4 exists to *reduce the number of
 // cell connectivity queries*; these counters make that effect measurable
-// (see bench/ablation_bucketing). Counters are process-wide atomics with
-// relaxed ordering — negligible overhead, reset explicitly by callers that
-// want a per-run reading.
+// (see bench/ablation_bucketing). The build/reuse counters and stage
+// timings make the DbscanEngine's caching observable: a min_pts sweep must
+// report cells_built == 1 no matter how many settings it answers.
+// Counters are process-wide atomics with relaxed ordering — negligible
+// overhead, reset explicitly by callers that want a per-run reading.
 #ifndef PDBSCAN_DBSCAN_STATS_H_
 #define PDBSCAN_DBSCAN_STATS_H_
 
@@ -12,6 +15,15 @@
 #include <cstddef>
 
 namespace pdbscan::dbscan {
+
+// Accumulates seconds into a relaxed atomic double (CAS loop: fetch_add on
+// atomic<double> needs C++20 library support that not all toolchains ship).
+inline void AddSeconds(std::atomic<double>& slot, double seconds) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(cur, cur + seconds,
+                                     std::memory_order_relaxed)) {
+  }
+}
 
 struct PipelineStats {
   // Connectivity queries actually executed (Connected() calls).
@@ -22,10 +34,33 @@ struct PipelineStats {
   // Connectivity queries that returned "connected".
   std::atomic<size_t> successful_queries{0};
 
+  // Engine cache behavior: cell structures built from scratch vs. served
+  // from the engine's cache, and MarkCore neighbor-count passes likewise.
+  std::atomic<size_t> cells_built{0};
+  std::atomic<size_t> cells_reused{0};
+  std::atomic<size_t> counts_built{0};
+  std::atomic<size_t> counts_reused{0};
+
+  // Per-stage wall-clock seconds, accumulated across runs.
+  std::atomic<double> build_cells_seconds{0};
+  std::atomic<double> mark_core_seconds{0};
+  std::atomic<double> cluster_core_seconds{0};
+  std::atomic<double> cluster_border_seconds{0};
+  std::atomic<double> finalize_seconds{0};
+
   void Reset() {
     connectivity_queries.store(0, std::memory_order_relaxed);
     pruned_queries.store(0, std::memory_order_relaxed);
     successful_queries.store(0, std::memory_order_relaxed);
+    cells_built.store(0, std::memory_order_relaxed);
+    cells_reused.store(0, std::memory_order_relaxed);
+    counts_built.store(0, std::memory_order_relaxed);
+    counts_reused.store(0, std::memory_order_relaxed);
+    build_cells_seconds.store(0, std::memory_order_relaxed);
+    mark_core_seconds.store(0, std::memory_order_relaxed);
+    cluster_core_seconds.store(0, std::memory_order_relaxed);
+    cluster_border_seconds.store(0, std::memory_order_relaxed);
+    finalize_seconds.store(0, std::memory_order_relaxed);
   }
 };
 

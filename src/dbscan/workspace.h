@@ -1,0 +1,48 @@
+// Scratch buffers for the DbscanEngine, reused across runs.
+//
+// Every vector here is sized with assign/resize instead of being
+// reconstructed, so its allocation (and, for the nested membership lists,
+// every inner allocation) survives from one Run to the next. A parameter
+// sweep through a warm engine therefore touches the allocator only when a
+// buffer genuinely needs to grow.
+#ifndef PDBSCAN_DBSCAN_WORKSPACE_H_
+#define PDBSCAN_DBSCAN_WORKSPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "containers/union_find.h"
+#include "geometry/point.h"
+
+namespace pdbscan::dbscan {
+
+template <int D>
+struct Workspace {
+  // Owned copy of the input when the engine owns its points (SetPoints /
+  // SetPointsStrided); unused in view mode.
+  std::vector<geometry::Point<D>> points;
+
+  // Saturated epsilon-neighbor counts per reordered point — the cached
+  // MarkCore artifact that answers every min_pts <= the cap it was built
+  // with (see MarkCoreCounts).
+  std::vector<uint32_t> neighbor_counts;
+
+  // Core flags derived from neighbor_counts for the current min_pts.
+  std::vector<uint8_t> core_flags;
+
+  // Per reordered point, the union-find roots of the clusters it belongs to
+  // (inner vectors keep their capacity across runs).
+  std::vector<std::vector<uint32_t>> point_roots;
+
+  // Union-find over cells, Reset() once per run.
+  containers::UnionFind uf;
+
+  // Finalize scratch: per-original-index membership pointers and the
+  // root-cell -> consecutive-cluster-id map.
+  std::vector<const std::vector<uint32_t>*> by_orig;
+  std::vector<int64_t> root_to_id;
+};
+
+}  // namespace pdbscan::dbscan
+
+#endif  // PDBSCAN_DBSCAN_WORKSPACE_H_

@@ -7,6 +7,7 @@
 #define PDBSCAN_EXTENSIONS_KDIST_H_
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 #include <span>
 #include <vector>
@@ -60,6 +61,33 @@ std::vector<double> SortedKDistanceCurve(std::span<const geometry::Point<D>> pts
   std::vector<double> curve = KDistances(pts, k);
   primitives::ParallelSort(curve, std::greater<double>());
   return curve;
+}
+
+// Candidate epsilons for a parameter exploration: `count` values read off
+// the sorted k-distance curve at geometrically spaced ranks around the
+// elbow region, deduplicated and ascending. Feed these to a DbscanEngine —
+// one engine evaluates the whole list while reusing its point layout and
+// workspace across the epsilon changes.
+inline std::vector<double> CandidateEpsilons(const std::vector<double>& curve,
+                                             size_t count = 5) {
+  std::vector<double> out;
+  const size_t n = curve.size();
+  if (n == 0 || count == 0) return out;
+  // Ranks from the 2nd to the 75th percentile of the descending curve:
+  // epsilons from "only the densest points are core" to "most are".
+  const double lo = 0.02, hi = 0.75;
+  for (size_t i = 0; i < count; ++i) {
+    const double t = count == 1 ? 0.5 : double(i) / double(count - 1);
+    const double q = lo * std::pow(hi / lo, t);
+    const size_t idx = static_cast<size_t>(q * (double(n) - 1));
+    out.push_back(curve[idx]);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](double e) { return !(e > 0); }),
+            out.end());
+  return out;
 }
 
 // Heuristic epsilon suggestion: the point of maximum curvature (largest

@@ -1,7 +1,7 @@
 // Public API of the pdbscan library — parallel exact and approximate
 // Euclidean DBSCAN (Wang, Gu & Shun, SIGMOD 2020).
 //
-// Quickstart:
+// Quickstart (one-shot):
 //
 //   #include "pdbscan/pdbscan.h"
 //
@@ -12,6 +12,21 @@
 //   // result.is_core[i]        : core-point flag
 //   // result.memberships(i)    : all clusters of point i (border points
 //   //                            can belong to several)
+//
+// Quickstart (repeated queries / parameter sweeps):
+//
+//   pdbscan::DbscanEngine<2> engine;          // or DbscanEngine<2>(options)
+//   engine.SetPoints(pts);                    // one-time preprocessing
+//   auto sweep = engine.Sweep(1.0, {5, 10, 50});   // cells built once,
+//                                                  // MarkCore counted once
+//   auto other = engine.Run(2.0, 10);         // new epsilon: cells rebuilt,
+//                                             // point layout + buffers reused
+//
+// The engine caches whatever the parameters allow: at a fixed epsilon the
+// cell structure (and quadtrees) is reused for every min_pts; across epsilon
+// changes the epsilon-independent layout (dataset bounds, x-sorted order)
+// and all scratch allocations are reused. Labels are bit-identical to
+// one-shot Dbscan calls — both paths run the same engine code.
 //
 // Configuration (pdbscan::Options) selects the paper's variants:
 //   OurExact(), OurExactQt(), OurApprox(rho), OurApproxQt(rho),
@@ -25,7 +40,8 @@
 //
 // Threading: the library uses a process-wide work-stealing pool sized from
 // PDBSCAN_NUM_THREADS (default: hardware concurrency); see
-// parallel/scheduler.h and pdbscan::parallel::set_num_workers().
+// parallel/scheduler.h and pdbscan::parallel::set_num_workers(). Engines
+// themselves are not thread-safe; use one per thread.
 #ifndef PDBSCAN_PDBSCAN_H_
 #define PDBSCAN_PDBSCAN_H_
 
@@ -33,6 +49,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "dbscan/engine.h"
 #include "dbscan/pipeline.h"
 #include "dbscan/types.h"
 #include "geometry/point.h"
@@ -45,9 +62,38 @@ using Point = geometry::Point<D>;
 using Point2 = geometry::Point<2>;
 using Point3 = geometry::Point<3>;
 
+// The stateful, reusable clusterer (see dbscan/engine.h for the caching
+// contract).
+template <int D>
+using DbscanEngine = dbscan::DbscanEngine<D>;
+
 // Dimensions instantiated for the runtime-dispatch overload (the paper's
 // evaluation uses 2, 3, 5, 7 and 13).
 inline constexpr int kSupportedDims[] = {2, 3, 4, 5, 7, 13};
+
+// Invokes f.template operator()<D>() with D = dim; throws
+// std::invalid_argument for dimensions not in kSupportedDims. The single
+// runtime-dimension dispatch point for the library and its harnesses.
+template <typename F>
+auto DispatchDim(int dim, F&& f) {
+  switch (dim) {
+    case 2:
+      return f.template operator()<2>();
+    case 3:
+      return f.template operator()<3>();
+    case 4:
+      return f.template operator()<4>();
+    case 5:
+      return f.template operator()<5>();
+    case 7:
+      return f.template operator()<7>();
+    case 13:
+      return f.template operator()<13>();
+    default:
+      throw std::invalid_argument(
+          "unsupported dimension (supported: 2, 3, 4, 5, 7, 13)");
+  }
+}
 
 // Clusters `points` with the given parameters. See dbscan/types.h for the
 // result contract.
@@ -65,33 +111,17 @@ Clustering Dbscan(const std::vector<Point<D>>& points, double epsilon,
 }
 
 // Runtime-dimension overload over row-major coordinates (n x dim doubles).
-// Throws std::invalid_argument for dimensions not in kSupportedDims.
+// Throws std::invalid_argument for dimensions not in kSupportedDims — before
+// touching the data, so an unsupported dim never pays the O(n * dim) copy.
+// The coordinates are materialized directly into the engine's workspace
+// (a single copy, no intermediate vector).
 inline Clustering Dbscan(const double* data, size_t n, int dim, double epsilon,
                          size_t min_pts, const Options& options = Options()) {
-  auto run = [&]<int D>() {
-    std::vector<Point<D>> pts(n);
-    parallel::parallel_for(0, n, [&](size_t i) {
-      for (int k = 0; k < D; ++k) pts[i][k] = data[i * static_cast<size_t>(dim) + k];
-    });
-    return Dbscan<D>(pts, epsilon, min_pts, options);
-  };
-  switch (dim) {
-    case 2:
-      return run.template operator()<2>();
-    case 3:
-      return run.template operator()<3>();
-    case 4:
-      return run.template operator()<4>();
-    case 5:
-      return run.template operator()<5>();
-    case 7:
-      return run.template operator()<7>();
-    case 13:
-      return run.template operator()<13>();
-    default:
-      throw std::invalid_argument(
-          "unsupported dimension (supported: 2, 3, 4, 5, 7, 13)");
-  }
+  return DispatchDim(dim, [&]<int D>() {
+    dbscan::DbscanEngine<D> engine(options);
+    engine.SetPointsStrided(data, n, static_cast<size_t>(dim));
+    return engine.Run(epsilon, min_pts);
+  });
 }
 
 }  // namespace pdbscan
