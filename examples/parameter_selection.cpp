@@ -1,11 +1,13 @@
-// Parameter selection workflow on a reusable DbscanEngine: choose epsilon
-// with the sorted k-distance curve (Ester et al.'s methodology), explore
-// candidate epsilons and a min_pts sweep through ONE engine — the point
-// layout, workspace, and (for the min_pts sweep) the entire cell structure
-// and MarkCore counts are reused instead of being rebuilt per setting —
-// then explore the density hierarchy with OPTICS.
+// Parameter selection workflow on the reusable query surfaces: choose
+// epsilon with the sorted k-distance curve (Ester et al.'s methodology),
+// explore candidate epsilons through ONE DbscanEngine (layout + workspace
+// reused across rebuilds), answer the min_pts sweep CONCURRENTLY from a
+// frozen shared CellIndex via an EnginePool (cells built once, MarkCore
+// counted once, one client thread per setting), then explore the density
+// hierarchy with OPTICS.
 #include <algorithm>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "data/seed_spreader.h"
@@ -66,17 +68,30 @@ int main() {
   }
   std::printf("\n");
 
-  // 3. min_pts sensitivity at the suggested epsilon: the batched sweep
-  // builds the cell structure once and reuses the MarkCore counts for
-  // every setting.
+  // 3. min_pts sensitivity at the suggested epsilon, served concurrently:
+  // freeze the cell structure + saturated MarkCore counts into a shared
+  // CellIndex once, then answer every setting from its own client thread
+  // through an EnginePool. The pool's aggregated stats prove the build
+  // happened once no matter how many clients queried.
   const std::vector<size_t> minpts_sweep = {5, 10, 20, 50, 100};
-  pdbscan::dbscan::GlobalStats().Reset();
   pdbscan::util::Timer timer;
-  const auto sweep = engine.Sweep(eps, minpts_sweep);
+  pdbscan::EnginePool<2> pool(std::span<const pdbscan::Point2>(pts), eps,
+                              /*counts_cap=*/100);
+  std::vector<pdbscan::Clustering> sweep(minpts_sweep.size());
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < minpts_sweep.size(); ++i) {
+    clients.emplace_back(
+        [&, i]() { sweep[i] = pool.Run(minpts_sweep[i]); });
+  }
+  for (auto& c : clients) c.join();
   const double sweep_seconds = timer.Seconds();
-  std::printf("min_pts sweep at eps=%.2f (%.3fs total, cells built %zu time(s)):\n",
-              eps, sweep_seconds,
-              pdbscan::dbscan::GlobalStats().cells_built.load());
+  pdbscan::dbscan::PipelineStats pool_stats;
+  pool.AggregateStats(pool_stats);
+  std::printf(
+      "min_pts sweep at eps=%.2f, %zu concurrent clients "
+      "(%.3fs total, cells built %zu time(s), counts built %zu time(s)):\n",
+      eps, minpts_sweep.size(), sweep_seconds,
+      pool_stats.cells_built.load(), pool_stats.counts_built.load());
   for (size_t i = 0; i < sweep.size(); ++i) {
     ReportClustering("DBSCAN", eps, minpts_sweep[i], sweep[i], 0.0);
   }

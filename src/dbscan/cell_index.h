@@ -1,0 +1,268 @@
+// CellIndex — the frozen, shareable half of the DBSCAN pipeline, plus the
+// per-thread QueryContext that answers queries against it.
+//
+// The paper's pipeline is build-once/query-many: the cell structure, the
+// kQuadtree range-count trees, and the saturated MarkCore neighbor counts
+// depend only on (points, epsilon, options, counts cap), while everything
+// downstream (core flags at a min_pts, cell-graph connectivity, border
+// assignment, relabeling) is cheap per-query state. A DbscanEngine keeps
+// both halves in one mutable object and therefore serves one thread;
+// CellIndex freezes the first half so any number of threads can query it:
+//
+//   auto index = pdbscan::dbscan::CellIndex<2>::Build(pts, /*epsilon=*/1.0,
+//                                                     /*counts_cap=*/100);
+//   // ... on each serving thread:
+//   pdbscan::dbscan::QueryContext<2> ctx;     // owns a private Workspace
+//   pdbscan::Clustering a = ctx.Run(*index, /*min_pts=*/10);
+//
+// After Build returns, a CellIndex is strictly immutable — every accessor
+// is const and no call mutates it — so sharing needs no synchronization.
+// Queries with min_pts <= counts_cap() are answered entirely from the
+// shared counts; larger min_pts values stay correct by recounting into the
+// context's private workspace (counts_built ticks in the context's stats).
+// Either way the clustering is bit-identical to a one-shot pdbscan::Dbscan
+// call: all query surfaces execute RunQueryFromCounts (query.h), and
+// saturated counts threshold identically for every min_pts <= their cap.
+//
+// parallel::EnginePool (parallel/engine_pool.h) packages a CellIndex with a
+// reusable set of QueryContexts behind a thread-safe Run/Sweep facade.
+#ifndef PDBSCAN_DBSCAN_CELL_INDEX_H_
+#define PDBSCAN_DBSCAN_CELL_INDEX_H_
+
+#include <algorithm>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "dbscan/cell_source.h"
+#include "dbscan/cell_structure.h"
+#include "dbscan/mark_core.h"
+#include "dbscan/query.h"
+#include "dbscan/stats.h"
+#include "dbscan/types.h"
+#include "dbscan/workspace.h"
+#include "geometry/point.h"
+#include "geometry/quadtree.h"
+#include "util/timer.h"
+
+namespace pdbscan::dbscan {
+
+template <int D>
+class CellIndex {
+ public:
+  // Builds the frozen index: cell structure, per-cell quadtrees when
+  // options use the kQuadtree range-count path, and MarkCore neighbor
+  // counts saturated at `counts_cap`. The build runs through the SAME
+  // CellSource the DbscanEngine uses — one builder path, so engine and
+  // index layouts cannot diverge. Build counters/timings go to `stats`
+  // (nullptr: the process-wide GlobalStats()). `points` is only read
+  // during construction and need not outlive it — the index keeps its own
+  // reordered copy inside the CellStructure.
+  CellIndex(std::span<const geometry::Point<D>> points, double epsilon,
+            size_t counts_cap, Options options = Options(),
+            PipelineStats* stats = nullptr)
+      : epsilon_(epsilon),
+        counts_cap_(counts_cap),
+        options_(std::move(options)) {
+    if (epsilon <= 0) throw std::invalid_argument("epsilon must be positive");
+    if (counts_cap == 0) {
+      throw std::invalid_argument("counts_cap must be positive");
+    }
+    PipelineStats& sink = stats != nullptr ? *stats : GlobalStats();
+    source_.set_stats(stats);
+    source_.Reset(points, options_.cell_method);
+    // From here on, the exact EnsureCounts sequence of DbscanEngine; after
+    // the constructor returns, source_ is never touched again (its caches
+    // become the frozen payload; the `points` span it saw is not re-read).
+    util::Timer timer;
+    const CellStructure<D>& cells = source_.Acquire(epsilon);
+    AddSeconds(sink.build_cells_seconds, timer.Seconds());
+    timer.Reset();
+    const std::vector<std::unique_ptr<geometry::CellQuadtree<D>>>* trees =
+        nullptr;
+    if (options_.range_count == RangeCountMethod::kQuadtree) {
+      trees = &source_.AcquireQuadtrees();
+    }
+    MarkCoreCounts(cells, counts_cap_, options_.range_count, trees,
+                   neighbor_counts_);
+    sink.counts_built.fetch_add(1, std::memory_order_relaxed);
+    AddSeconds(sink.mark_core_seconds, timer.Seconds());
+  }
+
+  // Convenience factory for the common shared-ownership pattern.
+  static std::shared_ptr<const CellIndex<D>> Build(
+      std::span<const geometry::Point<D>> points, double epsilon,
+      size_t counts_cap, Options options = Options(),
+      PipelineStats* stats = nullptr) {
+    return std::make_shared<const CellIndex<D>>(points, epsilon, counts_cap,
+                                                std::move(options), stats);
+  }
+
+  static std::shared_ptr<const CellIndex<D>> Build(
+      const std::vector<geometry::Point<D>>& points, double epsilon,
+      size_t counts_cap, Options options = Options(),
+      PipelineStats* stats = nullptr) {
+    return Build(std::span<const geometry::Point<D>>(points), epsilon,
+                 counts_cap, std::move(options), stats);
+  }
+
+  CellIndex(const CellIndex&) = delete;
+  CellIndex& operator=(const CellIndex&) = delete;
+
+  double epsilon() const { return epsilon_; }
+  size_t counts_cap() const { return counts_cap_; }
+  const Options& options() const { return options_; }
+  size_t num_points() const { return cells().num_points(); }
+  size_t num_cells() const { return cells().num_cells(); }
+
+  const CellStructure<D>& cells() const { return source_.cells(); }
+
+  // Saturated epsilon-neighbor counts per reordered point (cap =
+  // counts_cap()); answers every min_pts <= the cap.
+  const std::vector<uint32_t>& neighbor_counts() const {
+    return neighbor_counts_;
+  }
+
+  // Per-cell quadtrees; non-empty only when options().range_count ==
+  // kQuadtree. Tree queries (CountInBall etc.) are const and thread-safe.
+  const std::vector<std::unique_ptr<geometry::CellQuadtree<D>>>& quadtrees()
+      const {
+    return source_.quadtrees();
+  }
+
+ private:
+  double epsilon_;
+  size_t counts_cap_;
+  Options options_;
+  // Quiescent after construction: holds the built cells + quadtrees.
+  CellSource<D> source_;
+  std::vector<uint32_t> neighbor_counts_;
+};
+
+// Per-thread query state against shared CellIndexes: a private Workspace
+// (scratch allocations reused across queries) and a stats sink. Contexts
+// are cheap — construct one per serving thread, or let parallel::EnginePool
+// manage a reusable set. A context may be pointed at different indexes from
+// query to query; it must simply not be used by two threads at once.
+template <int D>
+class QueryContext {
+ public:
+  // `stats` is the sink for this context's counters; nullptr means the
+  // process-wide GlobalStats() (fine single-threaded, but concurrent
+  // serving should give each context its own sink so Reset()/read-out on
+  // one client never tears another's counters).
+  explicit QueryContext(PipelineStats* stats = nullptr)
+      : stats_(stats != nullptr ? stats : &GlobalStats()) {}
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  // Clusters the index's point set at `min_pts`. Bit-identical to a
+  // one-shot pdbscan::Dbscan call with (index points, index epsilon,
+  // min_pts, index options). The shared_ptr overload additionally caches
+  // an over-cap recount across calls (see EnsureCounts).
+  Clustering Run(const CellIndex<D>& index, size_t min_pts) {
+    return RunImpl(index, min_pts, nullptr);
+  }
+
+  Clustering Run(const std::shared_ptr<const CellIndex<D>>& index,
+                 size_t min_pts) {
+    if (!index) throw std::invalid_argument("QueryContext needs an index");
+    return RunImpl(*index, min_pts, &index);
+  }
+
+  // Answers every setting of a min_pts sweep. Settings within the index's
+  // cap share the index counts; if any setting exceeds the cap, one private
+  // recount at cap = max(list) serves the whole sweep.
+  std::vector<Clustering> Sweep(const CellIndex<D>& index,
+                                std::span<const size_t> minpts_list) {
+    return SweepImpl(index, minpts_list, nullptr);
+  }
+
+  std::vector<Clustering> Sweep(const std::shared_ptr<const CellIndex<D>>& index,
+                                std::span<const size_t> minpts_list) {
+    if (!index) throw std::invalid_argument("QueryContext needs an index");
+    return SweepImpl(*index, minpts_list, &index);
+  }
+
+  std::vector<Clustering> Sweep(const CellIndex<D>& index,
+                                std::initializer_list<size_t> minpts_list) {
+    return Sweep(index, std::span<const size_t>(minpts_list.begin(),
+                                                minpts_list.size()));
+  }
+
+  PipelineStats& stats() { return *stats_; }
+
+ private:
+  Clustering RunImpl(const CellIndex<D>& index, size_t min_pts,
+                     const std::shared_ptr<const CellIndex<D>>* owner) {
+    if (min_pts == 0) throw std::invalid_argument("min_pts must be positive");
+    const std::vector<uint32_t>& counts = EnsureCounts(index, min_pts, owner);
+    return RunQueryFromCounts(index.cells(), counts, min_pts, index.options(),
+                              ws_, *stats_);
+  }
+
+  std::vector<Clustering> SweepImpl(
+      const CellIndex<D>& index, std::span<const size_t> minpts_list,
+      const std::shared_ptr<const CellIndex<D>>* owner) {
+    return SweepFromCounts<D>(
+        minpts_list, index.options(), ws_, *stats_,
+        [&](size_t cap)
+            -> std::pair<const CellStructure<D>&,
+                         const std::vector<uint32_t>&> {
+          return {index.cells(), EnsureCounts(index, cap, owner)};
+        });
+  }
+
+  // Counts valid for caps up to `cap`: the index's shared counts when they
+  // suffice, else the context's cached private recount, else a fresh
+  // MarkCore pass (counts_built ticks; the other two tick counts_reused).
+  // The private cache is keyed on index identity, which is only sound
+  // because cached_index_ *pins* the cached index alive — its address can
+  // neither dangle nor be recycled while the cache entry exists. Callers
+  // going through the plain-reference overloads can therefore still *hit*
+  // the cache, but only shared_ptr callers (`owner` != nullptr, e.g.
+  // EnginePool) can populate it, so steady over-cap traffic through a pool
+  // recounts once per context rather than once per query.
+  const std::vector<uint32_t>& EnsureCounts(
+      const CellIndex<D>& index, size_t cap,
+      const std::shared_ptr<const CellIndex<D>>* owner) {
+    if (cap <= index.counts_cap()) {
+      stats_->counts_reused.fetch_add(1, std::memory_order_relaxed);
+      return index.neighbor_counts();
+    }
+    if (cached_index_.get() == &index && cached_cap_ >= cap) {
+      stats_->counts_reused.fetch_add(1, std::memory_order_relaxed);
+      return ws_.neighbor_counts;
+    }
+    util::Timer timer;
+    MarkCoreCounts(index.cells(), cap, index.options().range_count,
+                   &index.quadtrees(), ws_.neighbor_counts);
+    if (owner != nullptr) {
+      cached_index_ = *owner;
+      cached_cap_ = cap;
+    } else {
+      // The workspace counts no longer match the cached index's.
+      cached_index_.reset();
+      cached_cap_ = 0;
+    }
+    stats_->counts_built.fetch_add(1, std::memory_order_relaxed);
+    AddSeconds(stats_->mark_core_seconds, timer.Seconds());
+    return ws_.neighbor_counts;
+  }
+
+  Workspace<D> ws_;
+  PipelineStats* stats_;
+
+  // Over-cap recount cache: the index (kept alive) whose counts currently
+  // occupy ws_.neighbor_counts, and the cap they were computed with.
+  std::shared_ptr<const CellIndex<D>> cached_index_;
+  size_t cached_cap_ = 0;
+};
+
+}  // namespace pdbscan::dbscan
+
+#endif  // PDBSCAN_DBSCAN_CELL_INDEX_H_

@@ -9,8 +9,13 @@
 //     by the kQuadtree range-count path, keyed on epsilon — reused outright
 //     when epsilon is unchanged (min_pts sweeps).
 //
-// Build/reuse events are recorded in GlobalStats() (cells_built /
-// cells_reused), which is how tests assert that a sweep builds cells once.
+// Ownership model: a CellSource is the *mutable* half of cell construction
+// and belongs to exactly one DbscanEngine (one thread). The *frozen* half is
+// CellIndex (cell_index.h), which runs the same builders once and then only
+// serves const reads — that is what concurrent QueryContexts share. Build /
+// reuse events are recorded in the owner's stats sink (cells_built /
+// cells_reused, default GlobalStats()), which is how tests assert that a
+// sweep builds cells once.
 #ifndef PDBSCAN_DBSCAN_CELL_SOURCE_H_
 #define PDBSCAN_DBSCAN_CELL_SOURCE_H_
 
@@ -33,6 +38,12 @@ namespace pdbscan::dbscan {
 template <int D>
 class CellSource {
  public:
+  // Selects the sink for build/reuse counters; nullptr restores the
+  // process-wide GlobalStats().
+  void set_stats(PipelineStats* stats) {
+    stats_ = stats != nullptr ? stats : &GlobalStats();
+  }
+
   // Points the source at a (caller-owned) point set; drops every cache.
   void Reset(std::span<const geometry::Point<D>> points, CellMethod method) {
     points_ = points;
@@ -46,7 +57,7 @@ class CellSource {
   // Returns the cell structure for `epsilon`, rebuilding only when epsilon
   // changed (or the point set was reset). Layout caches survive rebuilds.
   const CellStructure<D>& Acquire(double epsilon) {
-    auto& stats = GlobalStats();
+    auto& stats = *stats_;
     if (cells_valid_ && built_epsilon_ == epsilon) {
       stats.cells_reused.fetch_add(1, std::memory_order_relaxed);
       return cells_;
@@ -94,6 +105,13 @@ class CellSource {
   // valid after Acquire.
   const CellStructure<D>& cells() const { return cells_; }
 
+  // The current quadtrees without (re)building: non-empty only after
+  // AcquireQuadtrees for the current cell structure.
+  const std::vector<std::unique_ptr<geometry::CellQuadtree<D>>>& quadtrees()
+      const {
+    return trees_valid_ ? trees_ : kNoTrees();
+  }
+
   bool has_cells() const { return cells_valid_; }
   double built_epsilon() const { return built_epsilon_; }
 
@@ -102,8 +120,16 @@ class CellSource {
   size_t generation() const { return generation_; }
 
  private:
+  static const std::vector<std::unique_ptr<geometry::CellQuadtree<D>>>&
+  kNoTrees() {
+    static const std::vector<std::unique_ptr<geometry::CellQuadtree<D>>>
+        empty;
+    return empty;
+  }
+
   std::span<const geometry::Point<D>> points_;
   CellMethod method_ = CellMethod::kGrid;
+  PipelineStats* stats_ = &GlobalStats();
 
   // Epsilon-independent layout caches.
   bool bounds_valid_ = false;

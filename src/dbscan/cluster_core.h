@@ -307,12 +307,14 @@ class UsecConnector {
 // Runs Algorithm 3 with the given connectivity predicate: size-sorted cell
 // order, optional bucketing batches, union-find pruning, and the
 // "higher-priority cell initiates" rule so each pair is queried at most
-// once.
+// once. Query counters accumulate into `stats` (callers running concurrent
+// queries pass their per-context sink; the default is the process-wide one).
 template <int D, typename Connector>
 void ClusterCoreWithConnector(const CellStructure<D>& cells,
                               const CoreIndex& core, const Options& options,
                               const Connector& connector,
-                              containers::UnionFind& uf) {
+                              containers::UnionFind& uf,
+                              PipelineStats& stats = GlobalStats()) {
   const size_t num_cells = cells.num_cells();
   std::vector<uint32_t> core_cells;
   core_cells.reserve(num_cells);
@@ -340,7 +342,6 @@ void ClusterCoreWithConnector(const CellStructure<D>& cells,
         lo, hi,
         [&](size_t i) {
           const uint32_t g = core_cells[i];
-          auto& stats = GlobalStats();
           for (const uint32_t h : cells.neighbors(g)) {
             if (!core.cell_is_core[h]) continue;
             if (rank[h] <= i) continue;  // The higher-priority cell queries.
@@ -397,21 +398,22 @@ inline void ClusterCoreDelaunay(const CellStructure<2>& cells,
 // cells.num_cells().
 template <int D>
 void ClusterCore(const CellStructure<D>& cells, const CoreIndex& core,
-                 const Options& options, containers::UnionFind& uf) {
+                 const Options& options, containers::UnionFind& uf,
+                 PipelineStats& stats = GlobalStats()) {
   switch (options.connect_method) {
     case ConnectMethod::kBcp: {
       BcpConnector<D> connector(cells, core);
-      ClusterCoreWithConnector(cells, core, options, connector, uf);
+      ClusterCoreWithConnector(cells, core, options, connector, uf, stats);
       return;
     }
     case ConnectMethod::kQuadtreeBcp: {
       QuadtreeBcpConnector<D> connector(cells, core);
-      ClusterCoreWithConnector(cells, core, options, connector, uf);
+      ClusterCoreWithConnector(cells, core, options, connector, uf, stats);
       return;
     }
     case ConnectMethod::kApproxQuadtree: {
       ApproxConnector<D> connector(cells, core, options.rho);
-      ClusterCoreWithConnector(cells, core, options, connector, uf);
+      ClusterCoreWithConnector(cells, core, options, connector, uf, stats);
       return;
     }
     case ConnectMethod::kUsec:
@@ -419,7 +421,7 @@ void ClusterCore(const CellStructure<D>& cells, const CoreIndex& core,
       if constexpr (D == 2) {
         if (options.connect_method == ConnectMethod::kUsec) {
           UsecConnector connector(cells, core);
-          ClusterCoreWithConnector(cells, core, options, connector, uf);
+          ClusterCoreWithConnector(cells, core, options, connector, uf, stats);
         } else {
           ClusterCoreDelaunay(cells, core, options, uf);
         }

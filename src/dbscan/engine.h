@@ -25,8 +25,18 @@
 //   auto sweep = engine.Sweep(/*epsilon=*/1.0, {5, 10, 50, 100});
 //   auto one = engine.Run(/*epsilon=*/2.0, /*min_pts=*/10);  // Rebuilds cells.
 //
-// Per-stage timings and build/reuse counters accumulate in GlobalStats()
-// (see stats.h). Engines are not thread-safe; use one per thread.
+// Ownership and threading: one engine is one mutation site — its CellSource
+// caches and Workspace are rewritten by every call, so a single engine must
+// not be shared between threads without external serialization. For
+// concurrent query serving, freeze the build products into a shared
+// CellIndex (cell_index.h) and give each thread a QueryContext, or use
+// parallel::EnginePool which manages both; results stay bit-identical
+// because all three surfaces execute the same RunQueryFromCounts pipeline
+// (query.h).
+//
+// Per-stage timings and build/reuse counters accumulate in the engine's
+// stats sink — the process-wide GlobalStats() unless a per-engine
+// PipelineStats was passed to the constructor (see stats.h).
 #ifndef PDBSCAN_DBSCAN_ENGINE_H_
 #define PDBSCAN_DBSCAN_ENGINE_H_
 
@@ -39,9 +49,8 @@
 
 #include "dbscan/cell_source.h"
 #include "dbscan/cell_structure.h"
-#include "dbscan/cluster_border.h"
-#include "dbscan/cluster_core.h"
 #include "dbscan/mark_core.h"
+#include "dbscan/query.h"
 #include "dbscan/stats.h"
 #include "dbscan/types.h"
 #include "dbscan/workspace.h"
@@ -51,70 +60,17 @@
 
 namespace pdbscan::dbscan {
 
-namespace internal {
-
-// Relabels union-find roots to consecutive cluster ids, assigned by the
-// first appearance in the caller's point order, and assembles the public
-// Clustering. `point_roots` holds, for each reordered position, the sorted
-// list of root cells the point belongs to (one entry for core points,
-// possibly several for border points, none for noise). Scratch lives in
-// `ws`; the returned Clustering owns fresh storage.
-template <int D>
-Clustering Finalize(const CellStructure<D>& cells,
-                    const std::vector<uint8_t>& core_flags,
-                    const std::vector<std::vector<uint32_t>>& point_roots,
-                    Workspace<D>& ws) {
-  const size_t n = cells.num_points();
-  Clustering out;
-  out.cluster.assign(n, Clustering::kNoise);
-  out.is_core.assign(n, 0);
-  out.membership_offsets.assign(n + 1, 0);
-
-  // Gather per-original-index membership lists.
-  ws.by_orig.assign(n, nullptr);
-  parallel::parallel_for(0, n, [&](size_t i) {
-    const uint32_t orig = cells.orig_index[i];
-    ws.by_orig[orig] = &point_roots[i];
-    out.is_core[orig] = core_flags[i];
-  });
-
-  // First-appearance relabeling (serial, O(n + memberships)).
-  ws.root_to_id.assign(cells.num_cells(), -1);
-  int64_t next_id = 0;
-  size_t total_memberships = 0;
-  for (size_t i = 0; i < n; ++i) {
-    for (const uint32_t root : *ws.by_orig[i]) {
-      if (ws.root_to_id[root] < 0) ws.root_to_id[root] = next_id++;
-      ++total_memberships;
-    }
-  }
-  out.num_clusters = static_cast<size_t>(next_id);
-
-  for (size_t i = 0; i < n; ++i) {
-    out.membership_offsets[i + 1] =
-        out.membership_offsets[i] + ws.by_orig[i]->size();
-  }
-  out.membership_ids.resize(total_memberships);
-  parallel::parallel_for(0, n, [&](size_t i) {
-    size_t w = out.membership_offsets[i];
-    for (const uint32_t root : *ws.by_orig[i]) {
-      out.membership_ids[w++] = ws.root_to_id[root];
-    }
-    auto begin = out.membership_ids.begin() + out.membership_offsets[i];
-    auto end = out.membership_ids.begin() + out.membership_offsets[i + 1];
-    std::sort(begin, end);
-    if (begin != end) out.cluster[i] = *begin;
-  });
-  return out;
-}
-
-}  // namespace internal
-
 template <int D>
 class DbscanEngine {
  public:
-  explicit DbscanEngine(Options options = Options())
-      : options_(std::move(options)) {}
+  // `stats` selects the sink for counters and timings; nullptr means the
+  // process-wide GlobalStats().
+  explicit DbscanEngine(Options options = Options(),
+                        PipelineStats* stats = nullptr)
+      : options_(std::move(options)),
+        stats_(stats != nullptr ? stats : &GlobalStats()) {
+    source_.set_stats(stats_);
+  }
 
   DbscanEngine(const DbscanEngine&) = delete;
   DbscanEngine& operator=(const DbscanEngine&) = delete;
@@ -159,7 +115,8 @@ class DbscanEngine {
   Clustering Run(double epsilon, size_t min_pts) {
     Validate(epsilon, min_pts);
     EnsureCounts(epsilon, min_pts);
-    return RunFromCounts(min_pts);
+    return RunQueryFromCounts(source_.cells(), ws_.neighbor_counts, min_pts,
+                              options_, ws_, *stats_);
   }
 
   // Batched min_pts sweep at a fixed epsilon: builds the cell structure at
@@ -169,17 +126,14 @@ class DbscanEngine {
   std::vector<Clustering> Sweep(double epsilon,
                                 std::span<const size_t> minpts_list) {
     Validate(epsilon, 1);
-    std::vector<Clustering> out;
-    out.reserve(minpts_list.size());
-    if (minpts_list.empty()) return out;
-    size_t cap = 0;
-    for (const size_t m : minpts_list) {
-      if (m == 0) throw std::invalid_argument("min_pts must be positive");
-      cap = std::max(cap, m);
-    }
-    EnsureCounts(epsilon, cap);
-    for (const size_t m : minpts_list) out.push_back(RunFromCounts(m));
-    return out;
+    return SweepFromCounts<D>(
+        minpts_list, options_, ws_, *stats_,
+        [&](size_t cap)
+            -> std::pair<const CellStructure<D>&,
+                         const std::vector<uint32_t>&> {
+          EnsureCounts(epsilon, cap);
+          return {source_.cells(), ws_.neighbor_counts};
+        });
   }
 
   std::vector<Clustering> Sweep(double epsilon,
@@ -219,14 +173,13 @@ class DbscanEngine {
   // Makes ws_.neighbor_counts valid for the given epsilon with a cap of at
   // least `cap` (Line 2 + Line 3 of Algorithm 1, both cached).
   void EnsureCounts(double epsilon, size_t cap) {
-    auto& stats = GlobalStats();
     util::Timer timer;
     const CellStructure<D>& cells = source_.Acquire(epsilon);
-    AddSeconds(stats.build_cells_seconds, timer.Seconds());
+    AddSeconds(stats_->build_cells_seconds, timer.Seconds());
 
     if (counts_valid_ && counts_generation_ == source_.generation() &&
         counts_cap_ >= cap) {
-      stats.counts_reused.fetch_add(1, std::memory_order_relaxed);
+      stats_->counts_reused.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     timer.Reset();
@@ -240,56 +193,12 @@ class DbscanEngine {
     counts_cap_ = cap;
     counts_generation_ = source_.generation();
     counts_valid_ = true;
-    stats.counts_built.fetch_add(1, std::memory_order_relaxed);
-    AddSeconds(stats.mark_core_seconds, timer.Seconds());
-  }
-
-  // Lines 3-5 of Algorithm 1 from the cached counts, plus finalization.
-  Clustering RunFromCounts(size_t min_pts) {
-    auto& stats = GlobalStats();
-    const CellStructure<D>& cells = source_.cells();
-
-    util::Timer timer;
-    CoreFlagsFromCounts(ws_.neighbor_counts, min_pts, ws_.core_flags);
-    const CoreIndex core = BuildCoreIndex(cells, ws_.core_flags);
-    AddSeconds(stats.mark_core_seconds, timer.Seconds());
-
-    timer.Reset();
-    ws_.uf.Reset(cells.num_cells());
-    ClusterCore(cells, core, options_, ws_.uf);
-    AddSeconds(stats.cluster_core_seconds, timer.Seconds());
-
-    timer.Reset();
-    if (options_.core_only) {
-      // DBSCAN*: clusters consist of core points only.
-      ws_.point_roots.resize(cells.num_points());
-      parallel::parallel_for(0, ws_.point_roots.size(),
-                             [&](size_t i) { ws_.point_roots[i].clear(); });
-    } else {
-      ClusterBorderInto(cells, ws_.core_flags, core, min_pts, ws_.uf,
-                        ws_.point_roots);
-    }
-    // Core points belong to exactly their cell's component.
-    parallel::parallel_for(
-        0, cells.num_cells(),
-        [&](size_t c) {
-          if (!core.cell_is_core[c]) return;
-          const uint32_t root = static_cast<uint32_t>(ws_.uf.Find(c));
-          for (const uint32_t pos : core.core_of(c)) {
-            ws_.point_roots[pos].assign(1, root);
-          }
-        },
-        1);
-    AddSeconds(stats.cluster_border_seconds, timer.Seconds());
-
-    timer.Reset();
-    Clustering out =
-        internal::Finalize(cells, ws_.core_flags, ws_.point_roots, ws_);
-    AddSeconds(stats.finalize_seconds, timer.Seconds());
-    return out;
+    stats_->counts_built.fetch_add(1, std::memory_order_relaxed);
+    AddSeconds(stats_->mark_core_seconds, timer.Seconds());
   }
 
   Options options_;
+  PipelineStats* stats_;
   std::span<const geometry::Point<D>> points_;
   CellSource<D> source_;
   Workspace<D> ws_;

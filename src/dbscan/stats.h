@@ -4,10 +4,20 @@
 // The bucketing heuristic of Section 4.4 exists to *reduce the number of
 // cell connectivity queries*; these counters make that effect measurable
 // (see bench/ablation_bucketing). The build/reuse counters and stage
-// timings make the DbscanEngine's caching observable: a min_pts sweep must
-// report cells_built == 1 no matter how many settings it answers.
-// Counters are process-wide atomics with relaxed ordering — negligible
-// overhead, reset explicitly by callers that want a per-run reading.
+// timings make the caching of DbscanEngine and CellIndex observable: a
+// min_pts sweep must report cells_built == 1 no matter how many settings it
+// answers.
+//
+// Ownership model: every stage accumulates into a PipelineStats sink chosen
+// by its caller. Single-threaded callers (one-shot Dbscan, a lone
+// DbscanEngine) default to the process-wide GlobalStats(). Concurrent
+// serving gives each QueryContext its own PipelineStats so per-client
+// counters never interleave; EnginePool::AggregateStats() merges them on
+// demand (see parallel/engine_pool.h). Counters are atomics with relaxed
+// ordering — negligible overhead, safe to accumulate from any thread — but
+// Reset() and read-out are only meaningful when the sink's owner is
+// quiescent, which is exactly what per-context sinks guarantee and the
+// shared global one cannot.
 #ifndef PDBSCAN_DBSCAN_STATS_H_
 #define PDBSCAN_DBSCAN_STATS_H_
 
@@ -47,6 +57,33 @@ struct PipelineStats {
   std::atomic<double> cluster_core_seconds{0};
   std::atomic<double> cluster_border_seconds{0};
   std::atomic<double> finalize_seconds{0};
+
+  // Adds every counter and timing of `other` into this sink (relaxed reads
+  // and adds). Used by EnginePool to aggregate per-context stats; `other`
+  // should be quiescent for the sums to be a consistent snapshot.
+  void MergeFrom(const PipelineStats& other) {
+    auto add = [](std::atomic<size_t>& dst, const std::atomic<size_t>& src) {
+      dst.fetch_add(src.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    };
+    add(connectivity_queries, other.connectivity_queries);
+    add(pruned_queries, other.pruned_queries);
+    add(successful_queries, other.successful_queries);
+    add(cells_built, other.cells_built);
+    add(cells_reused, other.cells_reused);
+    add(counts_built, other.counts_built);
+    add(counts_reused, other.counts_reused);
+    AddSeconds(build_cells_seconds,
+               other.build_cells_seconds.load(std::memory_order_relaxed));
+    AddSeconds(mark_core_seconds,
+               other.mark_core_seconds.load(std::memory_order_relaxed));
+    AddSeconds(cluster_core_seconds,
+               other.cluster_core_seconds.load(std::memory_order_relaxed));
+    AddSeconds(cluster_border_seconds,
+               other.cluster_border_seconds.load(std::memory_order_relaxed));
+    AddSeconds(finalize_seconds,
+               other.finalize_seconds.load(std::memory_order_relaxed));
+  }
 
   void Reset() {
     connectivity_queries.store(0, std::memory_order_relaxed);

@@ -1,10 +1,16 @@
-// Scratch buffers for the DbscanEngine, reused across runs.
+// Scratch buffers for one query stream, reused across runs.
 //
 // Every vector here is sized with assign/resize instead of being
 // reconstructed, so its allocation (and, for the nested membership lists,
 // every inner allocation) survives from one Run to the next. A parameter
-// sweep through a warm engine therefore touches the allocator only when a
+// sweep through a warm owner therefore touches the allocator only when a
 // buffer genuinely needs to grow.
+//
+// Ownership model: a Workspace is private, mutable, per-thread state. A
+// DbscanEngine owns one for its whole lifetime; under concurrent serving
+// each QueryContext (cell_index.h) owns one, which is exactly what makes N
+// contexts safe against a single frozen CellIndex — all shared state is
+// const, all mutation lands here. Never share a Workspace between threads.
 #ifndef PDBSCAN_DBSCAN_WORKSPACE_H_
 #define PDBSCAN_DBSCAN_WORKSPACE_H_
 

@@ -1,0 +1,157 @@
+// EnginePool — thread-safe query serving over one frozen CellIndex.
+//
+// The serving architecture the paper's build-once/query-many pipeline
+// implies (and that Berkholz et al.'s query-under-preprocessing split
+// formalizes): an immutable shared index, cheap per-client query state.
+// The pool owns a shared_ptr<const CellIndex<D>> plus a free list of
+// QueryContexts; any number of client threads may call Run/Sweep
+// concurrently — each call leases a context (creating one only when every
+// existing context is busy, so steady-state traffic allocates nothing),
+// runs the standard query pipeline against the shared index, and returns
+// the context to the free list. Results are bit-identical to serial
+// one-shot pdbscan::Dbscan calls with the same parameters.
+//
+//   auto index = pdbscan::dbscan::CellIndex<2>::Build(pts, eps, cap, opts);
+//   pdbscan::parallel::EnginePool<2> pool(index);
+//   // from any thread:
+//   pdbscan::Clustering c = pool.Run(min_pts);
+//
+// Inner parallelism: queries execute on the process-wide work-stealing
+// scheduler (scheduler.h), which accepts submissions from any thread, so
+// client concurrency composes with PDBSCAN_NUM_THREADS. For maximum
+// queries/sec with many clients, run the scheduler with 1 worker (each
+// query executes serially on its client thread; see
+// bench/throughput_concurrent.cpp); a single client with many workers gets
+// minimum latency instead. Do not call parallel::set_num_workers() while
+// pool queries are in flight.
+//
+// Stats: each context accumulates into its own PipelineStats (no shared
+// Reset/read-out races between clients, unlike leaning on GlobalStats());
+// AggregateStats() sums the per-context sinks plus the index-build counters
+// into a caller-provided sink. The sums are exact once callers are
+// quiescent.
+#ifndef PDBSCAN_PARALLEL_ENGINE_POOL_H_
+#define PDBSCAN_PARALLEL_ENGINE_POOL_H_
+
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "dbscan/cell_index.h"
+#include "dbscan/stats.h"
+#include "dbscan/types.h"
+#include "geometry/point.h"
+
+namespace pdbscan::parallel {
+
+template <int D>
+class EnginePool {
+ public:
+  // Serves an index built elsewhere (possibly shared with other pools).
+  explicit EnginePool(std::shared_ptr<const dbscan::CellIndex<D>> index)
+      : index_(std::move(index)) {
+    if (!index_) throw std::invalid_argument("EnginePool needs an index");
+  }
+
+  // Builds the index and serves it: the one-stop "service" constructor.
+  // `counts_cap` is the largest min_pts answered from the shared counts;
+  // larger values remain correct via per-context recounts. Build counters
+  // land in build_stats(), so AggregateStats() reports cells_built == 1 no
+  // matter how many queries follow.
+  EnginePool(std::span<const geometry::Point<D>> points, double epsilon,
+             size_t counts_cap, Options options = Options())
+      : index_(std::make_shared<const dbscan::CellIndex<D>>(
+            points, epsilon, counts_cap, std::move(options), &build_stats_)) {}
+
+  EnginePool(const EnginePool&) = delete;
+  EnginePool& operator=(const EnginePool&) = delete;
+
+  // Thread-safe: clusters the index's point set at `min_pts`. Passing the
+  // shared_ptr lets the leased context cache over-cap recounts across
+  // queries (once per context, not once per query).
+  Clustering Run(size_t min_pts) {
+    Lease lease(*this);
+    return lease.slot->context.Run(index_, min_pts);
+  }
+
+  // Thread-safe: answers a whole min_pts sweep through one leased context.
+  std::vector<Clustering> Sweep(std::span<const size_t> minpts_list) {
+    Lease lease(*this);
+    return lease.slot->context.Sweep(index_, minpts_list);
+  }
+
+  std::vector<Clustering> Sweep(std::initializer_list<size_t> minpts_list) {
+    return Sweep(
+        std::span<const size_t>(minpts_list.begin(), minpts_list.size()));
+  }
+
+  const dbscan::CellIndex<D>& index() const { return *index_; }
+  std::shared_ptr<const dbscan::CellIndex<D>> shared_index() const {
+    return index_;
+  }
+
+  // Counters of the index build, when this pool built its index (zero when
+  // an externally built index was adopted).
+  const dbscan::PipelineStats& build_stats() const { return build_stats_; }
+
+  // Number of contexts ever created == peak query concurrency observed.
+  size_t contexts_created() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_.size();
+  }
+
+  // Sums build stats and every context's counters/timings into `out`
+  // (which the caller typically Reset()s first). Exact when no query is in
+  // flight; during traffic individual counters are still atomically read
+  // but the sum is not a point-in-time snapshot.
+  void AggregateStats(dbscan::PipelineStats& out) const {
+    out.MergeFrom(build_stats_);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& slot : slots_) out.MergeFrom(slot->stats);
+  }
+
+ private:
+  // A context plus its private stats sink. Slots are never destroyed while
+  // the pool lives, so AggregateStats can walk them under the lock.
+  struct Slot {
+    dbscan::PipelineStats stats;
+    dbscan::QueryContext<D> context{&stats};
+  };
+
+  // RAII lease of a free slot (or a freshly created one).
+  struct Lease {
+    explicit Lease(EnginePool& pool) : pool_(pool) {
+      std::lock_guard<std::mutex> lock(pool.mu_);
+      if (!pool.free_.empty()) {
+        slot = pool.free_.back();
+        pool.free_.pop_back();
+      } else {
+        pool.slots_.push_back(std::make_unique<Slot>());
+        slot = pool.slots_.back().get();
+      }
+    }
+    ~Lease() {
+      std::lock_guard<std::mutex> lock(pool_.mu_);
+      pool_.free_.push_back(slot);
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    EnginePool& pool_;
+    Slot* slot = nullptr;
+  };
+
+  dbscan::PipelineStats build_stats_;
+  std::shared_ptr<const dbscan::CellIndex<D>> index_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<Slot*> free_;
+};
+
+}  // namespace pdbscan::parallel
+
+#endif  // PDBSCAN_PARALLEL_ENGINE_POOL_H_

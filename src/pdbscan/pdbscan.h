@@ -28,6 +28,23 @@
 // and all scratch allocations are reused. Labels are bit-identical to
 // one-shot Dbscan calls — both paths run the same engine code.
 //
+// Quickstart (serving concurrent queries):
+//
+//   // Freeze the build products once; counts_cap bounds the min_pts range
+//   // answered from the shared counts (larger values recount per query).
+//   auto index = pdbscan::CellIndex<2>::Build(pts, /*epsilon=*/1.0,
+//                                             /*counts_cap=*/100);
+//   pdbscan::EnginePool<2> pool(index);
+//   // From any number of threads, concurrently:
+//   pdbscan::Clustering c = pool.Run(/*min_pts=*/10);
+//   auto sweep = pool.Sweep({5, 10, 50});
+//
+// A CellIndex is immutable after construction, so sharing needs no locks;
+// each concurrent query runs in a leased per-thread QueryContext and the
+// results are bit-identical to serial Dbscan calls. Per-client counters
+// aggregate via EnginePool::AggregateStats(). See dbscan/cell_index.h and
+// parallel/engine_pool.h.
+//
 // Configuration (pdbscan::Options) selects the paper's variants:
 //   OurExact(), OurExactQt(), OurApprox(rho), OurApproxQt(rho),
 //   Our2dGridBcp(), Our2dGridUsec(), Our2dGridDelaunay(),
@@ -40,8 +57,10 @@
 //
 // Threading: the library uses a process-wide work-stealing pool sized from
 // PDBSCAN_NUM_THREADS (default: hardware concurrency); see
-// parallel/scheduler.h and pdbscan::parallel::set_num_workers(). Engines
-// themselves are not thread-safe; use one per thread.
+// parallel/scheduler.h and pdbscan::parallel::set_num_workers(). A
+// DbscanEngine is single-threaded (one mutation site); concurrent serving
+// goes through CellIndex + EnginePool, whose inner stages run on the same
+// scheduler (submissions from any client thread compose safely).
 #ifndef PDBSCAN_PDBSCAN_H_
 #define PDBSCAN_PDBSCAN_H_
 
@@ -49,10 +68,12 @@
 #include <stdexcept>
 #include <vector>
 
+#include "dbscan/cell_index.h"
 #include "dbscan/engine.h"
 #include "dbscan/pipeline.h"
 #include "dbscan/types.h"
 #include "geometry/point.h"
+#include "parallel/engine_pool.h"
 #include "parallel/scheduler.h"
 
 namespace pdbscan {
@@ -66,6 +87,15 @@ using Point3 = geometry::Point<3>;
 // contract).
 template <int D>
 using DbscanEngine = dbscan::DbscanEngine<D>;
+
+// The frozen, shareable index + per-thread query context + thread-safe
+// serving pool (see dbscan/cell_index.h and parallel/engine_pool.h).
+template <int D>
+using CellIndex = dbscan::CellIndex<D>;
+template <int D>
+using QueryContext = dbscan::QueryContext<D>;
+template <int D>
+using EnginePool = parallel::EnginePool<D>;
 
 // Dimensions instantiated for the runtime-dispatch overload (the paper's
 // evaluation uses 2, 3, 5, 7 and 13).

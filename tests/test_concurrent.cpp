@@ -1,0 +1,271 @@
+// Concurrent serving contract: N client threads hammering one frozen
+// CellIndex through an EnginePool produce clusterings bit-identical to
+// serial one-shot Dbscan calls, and per-context stats aggregate to exact
+// sums. Runs under -DPDBSCAN_SANITIZE=thread in CI (the tsan job), which is
+// what actually enforces "immutable index + private workspaces = no races".
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dbscan/cell_index.h"
+#include "dbscan/stats.h"
+#include "parallel/engine_pool.h"
+#include "parallel/scheduler.h"
+#include "pdbscan/pdbscan.h"
+
+namespace pdbscan {
+namespace {
+
+using geometry::Point;
+
+template <int D>
+std::vector<Point<D>> BlobPoints(size_t n, size_t blobs, double side,
+                                 double sigma, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, side);
+  std::normal_distribution<double> gauss(0.0, sigma);
+  std::vector<Point<D>> centers(blobs);
+  for (auto& c : centers) {
+    for (int k = 0; k < D; ++k) c[k] = coord(rng);
+  }
+  std::vector<Point<D>> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 10 == 9) {  // 10% noise.
+      for (int k = 0; k < D; ++k) pts[i][k] = coord(rng);
+    } else {
+      const auto& c = centers[i % blobs];
+      for (int k = 0; k < D; ++k) pts[i][k] = c[k] + gauss(rng);
+    }
+  }
+  return pts;
+}
+
+// Bit-identical comparison of the full result contract (not just the
+// partition): cluster ids, core flags, and membership lists.
+void ExpectIdentical(const Clustering& expected, const Clustering& got,
+                     const std::string& context) {
+  EXPECT_EQ(expected.num_clusters, got.num_clusters) << context;
+  EXPECT_EQ(expected.cluster, got.cluster) << context;
+  EXPECT_EQ(expected.is_core, got.is_core) << context;
+  EXPECT_EQ(expected.membership_offsets, got.membership_offsets) << context;
+  EXPECT_EQ(expected.membership_ids, got.membership_ids) << context;
+}
+
+constexpr size_t kClients = 8;
+constexpr size_t kRoundsPerClient = 3;
+
+// --- Bit-identical results under concurrent clients ------------------------
+
+TEST(ConcurrentPool, ClientsMatchSerialDbscanBitForBit) {
+  const auto pts = BlobPoints<2>(2500, 5, 40.0, 1.0, 7);
+  const double eps = 1.2;
+  const std::vector<size_t> minpts_list = {3, 5, 10, 25, 60};
+  const size_t cap = 60;
+  // Cover the scan and quadtree range-count paths plus the box cell source.
+  for (const auto& options :
+       {Our2dGridBcp(), Our2dBoxBcp(), OurExactQt(),
+        WithBucketing(Our2dGridUsec())}) {
+    // Expected results, computed serially before any concurrency.
+    std::vector<Clustering> expected;
+    for (const size_t m : minpts_list) {
+      expected.push_back(Dbscan<2>(pts, eps, m, options));
+    }
+
+    auto index = CellIndex<2>::Build(pts, eps, cap, options);
+    EnginePool<2> pool(index);
+    std::vector<std::thread> clients;
+    for (size_t t = 0; t < kClients; ++t) {
+      clients.emplace_back([&, t]() {
+        for (size_t r = 0; r < kRoundsPerClient; ++r) {
+          const size_t which = (t + r) % minpts_list.size();
+          const Clustering got = pool.Run(minpts_list[which]);
+          ExpectIdentical(expected[which], got,
+                          options.Name() + " client=" + std::to_string(t) +
+                              " minpts=" +
+                              std::to_string(minpts_list[which]));
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+  }
+}
+
+TEST(ConcurrentPool, InnerParallelismComposesWithClientConcurrency) {
+  // 2 scheduler workers + concurrent clients: queries submit parallel work
+  // to the shared scheduler from many threads at once.
+  parallel::ScopedNumWorkers scoped(2);
+  const auto pts = BlobPoints<2>(2000, 4, 30.0, 1.0, 13);
+  const double eps = 1.0;
+  const std::vector<size_t> minpts_list = {4, 8, 20};
+  std::vector<Clustering> expected;
+  for (const size_t m : minpts_list) {
+    expected.push_back(Dbscan<2>(pts, eps, m));
+  }
+  EnginePool<2> pool(std::span<const Point2>(pts), eps, /*counts_cap=*/20);
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t]() {
+      for (size_t r = 0; r < kRoundsPerClient; ++r) {
+        const size_t which = (t * kRoundsPerClient + r) % minpts_list.size();
+        ExpectIdentical(expected[which], pool.Run(minpts_list[which]),
+                        "workers=2 client=" + std::to_string(t));
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+}
+
+TEST(ConcurrentPool, ConcurrentSweepsMatchSerial) {
+  const auto pts = BlobPoints<2>(1500, 4, 25.0, 1.0, 17);
+  const double eps = 1.1;
+  const std::vector<size_t> minpts_list = {3, 6, 12};
+  std::vector<Clustering> expected;
+  for (const size_t m : minpts_list) {
+    expected.push_back(Dbscan<2>(pts, eps, m));
+  }
+  EnginePool<2> pool(std::span<const Point2>(pts), eps, /*counts_cap=*/12);
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&]() {
+      const auto sweep = pool.Sweep(minpts_list);
+      ASSERT_EQ(sweep.size(), minpts_list.size());
+      for (size_t i = 0; i < sweep.size(); ++i) {
+        ExpectIdentical(expected[i], sweep[i], "concurrent sweep");
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+}
+
+// --- Stats aggregation ------------------------------------------------------
+
+TEST(ConcurrentPool, StatsSumExactlyAcrossContexts) {
+  const auto pts = BlobPoints<2>(1200, 3, 20.0, 1.0, 19);
+  EnginePool<2> pool(std::span<const Point2>(pts), /*epsilon=*/1.0,
+                     /*counts_cap=*/30);
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&]() {
+      for (size_t r = 0; r < kRoundsPerClient; ++r) {
+        (void)pool.Run(5 + r);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  dbscan::PipelineStats agg;
+  pool.AggregateStats(agg);
+  // The pool built its index exactly once, no matter how many clients ran.
+  EXPECT_EQ(agg.cells_built.load(), 1u);
+  EXPECT_EQ(agg.counts_built.load(), 1u);  // The index build's MarkCore pass.
+  // Every query was answered from the shared saturated counts.
+  EXPECT_EQ(agg.counts_reused.load(), kClients * kRoundsPerClient);
+  EXPECT_EQ(agg.cells_reused.load(), 0u);
+  // Contexts only multiply up to observed concurrency, never per query.
+  EXPECT_GE(pool.contexts_created(), 1u);
+  EXPECT_LE(pool.contexts_created(), kClients);
+  // Aggregation is a sum, not a snapshot of one context: re-aggregating
+  // doubles the counters in the caller's sink.
+  pool.AggregateStats(agg);
+  EXPECT_EQ(agg.counts_reused.load(), 2 * kClients * kRoundsPerClient);
+}
+
+TEST(ConcurrentPool, OverCapQueriesRecountPrivatelyAndStayIdentical) {
+  const auto pts = BlobPoints<2>(1000, 3, 18.0, 1.0, 23);
+  const double eps = 1.0;
+  const size_t cap = 8;
+  const size_t over_cap_minpts = 25;  // > cap: forces a per-context recount.
+  const Clustering expected = Dbscan<2>(pts, eps, over_cap_minpts);
+  const Clustering expected_under = Dbscan<2>(pts, eps, 4);
+
+  EnginePool<2> pool(std::span<const Point2>(pts), eps, cap);
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t]() {
+      if (t % 2 == 0) {
+        ExpectIdentical(expected, pool.Run(over_cap_minpts), "over cap");
+      } else {
+        ExpectIdentical(expected_under, pool.Run(4), "under cap");
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  dbscan::PipelineStats agg;
+  pool.AggregateStats(agg);
+  // Every query either recounted (over-cap, first time in its context) or
+  // reused (under-cap from the shared index, or a context's cached
+  // recount); plus the 1 count pass of the index build itself.
+  EXPECT_EQ(agg.counts_built.load() - 1 + agg.counts_reused.load(), kClients);
+  // At least one over-cap recount happened; at most one per over-cap
+  // client (the per-context cache never recounts twice in one context).
+  EXPECT_GE(agg.counts_built.load(), 2u);
+  EXPECT_LE(agg.counts_built.load(), 1u + kClients / 2);
+}
+
+TEST(ConcurrentPool, OverCapRecountIsCachedPerContext) {
+  const auto pts = BlobPoints<2>(800, 3, 16.0, 1.0, 37);
+  const double eps = 1.0;
+  auto index = CellIndex<2>::Build(pts, eps, /*counts_cap=*/5);
+  const Clustering expected = Dbscan<2>(pts, eps, 20);
+  dbscan::PipelineStats stats;
+  QueryContext<2> ctx(&stats);
+  // Same over-cap setting twice through the shared_ptr overload: the
+  // second query reuses the context's cached recount.
+  ExpectIdentical(expected, ctx.Run(index, 20), "first over-cap");
+  ExpectIdentical(expected, ctx.Run(index, 20), "second over-cap");
+  EXPECT_EQ(stats.counts_built.load(), 1u);
+  EXPECT_EQ(stats.counts_reused.load(), 1u);
+  // A lower over-cap setting still fits the cached cap-20 recount.
+  (void)ctx.Run(index, 10);
+  EXPECT_EQ(stats.counts_built.load(), 1u);
+  // A different index at the same address cannot alias the cache: the
+  // cache pins `index` alive, so replacing it yields a fresh address.
+  auto other = CellIndex<2>::Build(pts, eps * 2, /*counts_cap=*/5);
+  const Clustering expected_other = Dbscan<2>(pts, eps * 2, 20);
+  ExpectIdentical(expected_other, ctx.Run(other, 20), "other index");
+  EXPECT_EQ(stats.counts_built.load(), 2u);
+}
+
+// --- QueryContext against shared indexes, without a pool -------------------
+
+TEST(ConcurrentPool, BareQueryContextsShareIndexes) {
+  const auto pts = BlobPoints<2>(1200, 4, 22.0, 1.0, 29);
+  const Clustering expected_a = Dbscan<2>(pts, 0.8, 6);
+  const Clustering expected_b = Dbscan<2>(pts, 1.6, 6);
+  auto index_a = CellIndex<2>::Build(pts, 0.8, /*counts_cap=*/6);
+  auto index_b = CellIndex<2>::Build(pts, 1.6, /*counts_cap=*/6);
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t]() {
+      // One private context per thread; both epsilon indexes served from it.
+      dbscan::PipelineStats stats;
+      QueryContext<2> ctx(&stats);
+      ExpectIdentical(expected_a, ctx.Run(*index_a, 6),
+                      "index_a t=" + std::to_string(t));
+      ExpectIdentical(expected_b, ctx.Run(*index_b, 6),
+                      "index_b t=" + std::to_string(t));
+      EXPECT_EQ(stats.counts_reused.load(), 2u);
+    });
+  }
+  for (auto& c : clients) c.join();
+}
+
+// --- Validation -------------------------------------------------------------
+
+TEST(ConcurrentPool, InvalidArgumentsThrow) {
+  const auto pts = BlobPoints<2>(200, 2, 10.0, 1.0, 31);
+  EXPECT_THROW(CellIndex<2>::Build(pts, -1.0, 10), std::invalid_argument);
+  EXPECT_THROW(CellIndex<2>::Build(pts, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(EnginePool<2>(nullptr), std::invalid_argument);
+  EnginePool<2> pool(std::span<const Point2>(pts), 1.0, 10);
+  EXPECT_THROW(pool.Run(0), std::invalid_argument);
+  EXPECT_THROW(pool.Sweep({3, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdbscan

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown documentation.
+
+Scans README.md and docs/**/*.md for markdown links and image references,
+resolves relative targets against the containing file, and exits non-zero
+listing every target that does not exist. External links (http/https/
+mailto) and pure in-page anchors are not checked.
+
+Usage: python3 tools/check_links.py [repo_root]
+"""
+
+import pathlib
+import re
+import sys
+
+# Inline links/images: [text](target) / ![alt](target). Reference-style
+# definitions: "[label]: target".
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def targets(text):
+    for match in INLINE_LINK.finditer(text):
+        yield match.group(1)
+    for match in REF_DEF.finditer(text):
+        yield match.group(1)
+
+
+def main():
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    files = [root / "README.md"]
+    files += sorted((root / "docs").glob("**/*.md"))
+    files = [f for f in files if f.is_file()]
+    if not files:
+        print(f"check_links: no markdown files found under {root}")
+        return 1
+
+    dead = []
+    checked = 0
+    for md in files:
+        text = md.read_text(encoding="utf-8")
+        for target in targets(text):
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            checked += 1
+            if not resolved.exists():
+                dead.append((md.relative_to(root), target))
+
+    for source, target in dead:
+        print(f"DEAD LINK in {source}: {target}")
+    print(
+        f"check_links: {len(files)} files, {checked} relative links, "
+        f"{len(dead)} dead"
+    )
+    return 1 if dead else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
