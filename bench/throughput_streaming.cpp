@@ -1,0 +1,195 @@
+// Streaming update throughput: per-batch update latency and queries/sec
+// under live updates, against a StreamingClusterer (incremental
+// DynamicCellIndex snapshots served by an EnginePool), reported like the
+// fig6-10 harness (aligned tables + #csv rows).
+//
+// Two phases:
+//
+//   1. Update cost vs batch size — applies insert+erase batches of
+//      increasing size to a large dataset and reports apply latency,
+//      cells_rebuilt / cells_retained, and the equivalent from-scratch
+//      CellIndex build time. The acceptance property is printed per row:
+//      cells_rebuilt must track the batch's dirty-cell footprint, NOT the
+//      total cell count (`proportional=yes` when rebuilt cells stay under
+//      half the cells at the smallest batch and grow with batch size).
+//   2. Serving under updates — a writer thread applies batches continuously
+//      while client threads query leased contexts; reports queries/sec and
+//      updates/sec, showing readers don't block on the writer.
+//
+// Scaled by PDBSCAN_BENCH_SCALE as usual.
+#include <atomic>
+#include <cinttypes>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "streaming/streaming_clusterer.h"
+
+int main() {
+  using namespace pdbscan;
+  using namespace pdbscan::bench;
+
+  const size_t n = ScaledN(100000);
+  const double eps = 300;  // The 2D-SS-varden defaults of the fig11 suite.
+  const size_t counts_cap = 100;
+  const size_t min_pts = 10;
+
+  std::printf("=== Streaming updates: incremental snapshot maintenance ===\n");
+  std::printf("dataset=2D-SS-varden n=%zu eps=%g counts_cap=%zu minpts=%zu, "
+              "hardware threads=%u\n\n",
+              n, eps, counts_cap, min_pts,
+              std::thread::hardware_concurrency());
+
+  const auto pts = data::SsVarden<2>(n);
+
+  // Initial load: one big batch (everything is dirty — the incremental
+  // path's worst case, equivalent to a full build).
+  StreamingClusterer<2> stream(eps, counts_cap);
+  util::Timer load_timer;
+  stream.Insert(pts);
+  const double load_seconds = load_timer.Seconds();
+  const size_t total_cells = stream.num_cells();
+  std::printf("initial load: %.3fs (%zu points, %zu cells, all rebuilt)\n",
+              load_seconds, stream.num_points(), total_cells);
+
+  // From-scratch reference: what every update batch would cost without
+  // incremental maintenance.
+  util::Timer rebuild_timer;
+  auto full_index = CellIndex<2>::Build(pts, eps, counts_cap);
+  const double full_rebuild_seconds = rebuild_timer.Seconds();
+  std::printf("from-scratch CellIndex build: %.3fs (the per-update cost "
+              "this bench exists to beat)\n\n",
+              full_rebuild_seconds);
+
+  // --- Phase 1: update latency and rebuilt-cell footprint vs batch size ---
+  std::printf("--- update cost vs batch size (insert B fresh + erase B "
+              "oldest) ---\n");
+  util::BenchTable table({"batch", "apply_sec", "cells_rebuilt",
+                          "cells_retained", "rebuilt_frac", "vs_full_rebuild",
+                          "query_sec", "identical"});
+  uint64_t erase_cursor = 0;  // Ids are erased oldest-first.
+  std::mt19937_64 rng(7);
+  size_t smallest_batch_rebuilt = 0;
+  bool rebuilt_grows = true;
+  size_t prev_rebuilt = 0;
+  const std::vector<size_t> batch_sizes = {
+      std::max<size_t>(n / 1000, 1), std::max<size_t>(n / 100, 1),
+      std::max<size_t>(n / 10, 1)};
+  for (const size_t batch : batch_sizes) {
+    // Fresh inserts drawn from the same distribution (jittered copies of
+    // existing points keeps density realistic).
+    std::vector<Point2> ins(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      const auto& base = pts[rng() % n];
+      ins[i] = {{base[0] + double(rng() % 1000) / 100.0,
+                 base[1] + double(rng() % 1000) / 100.0}};
+    }
+    std::vector<uint64_t> del(batch);
+    for (size_t i = 0; i < batch; ++i) del[i] = erase_cursor++;
+
+    util::Timer apply_timer;
+    stream.ApplyUpdates(ins, del);
+    const double apply_seconds = apply_timer.Seconds();
+    const auto& u = stream.last_update();
+
+    // The published snapshot must cluster exactly like a from-scratch run.
+    const auto live = stream.LivePoints();
+    util::Timer query_timer;
+    const Clustering got = stream.Run(min_pts);
+    const double query_seconds = query_timer.Seconds();
+    const Clustering want = Dbscan<2>(live, eps, min_pts);
+    const bool identical =
+        want.num_clusters == got.num_clusters && want.cluster == got.cluster &&
+        want.is_core == got.is_core &&
+        want.membership_offsets == got.membership_offsets &&
+        want.membership_ids == got.membership_ids;
+
+    const double frac =
+        double(u.cells_rebuilt) / double(u.cells_rebuilt + u.cells_retained);
+    if (batch == batch_sizes.front()) smallest_batch_rebuilt = u.cells_rebuilt;
+    if (u.cells_rebuilt < prev_rebuilt) rebuilt_grows = false;
+    prev_rebuilt = u.cells_rebuilt;
+    table.AddRow({std::to_string(batch),
+                  util::BenchTable::Num(apply_seconds, 4),
+                  std::to_string(u.cells_rebuilt),
+                  std::to_string(u.cells_retained),
+                  util::BenchTable::Num(frac, 3),
+                  util::BenchTable::Num(apply_seconds / full_rebuild_seconds,
+                                        3),
+                  util::BenchTable::Num(query_seconds, 4),
+                  identical ? "yes" : "NO"});
+  }
+  table.Print();
+  table.PrintCsv();
+
+  // The acceptance property: rebuilt cells track the batch footprint, not
+  // the total cell count.
+  const bool proportional =
+      smallest_batch_rebuilt * 2 < total_cells && rebuilt_grows;
+  std::printf("\nproportional=%s (smallest batch rebuilt %zu of %zu cells; "
+              "rebuilt count %s with batch size)\n\n",
+              proportional ? "yes" : "NO", smallest_batch_rebuilt, total_cells,
+              rebuilt_grows ? "grows" : "DOES NOT GROW");
+
+  // --- Phase 2: queries/sec while a writer streams batches ---------------
+  std::printf("--- serving under updates: %zu-point batches, readers never "
+              "block ---\n",
+              std::max<size_t>(n / 100, 1));
+  parallel::set_num_workers(1);  // Max aggregate q/s: queries run serially.
+  util::BenchTable serve({"clients", "queries", "seconds", "queries/sec",
+                          "updates_applied", "updates/sec"});
+  const size_t queries_per_client = 8;
+  for (const int clients : {1, 2, 4, 8}) {
+    std::atomic<bool> stop{false};
+    std::atomic<size_t> updates{0};
+    std::thread writer([&]() {
+      const size_t batch = std::max<size_t>(n / 100, 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<Point2> ins(batch);
+        for (size_t i = 0; i < batch; ++i) {
+          const auto& base = pts[rng() % n];
+          ins[i] = {{base[0] + double(rng() % 1000) / 100.0,
+                     base[1] + double(rng() % 1000) / 100.0}};
+        }
+        std::vector<uint64_t> del(batch);
+        for (size_t i = 0; i < batch; ++i) del[i] = erase_cursor++;
+        stream.ApplyUpdates(ins, del);
+        updates.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    util::Timer timer;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&]() {
+        for (size_t q = 0; q < queries_per_client; ++q) {
+          (void)stream.Run(min_pts);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    const double seconds = timer.Seconds();
+    stop.store(true, std::memory_order_relaxed);
+    writer.join();
+    const size_t total = size_t(clients) * queries_per_client;
+    serve.AddRow({std::to_string(clients), std::to_string(total),
+                  util::BenchTable::Num(seconds, 4),
+                  util::BenchTable::Num(double(total) / seconds, 4),
+                  std::to_string(updates.load()),
+                  util::BenchTable::Num(double(updates.load()) / seconds, 3)});
+  }
+  serve.Print();
+  serve.PrintCsv();
+
+  dbscan::PipelineStats agg;
+  stream.AggregateStats(agg);
+  std::printf("\ncumulative: snapshots=%zu cells_rebuilt=%zu "
+              "cells_retained=%zu (retained/rebuilt=%.1f)\n",
+              agg.snapshots_published.load(), agg.cells_rebuilt.load(),
+              agg.cells_retained.load(),
+              agg.cells_rebuilt.load() > 0
+                  ? double(agg.cells_retained.load()) /
+                        double(agg.cells_rebuilt.load())
+                  : 0.0);
+  return proportional ? 0 : 1;
+}

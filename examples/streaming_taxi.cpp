@@ -1,0 +1,93 @@
+// Streaming transportation scenario: live pickup hotspots over a rolling
+// window.
+//
+// A taxi dispatch service wants the CURRENT pickup hotspots, not last
+// hour's: pickups arrive continuously and old ones age out. This demo
+// feeds OpenStreetMap-like pickup batches into a StreamingClusterer,
+// keeping a rolling window of the freshest pickups — each tick inserts the
+// new batch and erases the expired one — and queries hotspots after every
+// tick. The per-tick MarkCore recount is confined to the batch's dirty
+// cells and their eps-neighborhood, not the window size: watch the
+// cells_rebuilt / cells_retained columns.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "data/synthetic_real.h"
+#include "pdbscan/pdbscan.h"
+#include "util/timer.h"
+
+int main() {
+  const size_t total = 120000;     // Full pickup log.
+  const size_t batch = 10000;      // Pickups per tick ("ten minutes").
+  const size_t window = 40000;     // Rolling window served to dispatch.
+  const double eps = 25.0;
+  const size_t min_pts = 50;
+
+  const auto pickups = pdbscan::data::OpenStreetMapLike(total);
+  pdbscan::StreamingClusterer<2> stream(eps, /*counts_cap=*/min_pts);
+
+  std::printf("rolling %zu-pickup window, %zu-pickup ticks, eps=%g "
+              "minpts=%zu\n\n",
+              window, batch, eps, min_pts);
+  std::printf("%5s %8s %9s %9s %9s %9s %8s  top hotspot\n", "tick", "live",
+              "apply_ms", "query_ms", "rebuilt", "retained", "hotspots");
+
+  uint64_t oldest_live = 0;  // Ids are assigned consecutively per tick.
+  for (size_t tick = 0; tick * batch < total; ++tick) {
+    // Insert this tick's pickups; expire everything beyond the window.
+    const std::span<const pdbscan::Point2> fresh(
+        pickups.data() + tick * batch, std::min(batch, total - tick * batch));
+    std::vector<uint64_t> expired;
+    const size_t live_after = stream.num_points() + fresh.size();
+    if (live_after > window) {
+      for (size_t i = 0; i < live_after - window; ++i) {
+        expired.push_back(oldest_live++);
+      }
+    }
+    pdbscan::util::Timer apply_timer;
+    stream.ApplyUpdates(fresh, expired);
+    const double apply_ms = apply_timer.Seconds() * 1e3;
+
+    pdbscan::util::Timer query_timer;
+    const auto result = stream.Run(min_pts);
+    const double query_ms = query_timer.Seconds() * 1e3;
+
+    // Rank hotspots by size; report the densest one's centroid.
+    const auto live = stream.LivePoints();
+    std::vector<size_t> sizes(result.num_clusters, 0);
+    std::vector<double> sx(result.num_clusters, 0), sy(result.num_clusters, 0);
+    for (size_t i = 0; i < result.size(); ++i) {
+      const int64_t c = result.cluster[i];
+      if (c < 0) continue;
+      ++sizes[static_cast<size_t>(c)];
+      sx[static_cast<size_t>(c)] += live[i][0];
+      sy[static_cast<size_t>(c)] += live[i][1];
+    }
+    const auto& u = stream.last_update();
+    size_t top = 0;
+    for (size_t c = 1; c < sizes.size(); ++c) {
+      if (sizes[c] > sizes[top]) top = c;
+    }
+    if (sizes.empty()) {
+      std::printf("%5zu %8zu %9.1f %9.1f %9zu %9zu %8zu  (none)\n", tick,
+                  stream.num_points(), apply_ms, query_ms, u.cells_rebuilt,
+                  u.cells_retained, result.num_clusters);
+    } else {
+      std::printf("%5zu %8zu %9.1f %9.1f %9zu %9zu %8zu  %6zu pickups @ "
+                  "(%.0f, %.0f)\n",
+                  tick, stream.num_points(), apply_ms, query_ms,
+                  u.cells_rebuilt, u.cells_retained, result.num_clusters,
+                  sizes[top], sx[top] / sizes[top], sy[top] / sizes[top]);
+    }
+  }
+
+  pdbscan::dbscan::PipelineStats agg;
+  stream.AggregateStats(agg);
+  std::printf("\n%zu snapshots published; cumulative cells_rebuilt=%zu, "
+              "cells_retained=%zu — steady-state ticks rebuild only the "
+              "batch's eps-neighborhood.\n",
+              agg.snapshots_published.load(), agg.cells_rebuilt.load(),
+              agg.cells_retained.load());
+  return 0;
+}

@@ -26,6 +26,13 @@
 //
 // parallel::EnginePool (parallel/engine_pool.h) packages a CellIndex with a
 // reusable set of QueryContexts behind a thread-safe Run/Sweep facade.
+//
+// There are two ways a CellIndex comes to exist: built from scratch over a
+// point span (the constructor below, one full build), or adopted from the
+// streaming layer (streaming/dynamic_cell_index.h), which recomposes the
+// structure incrementally after insert/erase batches and publishes each
+// result as a fresh immutable CellIndex snapshot. Queries cannot tell the
+// difference — both paths freeze the same artifact types.
 #ifndef PDBSCAN_DBSCAN_CELL_INDEX_H_
 #define PDBSCAN_DBSCAN_CELL_INDEX_H_
 
@@ -90,6 +97,42 @@ class CellIndex {
                    neighbor_counts_);
     sink.counts_built.fetch_add(1, std::memory_order_relaxed);
     AddSeconds(sink.mark_core_seconds, timer.Seconds());
+  }
+
+  // Freezes an externally built structure plus matching saturated MarkCore
+  // counts — the snapshot-publishing path of streaming::DynamicCellIndex,
+  // which recomposes `cells` incrementally (dirty cells re-grouped, clean
+  // cells retained) and recounts only the dirty eps-neighborhood, copying
+  // every other cell's counts from the previous snapshot. `neighbor_counts`
+  // must be MarkCore counts over `cells` saturated at `counts_cap`. Only
+  // the kScan range-count method may be adopted: per-cell quadtrees pin the
+  // exact reordered point layout they were built over, so carrying them
+  // across recomposed snapshots would mean rebuilding all of them — the
+  // O(n) cost the incremental path exists to avoid.
+  CellIndex(CellStructure<D> cells, std::vector<uint32_t> neighbor_counts,
+            size_t counts_cap, Options options = Options(),
+            PipelineStats* stats = nullptr)
+      : epsilon_(cells.epsilon),
+        counts_cap_(counts_cap),
+        options_(std::move(options)) {
+    if (epsilon_ <= 0) throw std::invalid_argument("epsilon must be positive");
+    if (counts_cap == 0) {
+      throw std::invalid_argument("counts_cap must be positive");
+    }
+    if (options_.range_count != RangeCountMethod::kScan) {
+      throw std::invalid_argument(
+          "adopting a prebuilt structure supports the kScan range-count "
+          "method only");
+    }
+    if (neighbor_counts.size() != cells.num_points()) {
+      throw std::invalid_argument(
+          "neighbor_counts must cover every reordered point");
+    }
+    // No build counters tick here: the producer (DynamicCellIndex) accounts
+    // for what it rebuilt vs. retained in its own sink.
+    source_.set_stats(stats);
+    source_.AdoptPrebuilt(std::move(cells));
+    neighbor_counts_ = std::move(neighbor_counts);
   }
 
   // Convenience factory for the common shared-ownership pattern.
@@ -195,6 +238,20 @@ class QueryContext {
   }
 
   PipelineStats& stats() { return *stats_; }
+
+  // Drops the over-cap recount cache unless it belongs to `index`. Owners
+  // that swap indexes under contexts call this for every free context on
+  // the swap itself (EnginePool::ReplaceIndex) and for the leased context
+  // on each lease, so retired snapshots are pinned only by in-flight
+  // queries, never indefinitely by idle caches; harmless no-op when the
+  // cache is empty or current.
+  void EvictStaleCountsCache(
+      const std::shared_ptr<const CellIndex<D>>& index) {
+    if (cached_index_ != nullptr && cached_index_ != index) {
+      cached_index_.reset();
+      cached_cap_ = 0;
+    }
+  }
 
  private:
   Clustering RunImpl(const CellIndex<D>& index, size_t min_pts,

@@ -89,6 +89,23 @@ class CellSource {
     return cells_;
   }
 
+  // Adopts an externally built structure (the streaming incremental path:
+  // DynamicCellIndex recomposes cells itself and hands them over here so a
+  // CellIndex can freeze them). Drops the layout caches and any quadtrees —
+  // the incremental path serves the kScan range-count method, whose counts
+  // travel alongside the structure rather than being derived from trees.
+  void AdoptPrebuilt(CellStructure<D>&& cells) {
+    points_ = std::span<const geometry::Point<D>>();
+    cells_ = std::move(cells);
+    built_epsilon_ = cells_.epsilon;
+    cells_valid_ = true;
+    trees_valid_ = false;
+    trees_.clear();
+    bounds_valid_ = false;
+    x_order_valid_ = false;
+    ++generation_;
+  }
+
   // Per-cell quadtrees over the current cell structure (kQuadtree range
   // counting), built lazily and cached until the cells are rebuilt. Only
   // valid after Acquire.

@@ -63,6 +63,21 @@ struct CellStructure {
     return std::span<const uint32_t>(nbrs.data() + nbr_offsets[c],
                                      nbr_offsets[c + 1] - nbr_offsets[c]);
   }
+
+  // Sizes every per-point and per-cell array for `num_cells` cells holding
+  // `num_points` reordered points, leaving contents unspecified: offsets
+  // must then be filled as a prefix sum, followed by points / orig_index /
+  // coords / cell_boxes and a neighbor-adjacency pass (BuildGridAdjacency).
+  // This is the incremental-build entry point — the streaming
+  // DynamicCellIndex recomposes a structure cell by cell through it instead
+  // of re-running BuildGrid's semisort over all points.
+  void ResizeForCells(size_t num_cells, size_t num_points) {
+    points.resize(num_points);
+    orig_index.resize(num_points);
+    offsets.assign(num_cells + 1, 0);
+    coords.resize(num_cells);
+    cell_boxes.resize(num_cells);
+  }
 };
 
 // Flattens per-cell neighbor lists into the CSR arrays of `cells`.

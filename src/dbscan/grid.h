@@ -105,59 +105,31 @@ geometry::BBox<D> ComputeBounds(std::span<const geometry::Point<D>> input) {
       });
 }
 
-// Builds the grid cell structure for `input` with parameter `epsilon`.
-// `bounds_hint`, when non-null, must equal ComputeBounds(input) and skips
-// the reduction pass.
+// The epsilon-grid cell side for dimension D (cells of diameter <= epsilon).
 template <int D>
-CellStructure<D> BuildGrid(std::span<const geometry::Point<D>> input,
-                           double epsilon,
-                           const geometry::BBox<D>* bounds_hint = nullptr) {
+double GridSide(double epsilon) {
+  return epsilon / std::sqrt(double(D));
+}
+
+// Fills the CSR neighbor adjacency of `cells` from cells.coords: for every
+// cell, all other cells whose boxes are within epsilon (the exact integer
+// criterion of OffsetWithinEpsilon). Offset enumeration for d <= 3, k-d
+// tree over cell centers for higher d (Section 5.1). `origin`/`side` are
+// the grid anchoring that produced the coords. Factored out of BuildGrid so
+// the streaming DynamicCellIndex can re-derive adjacency for an
+// incrementally recomposed structure through the same code path.
+template <int D>
+void BuildGridAdjacency(CellStructure<D>& cells,
+                        const geometry::Point<D>& origin, double side) {
   using geometry::BBox;
   using geometry::CellCoords;
   using geometry::Point;
-
-  CellStructure<D> cells;
-  cells.epsilon = epsilon;
-  const size_t n = input.size();
-  if (n == 0) {
-    cells.offsets.push_back(0);
-    cells.nbr_offsets.push_back(0);
-    return cells;
+  const size_t num_cells = cells.num_cells();
+  if (num_cells == 0) {  // Empty (streaming) structure: trivial CSR.
+    cells.nbr_offsets.assign(1, 0);
+    cells.nbrs.clear();
+    return;
   }
-  const double side = epsilon / std::sqrt(double(D));
-
-  const BBox<D> bounds =
-      bounds_hint != nullptr ? *bounds_hint : ComputeBounds<D>(input);
-  const Point<D> origin = bounds.min;
-
-  // Semisort (cell coords, point index) pairs: same-cell points end up
-  // contiguous in expected O(n) work.
-  std::vector<std::pair<CellCoords<D>, uint32_t>> pairs(n);
-  parallel::parallel_for(0, n, [&](size_t i) {
-    pairs[i] = {geometry::CellOf<D>(input[i], origin, side),
-                static_cast<uint32_t>(i)};
-  });
-  auto grouped = primitives::Semisort<CellCoords<D>, uint32_t>(
-      std::span<const std::pair<CellCoords<D>, uint32_t>>(pairs),
-      [](const CellCoords<D>& c) { return geometry::HashCellCoords<D>(c); },
-      [](const CellCoords<D>& a, const CellCoords<D>& b) { return a == b; });
-  pairs.clear();
-  pairs.shrink_to_fit();
-
-  const size_t num_cells = grouped.num_groups();
-  cells.offsets = std::move(grouped.group_offsets);
-  cells.points.resize(n);
-  cells.orig_index.resize(n);
-  parallel::parallel_for(0, n, [&](size_t i) {
-    cells.orig_index[i] = grouped.items[i].second;
-    cells.points[i] = input[grouped.items[i].second];
-  });
-  cells.coords.resize(num_cells);
-  cells.cell_boxes.resize(num_cells);
-  parallel::parallel_for(0, num_cells, [&](size_t c) {
-    cells.coords[c] = grouped.items[cells.offsets[c]].first;
-    cells.cell_boxes[c] = geometry::CellBBox<D>(cells.coords[c], origin, side);
-  });
 
   // Hash table over non-empty cells: coords -> cell id.
   containers::ConcurrentMap<CellCoords<D>, uint32_t,
@@ -168,7 +140,6 @@ CellStructure<D> BuildGrid(std::span<const geometry::Point<D>> input,
     table.Insert(cells.coords[c], static_cast<uint32_t>(c));
   });
 
-  // Neighbor adjacency.
   std::vector<std::vector<uint32_t>> neighbor_lists(num_cells);
   if constexpr (D <= 3) {
     // Function-local static pointer: computed once, never destroyed.
@@ -212,6 +183,63 @@ CellStructure<D> BuildGrid(std::span<const geometry::Point<D>> input,
     });
   }
   FlattenNeighbors(neighbor_lists, cells);
+}
+
+// Builds the grid cell structure for `input` with parameter `epsilon`.
+// `bounds_hint`, when non-null, must equal ComputeBounds(input) and skips
+// the reduction pass.
+template <int D>
+CellStructure<D> BuildGrid(std::span<const geometry::Point<D>> input,
+                           double epsilon,
+                           const geometry::BBox<D>* bounds_hint = nullptr) {
+  using geometry::BBox;
+  using geometry::CellCoords;
+  using geometry::Point;
+
+  CellStructure<D> cells;
+  cells.epsilon = epsilon;
+  const size_t n = input.size();
+  if (n == 0) {
+    cells.offsets.push_back(0);
+    cells.nbr_offsets.push_back(0);
+    return cells;
+  }
+  const double side = GridSide<D>(epsilon);
+
+  const BBox<D> bounds =
+      bounds_hint != nullptr ? *bounds_hint : ComputeBounds<D>(input);
+  const Point<D> origin = bounds.min;
+
+  // Semisort (cell coords, point index) pairs: same-cell points end up
+  // contiguous in expected O(n) work.
+  std::vector<std::pair<CellCoords<D>, uint32_t>> pairs(n);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    pairs[i] = {geometry::CellOf<D>(input[i], origin, side),
+                static_cast<uint32_t>(i)};
+  });
+  auto grouped = primitives::Semisort<CellCoords<D>, uint32_t>(
+      std::span<const std::pair<CellCoords<D>, uint32_t>>(pairs),
+      [](const CellCoords<D>& c) { return geometry::HashCellCoords<D>(c); },
+      [](const CellCoords<D>& a, const CellCoords<D>& b) { return a == b; });
+  pairs.clear();
+  pairs.shrink_to_fit();
+
+  const size_t num_cells = grouped.num_groups();
+  cells.offsets = std::move(grouped.group_offsets);
+  cells.points.resize(n);
+  cells.orig_index.resize(n);
+  parallel::parallel_for(0, n, [&](size_t i) {
+    cells.orig_index[i] = grouped.items[i].second;
+    cells.points[i] = input[grouped.items[i].second];
+  });
+  cells.coords.resize(num_cells);
+  cells.cell_boxes.resize(num_cells);
+  parallel::parallel_for(0, num_cells, [&](size_t c) {
+    cells.coords[c] = grouped.items[cells.offsets[c]].first;
+    cells.cell_boxes[c] = geometry::CellBBox<D>(cells.coords[c], origin, side);
+  });
+
+  BuildGridAdjacency(cells, origin, side);
   return cells;
 }
 

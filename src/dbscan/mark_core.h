@@ -9,8 +9,10 @@
 #define PDBSCAN_DBSCAN_MARK_CORE_H_
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "dbscan/cell_structure.h"
@@ -41,6 +43,51 @@ std::vector<std::unique_ptr<geometry::CellQuadtree<D>>> BuildCellQuadtrees(
   return trees;
 }
 
+namespace internal {
+
+// Saturated neighbor counts for the points of one cell (the loop body of
+// Algorithm 2). Writes exactly counts[offsets[c] .. offsets[c+1]), so any
+// set of distinct cells may be counted concurrently.
+template <int D>
+void CountCellPoints(
+    const CellStructure<D>& cells, size_t cap, RangeCountMethod method,
+    const std::vector<std::unique_ptr<geometry::CellQuadtree<D>>>* trees,
+    size_t c, std::vector<uint32_t>& counts) {
+  const double eps = cells.epsilon;
+  const double eps2 = eps * eps;
+  const size_t begin = cells.offsets[c];
+  const size_t end = cells.offsets[c + 1];
+  if (end - begin >= cap) {
+    // Dense cell: everything is core (Lines 4-6 of Algorithm 2).
+    parallel::parallel_for(
+        begin, end,
+        [&](size_t i) { counts[i] = static_cast<uint32_t>(cap); });
+    return;
+  }
+  const auto neighbors = cells.neighbors(c);
+  for (size_t i = begin; i < end; ++i) {
+    const geometry::Point<D>& p = cells.points[i];
+    size_t count = end - begin;  // All same-cell points are within eps.
+    for (const uint32_t h : neighbors) {
+      if (count >= cap) break;
+      if (method == RangeCountMethod::kQuadtree) {
+        count += (*trees)[h]->CountInBall(p, eps, cap - count);
+      } else {
+        // Scan the neighboring cell (prune by its box first).
+        if (cells.cell_boxes[h].MinSquaredDistance(p) > eps2) continue;
+        const size_t h_begin = cells.offsets[h];
+        const size_t h_end = cells.offsets[h + 1];
+        for (size_t j = h_begin; j < h_end && count < cap; ++j) {
+          if (cells.points[j].SquaredDistance(p) <= eps2) ++count;
+        }
+      }
+    }
+    counts[i] = static_cast<uint32_t>(std::min(count, cap));
+  }
+}
+
+}  // namespace internal
+
 // Per-point epsilon-neighbor counts, saturated at `cap`: counts[i] ==
 // min(cap, number of points within epsilon of reordered point i, counting
 // itself). Thresholding at any min_pts <= cap reproduces MarkCore exactly
@@ -53,43 +100,31 @@ void MarkCoreCounts(
     const CellStructure<D>& cells, size_t cap, RangeCountMethod method,
     const std::vector<std::unique_ptr<geometry::CellQuadtree<D>>>* trees,
     std::vector<uint32_t>& counts) {
-  const size_t num_cells = cells.num_cells();
-  const double eps = cells.epsilon;
-  const double eps2 = eps * eps;
   counts.assign(cells.num_points(), 0);
-
   parallel::parallel_for(
-      0, num_cells,
+      0, cells.num_cells(),
       [&](size_t c) {
-        const size_t begin = cells.offsets[c];
-        const size_t end = cells.offsets[c + 1];
-        if (end - begin >= cap) {
-          // Dense cell: everything is core (Lines 4-6 of Algorithm 2).
-          parallel::parallel_for(
-              begin, end,
-              [&](size_t i) { counts[i] = static_cast<uint32_t>(cap); });
-          return;
-        }
-        const auto neighbors = cells.neighbors(c);
-        for (size_t i = begin; i < end; ++i) {
-          const geometry::Point<D>& p = cells.points[i];
-          size_t count = end - begin;  // All same-cell points are within eps.
-          for (const uint32_t h : neighbors) {
-            if (count >= cap) break;
-            if (method == RangeCountMethod::kQuadtree) {
-              count += (*trees)[h]->CountInBall(p, eps, cap - count);
-            } else {
-              // Scan the neighboring cell (prune by its box first).
-              if (cells.cell_boxes[h].MinSquaredDistance(p) > eps2) continue;
-              const size_t h_begin = cells.offsets[h];
-              const size_t h_end = cells.offsets[h + 1];
-              for (size_t j = h_begin; j < h_end && count < cap; ++j) {
-                if (cells.points[j].SquaredDistance(p) <= eps2) ++count;
-              }
-            }
-          }
-          counts[i] = static_cast<uint32_t>(std::min(count, cap));
-        }
+        internal::CountCellPoints(cells, cap, method, trees, c, counts);
+      },
+      1);
+}
+
+// The incremental variant: recounts only the cells listed in `cell_ids`,
+// leaving every other point's entry untouched. `counts` must already be
+// sized to cells.num_points() (the streaming path copies retained cells'
+// counts from the previous snapshot first). Counting a cell reads its
+// neighbors' points but writes only the cell's own count range, so the
+// listed cells may be any subset, in any order.
+template <int D>
+void MarkCoreCountsForCells(
+    const CellStructure<D>& cells, size_t cap, RangeCountMethod method,
+    const std::vector<std::unique_ptr<geometry::CellQuadtree<D>>>* trees,
+    std::span<const uint32_t> cell_ids, std::vector<uint32_t>& counts) {
+  parallel::parallel_for(
+      0, cell_ids.size(),
+      [&](size_t k) {
+        internal::CountCellPoints(cells, cap, method, trees, cell_ids[k],
+                                  counts);
       },
       1);
 }

@@ -8,7 +8,10 @@
 //   * DbscanEngine (engine.h) — single-threaded, owns a mutable CellSource
 //     and re-runs this pipeline against its own cached counts;
 //   * QueryContext (cell_index.h) — one per serving thread, runs this
-//     pipeline against a frozen shared CellIndex.
+//     pipeline against a frozen shared CellIndex. The CellIndex may itself
+//     be a full build or a streaming snapshot published by
+//     streaming::DynamicCellIndex — the pipeline only sees (cells, counts),
+//     so it runs off any snapshot unchanged.
 //
 // Everything here reads `cells` and `counts` as const and writes only into
 // the caller's Workspace and stats sink, so any number of calls may run

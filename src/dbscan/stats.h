@@ -51,6 +51,16 @@ struct PipelineStats {
   std::atomic<size_t> counts_built{0};
   std::atomic<size_t> counts_reused{0};
 
+  // Streaming (DynamicCellIndex) incremental maintenance: per snapshot,
+  // cells whose contents or eps-neighborhood changed get their points
+  // re-grouped and their MarkCore counts recomputed (cells_rebuilt); every
+  // other cell's counts are copied from the previous snapshot
+  // (cells_retained). "Update cost scales with the dirty footprint" is
+  // exactly cells_rebuilt << cells_rebuilt + cells_retained.
+  std::atomic<size_t> cells_rebuilt{0};
+  std::atomic<size_t> cells_retained{0};
+  std::atomic<size_t> snapshots_published{0};
+
   // Per-stage wall-clock seconds, accumulated across runs.
   std::atomic<double> build_cells_seconds{0};
   std::atomic<double> mark_core_seconds{0};
@@ -73,6 +83,9 @@ struct PipelineStats {
     add(cells_reused, other.cells_reused);
     add(counts_built, other.counts_built);
     add(counts_reused, other.counts_reused);
+    add(cells_rebuilt, other.cells_rebuilt);
+    add(cells_retained, other.cells_retained);
+    add(snapshots_published, other.snapshots_published);
     AddSeconds(build_cells_seconds,
                other.build_cells_seconds.load(std::memory_order_relaxed));
     AddSeconds(mark_core_seconds,
@@ -93,6 +106,9 @@ struct PipelineStats {
     cells_reused.store(0, std::memory_order_relaxed);
     counts_built.store(0, std::memory_order_relaxed);
     counts_reused.store(0, std::memory_order_relaxed);
+    cells_rebuilt.store(0, std::memory_order_relaxed);
+    cells_retained.store(0, std::memory_order_relaxed);
+    snapshots_published.store(0, std::memory_order_relaxed);
     build_cells_seconds.store(0, std::memory_order_relaxed);
     mark_core_seconds.store(0, std::memory_order_relaxed);
     cluster_core_seconds.store(0, std::memory_order_relaxed);

@@ -1,4 +1,4 @@
-// EnginePool — thread-safe query serving over one frozen CellIndex.
+// EnginePool — thread-safe query serving over a frozen CellIndex snapshot.
 //
 // The serving architecture the paper's build-once/query-many pipeline
 // implies (and that Berkholz et al.'s query-under-preprocessing split
@@ -10,6 +10,15 @@
 // runs the standard query pipeline against the shared index, and returns
 // the context to the free list. Results are bit-identical to serial
 // one-shot pdbscan::Dbscan calls with the same parameters.
+//
+// Snapshot hand-over: ReplaceIndex() swaps in a new immutable snapshot
+// (typically published by streaming::DynamicCellIndex after an update
+// batch). Each query pins the snapshot current at its start — the lease
+// copies the shared_ptr under the same lock that hands out the context —
+// so readers never block on writers and never observe a half-applied
+// update; queries in flight during a swap simply finish against the
+// snapshot they started with, which stays alive until the last such query
+// drops its reference.
 //
 //   auto index = pdbscan::dbscan::CellIndex<2>::Build(pts, eps, cap, opts);
 //   pdbscan::parallel::EnginePool<2> pool(index);
@@ -70,18 +79,22 @@ class EnginePool {
   EnginePool(const EnginePool&) = delete;
   EnginePool& operator=(const EnginePool&) = delete;
 
-  // Thread-safe: clusters the index's point set at `min_pts`. Passing the
-  // shared_ptr lets the leased context cache over-cap recounts across
-  // queries (once per context, not once per query).
+  // Thread-safe: clusters the served snapshot's point set at `min_pts`.
+  // Passing the shared_ptr lets the leased context cache over-cap recounts
+  // across queries (once per context, not once per query) and pins the
+  // snapshot for the duration of the query even if ReplaceIndex runs.
   Clustering Run(size_t min_pts) {
     Lease lease(*this);
-    return lease.slot->context.Run(index_, min_pts);
+    lease.slot->context.EvictStaleCountsCache(lease.index);
+    return lease.slot->context.Run(lease.index, min_pts);
   }
 
-  // Thread-safe: answers a whole min_pts sweep through one leased context.
+  // Thread-safe: answers a whole min_pts sweep through one leased context,
+  // entirely against the single snapshot pinned at lease time.
   std::vector<Clustering> Sweep(std::span<const size_t> minpts_list) {
     Lease lease(*this);
-    return lease.slot->context.Sweep(index_, minpts_list);
+    lease.slot->context.EvictStaleCountsCache(lease.index);
+    return lease.slot->context.Sweep(lease.index, minpts_list);
   }
 
   std::vector<Clustering> Sweep(std::initializer_list<size_t> minpts_list) {
@@ -89,8 +102,24 @@ class EnginePool {
         std::span<const size_t>(minpts_list.begin(), minpts_list.size()));
   }
 
-  const dbscan::CellIndex<D>& index() const { return *index_; }
+  // Thread-safe: atomically swaps the served snapshot. In-flight queries
+  // finish against the snapshot they pinned; subsequent leases see the new
+  // one. This is the streaming hand-over point — StreamingClusterer calls
+  // it after every published update batch. Free contexts' over-cap recount
+  // caches are evicted here (they are quiescent while mu_ is held), and
+  // busy ones evict at their next lease, so retired snapshots are never
+  // kept alive indefinitely by context caches — only by in-flight queries.
+  void ReplaceIndex(std::shared_ptr<const dbscan::CellIndex<D>> index) {
+    if (!index) throw std::invalid_argument("EnginePool needs an index");
+    std::lock_guard<std::mutex> lock(mu_);
+    index_ = std::move(index);
+    for (Slot* slot : free_) slot->context.EvictStaleCountsCache(index_);
+  }
+
+  // The currently served snapshot (a consistent shared_ptr copy; the
+  // pointee is immutable).
   std::shared_ptr<const dbscan::CellIndex<D>> shared_index() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return index_;
   }
 
@@ -122,10 +151,12 @@ class EnginePool {
     dbscan::QueryContext<D> context{&stats};
   };
 
-  // RAII lease of a free slot (or a freshly created one).
+  // RAII lease of a free slot (or a freshly created one) plus the snapshot
+  // to serve the query from, both taken under one lock acquisition.
   struct Lease {
     explicit Lease(EnginePool& pool) : pool_(pool) {
       std::lock_guard<std::mutex> lock(pool.mu_);
+      index = pool.index_;
       if (!pool.free_.empty()) {
         slot = pool.free_.back();
         pool.free_.pop_back();
@@ -143,6 +174,7 @@ class EnginePool {
 
     EnginePool& pool_;
     Slot* slot = nullptr;
+    std::shared_ptr<const dbscan::CellIndex<D>> index;
   };
 
   dbscan::PipelineStats build_stats_;

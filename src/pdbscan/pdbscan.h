@@ -45,6 +45,24 @@
 // aggregate via EnginePool::AggregateStats(). See dbscan/cell_index.h and
 // parallel/engine_pool.h.
 //
+// Quickstart (streaming updates — serve a LIVE dataset):
+//
+//   // Grid cells + kScan counting, any dimension; starts empty.
+//   pdbscan::StreamingClusterer<2> stream(/*epsilon=*/1.0,
+//                                         /*counts_cap=*/100);
+//   uint64_t first = stream.Insert(points);       // ids first, first+1, ...
+//   // Any number of reader threads, concurrently with updates:
+//   pdbscan::Clustering c = stream.Run(/*min_pts=*/10);
+//   // Writer thread: batched inserts + erasures of stable ids.
+//   stream.ApplyUpdates(new_points, /*erases=*/{first, first + 1});
+//
+// Each update batch recounts only the cells it dirties (plus their
+// eps-neighborhood) and publishes an immutable CellIndex snapshot that the
+// pool serves lock-free — the MarkCore counting work scales with the
+// batch's dirty-cell footprint (the remaining per-batch work is a
+// memcpy-scale recomposition pass), and readers never block on the writer.
+// See streaming/dynamic_cell_index.h and streaming/streaming_clusterer.h.
+//
 // Configuration (pdbscan::Options) selects the paper's variants:
 //   OurExact(), OurExactQt(), OurApprox(rho), OurApproxQt(rho),
 //   Our2dGridBcp(), Our2dGridUsec(), Our2dGridDelaunay(),
@@ -75,6 +93,7 @@
 #include "geometry/point.h"
 #include "parallel/engine_pool.h"
 #include "parallel/scheduler.h"
+#include "streaming/streaming_clusterer.h"
 
 namespace pdbscan {
 
@@ -96,6 +115,14 @@ template <int D>
 using QueryContext = dbscan::QueryContext<D>;
 template <int D>
 using EnginePool = parallel::EnginePool<D>;
+
+// Streaming surface: incremental insert/erase batches published as
+// immutable snapshots, served concurrently (see
+// streaming/dynamic_cell_index.h and streaming/streaming_clusterer.h).
+template <int D>
+using DynamicCellIndex = streaming::DynamicCellIndex<D>;
+template <int D>
+using StreamingClusterer = streaming::StreamingClusterer<D>;
 
 // Dimensions instantiated for the runtime-dispatch overload (the paper's
 // evaluation uses 2, 3, 5, 7 and 13).

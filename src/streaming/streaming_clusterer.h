@@ -1,0 +1,127 @@
+// StreamingClusterer — the serve-while-updating facade: a DynamicCellIndex
+// (single writer, incremental snapshots) wired to an EnginePool (many
+// concurrent readers).
+//
+//   pdbscan::StreamingClusterer<2> stream(/*epsilon=*/1.0,
+//                                         /*counts_cap=*/100);
+//   uint64_t first = stream.Insert(initial_points);   // ids first, first+1, …
+//   // From any number of threads, concurrently with further updates:
+//   pdbscan::Clustering c = stream.Run(/*min_pts=*/10);
+//   // Writer thread, later:
+//   stream.ApplyUpdates(new_points, /*erases=*/expired_ids);
+//
+// Every ApplyUpdates recounts only the dirty eps-neighborhood of the batch
+// (plus a memcpy-scale recomposition pass; see dynamic_cell_index.h),
+// freezes the result into an immutable CellIndex, and hands it to the
+// pool. Queries pin the snapshot current
+// when they start: they never block on the writer and always see a fully
+// consistent dataset state — one of the published batch boundaries, never
+// a partial batch.
+//
+// Threading contract: ApplyUpdates/Insert/Erase from ONE writer thread (or
+// externally serialized); Run/Sweep/snapshot() from any thread, any time.
+// Clustering entry i refers to LivePoints()[i] (dataset order: ids
+// ascending); LiveIds()[i] gives that point's stable id.
+#ifndef PDBSCAN_STREAMING_STREAMING_CLUSTERER_H_
+#define PDBSCAN_STREAMING_STREAMING_CLUSTERER_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dbscan/cell_index.h"
+#include "dbscan/stats.h"
+#include "dbscan/types.h"
+#include "geometry/point.h"
+#include "parallel/engine_pool.h"
+#include "streaming/dynamic_cell_index.h"
+
+namespace pdbscan::streaming {
+
+template <int D>
+class StreamingClusterer {
+ public:
+  // Starts empty (queries on the empty snapshot return an empty
+  // clustering). Parameters as in DynamicCellIndex: grid cell method +
+  // kScan range counting required, any dimension.
+  StreamingClusterer(double epsilon, size_t counts_cap,
+                     Options options = Options())
+      : index_(epsilon, counts_cap, std::move(options), &update_stats_),
+        pool_(index_.snapshot()) {}
+
+  StreamingClusterer(const StreamingClusterer&) = delete;
+  StreamingClusterer& operator=(const StreamingClusterer&) = delete;
+
+  // Writer-thread only: applies erases then inserts, publishes the new
+  // snapshot to the pool. Returns the id of inserts[0] (consecutive ids
+  // follow). Readers switch to the new snapshot on their next query.
+  uint64_t ApplyUpdates(std::span<const geometry::Point<D>> inserts,
+                        std::span<const uint64_t> erases) {
+    const uint64_t first_id = index_.ApplyUpdates(inserts, erases);
+    pool_.ReplaceIndex(index_.snapshot());
+    return first_id;
+  }
+
+  uint64_t Insert(std::span<const geometry::Point<D>> points) {
+    return ApplyUpdates(points, std::span<const uint64_t>());
+  }
+  uint64_t Insert(const std::vector<geometry::Point<D>>& points) {
+    return Insert(std::span<const geometry::Point<D>>(points));
+  }
+
+  void Erase(std::span<const uint64_t> ids) {
+    ApplyUpdates(std::span<const geometry::Point<D>>(), ids);
+  }
+  void Erase(const std::vector<uint64_t>& ids) {
+    Erase(std::span<const uint64_t>(ids));
+  }
+
+  // Thread-safe: clusters the latest published snapshot at `min_pts`.
+  Clustering Run(size_t min_pts) { return pool_.Run(min_pts); }
+
+  // Thread-safe: a whole min_pts sweep against one pinned snapshot.
+  std::vector<Clustering> Sweep(std::span<const size_t> minpts_list) {
+    return pool_.Sweep(minpts_list);
+  }
+  std::vector<Clustering> Sweep(std::initializer_list<size_t> minpts_list) {
+    return pool_.Sweep(minpts_list);
+  }
+
+  // Thread-safe: the latest published snapshot (immutable).
+  std::shared_ptr<const dbscan::CellIndex<D>> snapshot() const {
+    return index_.snapshot();
+  }
+
+  // Writer-thread accessors (see dynamic_cell_index.h).
+  size_t num_points() const { return index_.num_points(); }
+  size_t num_cells() const { return index_.num_cells(); }
+  const UpdateStats& last_update() const { return index_.last_update(); }
+  std::vector<geometry::Point<D>> LivePoints() const {
+    return index_.LivePoints();
+  }
+  const std::vector<uint64_t>& LiveIds() const { return index_.LiveIds(); }
+
+  // Cumulative writer-side counters (cells_rebuilt / cells_retained /
+  // snapshots_published, build timings).
+  const dbscan::PipelineStats& update_stats() const { return update_stats_; }
+
+  // Sums the writer-side counters plus every reader context's counters into
+  // `out` (exact when callers are quiescent).
+  void AggregateStats(dbscan::PipelineStats& out) const {
+    out.MergeFrom(update_stats_);
+    pool_.AggregateStats(out);
+  }
+
+  parallel::EnginePool<D>& pool() { return pool_; }
+
+ private:
+  dbscan::PipelineStats update_stats_;
+  DynamicCellIndex<D> index_;
+  parallel::EnginePool<D> pool_;
+};
+
+}  // namespace pdbscan::streaming
+
+#endif  // PDBSCAN_STREAMING_STREAMING_CLUSTERER_H_

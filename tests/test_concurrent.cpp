@@ -1,8 +1,11 @@
 // Concurrent serving contract: N client threads hammering one frozen
 // CellIndex through an EnginePool produce clusterings bit-identical to
-// serial one-shot Dbscan calls, and per-context stats aggregate to exact
-// sums. Runs under -DPDBSCAN_SANITIZE=thread in CI (the tsan job), which is
-// what actually enforces "immutable index + private workspaces = no races".
+// serial one-shot Dbscan calls, per-context stats aggregate to exact sums,
+// and a streaming writer swapping snapshots under live readers never tears
+// a result. Runs under -DPDBSCAN_SANITIZE=thread in CI (the tsan job),
+// which is what actually enforces "immutable index + private workspaces =
+// no races".
+#include <atomic>
 #include <map>
 #include <random>
 #include <string>
@@ -16,44 +19,15 @@
 #include "parallel/engine_pool.h"
 #include "parallel/scheduler.h"
 #include "pdbscan/pdbscan.h"
+#include "testing_util.h"
 
 namespace pdbscan {
 namespace {
 
 using geometry::Point;
-
-template <int D>
-std::vector<Point<D>> BlobPoints(size_t n, size_t blobs, double side,
-                                 double sigma, uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  std::uniform_real_distribution<double> coord(0.0, side);
-  std::normal_distribution<double> gauss(0.0, sigma);
-  std::vector<Point<D>> centers(blobs);
-  for (auto& c : centers) {
-    for (int k = 0; k < D; ++k) c[k] = coord(rng);
-  }
-  std::vector<Point<D>> pts(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (i % 10 == 9) {  // 10% noise.
-      for (int k = 0; k < D; ++k) pts[i][k] = coord(rng);
-    } else {
-      const auto& c = centers[i % blobs];
-      for (int k = 0; k < D; ++k) pts[i][k] = c[k] + gauss(rng);
-    }
-  }
-  return pts;
-}
-
-// Bit-identical comparison of the full result contract (not just the
-// partition): cluster ids, core flags, and membership lists.
-void ExpectIdentical(const Clustering& expected, const Clustering& got,
-                     const std::string& context) {
-  EXPECT_EQ(expected.num_clusters, got.num_clusters) << context;
-  EXPECT_EQ(expected.cluster, got.cluster) << context;
-  EXPECT_EQ(expected.is_core, got.is_core) << context;
-  EXPECT_EQ(expected.membership_offsets, got.membership_offsets) << context;
-  EXPECT_EQ(expected.membership_ids, got.membership_ids) << context;
-}
+using pdbscan::testing::BlobPoints;
+using pdbscan::testing::ExpectIdentical;
+using pdbscan::testing::Identical;
 
 constexpr size_t kClients = 8;
 constexpr size_t kRoundsPerClient = 3;
@@ -253,6 +227,99 @@ TEST(ConcurrentPool, BareQueryContextsShareIndexes) {
     });
   }
   for (auto& c : clients) c.join();
+}
+
+// --- Streaming writer under concurrent readers ------------------------------
+
+// One writer thread applies a deterministic sequence of insert/erase
+// batches to a StreamingClusterer while kClients reader threads hammer
+// leased contexts. Every reader result must be bit-identical to the
+// expected clustering of SOME published version (snapshots are atomic:
+// batch boundaries only, never a torn state), and the per-context stats
+// must sum exactly afterwards. TSan enforces the no-races half.
+TEST(ConcurrentPool, StreamingWriterWithConcurrentReaders) {
+  const double eps = 1.1;
+  const size_t cap = 30;
+  const std::vector<size_t> minpts_rotation = {4, 9, 16};
+  const size_t kBatches = 6;
+
+  // The batch at step b inserts a fresh 400-point blob chunk and erases the
+  // oldest quarter of the live ids (always a prefix, so live ids stay
+  // contiguous and the replay below needs no bookkeeping).
+  const auto batch_inserts = [&](size_t b) {
+    return BlobPoints<2>(400, 3, 20.0, 0.9, 100 + b);
+  };
+
+  // Precompute every version's expected answers, serially, via from-scratch
+  // one-shot runs on the version's live points.
+  std::vector<std::vector<Point<2>>> version_pts;
+  {
+    StreamingClusterer<2> scratch(eps, cap);
+    version_pts.push_back(scratch.LivePoints());
+    uint64_t erase_from = 0;
+    for (size_t b = 0; b < kBatches; ++b) {
+      std::vector<uint64_t> del;
+      for (uint64_t id = erase_from;
+           id < erase_from + scratch.num_points() / 4; ++id) {
+        del.push_back(id);
+      }
+      erase_from += scratch.num_points() / 4;
+      scratch.ApplyUpdates(batch_inserts(b), del);
+      version_pts.push_back(scratch.LivePoints());
+    }
+  }
+  std::vector<std::vector<Clustering>> expected(version_pts.size());
+  for (size_t v = 0; v < version_pts.size(); ++v) {
+    for (const size_t m : minpts_rotation) {
+      expected[v].push_back(Dbscan<2>(version_pts[v], eps, m));
+    }
+  }
+
+  StreamingClusterer<2> stream(eps, cap);
+  std::thread writer([&]() {
+    uint64_t erase_from = 0;
+    for (size_t b = 0; b < kBatches; ++b) {
+      std::vector<uint64_t> del;
+      for (uint64_t id = erase_from;
+           id < erase_from + stream.num_points() / 4; ++id) {
+        del.push_back(id);
+      }
+      erase_from += stream.num_points() / 4;
+      stream.ApplyUpdates(batch_inserts(b), del);
+    }
+  });
+
+  constexpr size_t kReaderRounds = 6;
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t]() {
+      for (size_t r = 0; r < kReaderRounds; ++r) {
+        const size_t which = (t + r) % minpts_rotation.size();
+        const Clustering got = stream.Run(minpts_rotation[which]);
+        bool matched = false;
+        for (size_t v = 0; v < expected.size() && !matched; ++v) {
+          matched = Identical(expected[v][which], got);
+        }
+        EXPECT_TRUE(matched)
+            << "reader " << t << " round " << r << " minpts="
+            << minpts_rotation[which] << " matched no published version (n="
+            << got.size() << ")";
+      }
+    });
+  }
+  writer.join();
+  for (auto& c : clients) c.join();
+
+  // Final state serves the last version, and the stats sum exactly: every
+  // reader query was answered from some snapshot's shared counts.
+  ExpectIdentical(expected.back()[0], stream.Run(minpts_rotation[0]),
+                  "final version");
+  dbscan::PipelineStats agg;
+  stream.AggregateStats(agg);
+  EXPECT_EQ(agg.counts_reused.load(), kClients * kReaderRounds + 1);
+  EXPECT_EQ(agg.counts_built.load(), 0u);  // No over-cap queries.
+  EXPECT_EQ(agg.snapshots_published.load(), 1 + kBatches);
+  EXPECT_GT(agg.cells_retained.load(), 0u);
 }
 
 // --- Validation -------------------------------------------------------------

@@ -1,0 +1,114 @@
+// Cross-thread determinism: equal inputs must produce bit-identical
+// Clusterings (labels, core flags, membership lists) regardless of the
+// scheduler's worker count or execution schedule. Runs the same fixed-seed
+// workloads at 1 worker and at N workers and compares full results — the
+// programmatic equivalent of diffing PDBSCAN_NUM_THREADS=1 vs =N runs.
+// Wired into the CI TSan matrix alongside test_concurrent, so schedule
+// nondeterminism shows up both as label diffs here and as races there.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parallel/scheduler.h"
+#include "pdbscan/pdbscan.h"
+#include "testing_util.h"
+
+namespace pdbscan {
+namespace {
+
+using pdbscan::testing::ExpectIdentical;
+using pdbscan::testing::GenerateShape;
+using pdbscan::testing::MakeCases;
+using pdbscan::testing::Shape;
+
+constexpr int kManyWorkers = 4;
+
+// Every exact 2D variant plus the approximate ones: one-shot runs at 1
+// worker vs kManyWorkers must match bit for bit.
+TEST(Determinism, OneShotVariantsAcrossWorkerCounts) {
+  const std::vector<Options> configs = {
+      Our2dGridBcp(),    Our2dGridUsec(),          Our2dGridDelaunay(),
+      Our2dBoxBcp(),     Our2dBoxUsec(),           OurExactQt(),
+      OurApprox(0.05),   WithBucketing(Our2dGridBcp())};
+  for (const auto& c : MakeCases(/*base_seed=*/4242, 5)) {
+    const auto pts = GenerateShape<2>(c.shape, c.n, c.seed);
+    for (const auto& options : configs) {
+      std::vector<Clustering> results;
+      for (const int workers : {1, kManyWorkers}) {
+        parallel::ScopedNumWorkers scoped(workers);
+        results.push_back(Dbscan<2>(pts, c.epsilon, c.min_pts, options));
+      }
+      ExpectIdentical(results[0], results[1],
+                      options.Name() + " seed=" + std::to_string(c.seed));
+    }
+  }
+}
+
+TEST(Determinism, HigherDimensionsAcrossWorkerCounts) {
+  const auto pts3 = GenerateShape<3>(Shape::kBlobs, 400, 77);
+  const auto pts5 = GenerateShape<5>(Shape::kMixed, 250, 78);
+  std::vector<Clustering> r3, r5;
+  for (const int workers : {1, kManyWorkers}) {
+    parallel::ScopedNumWorkers scoped(workers);
+    r3.push_back(Dbscan<3>(pts3, 1.4, 8));
+    r5.push_back(Dbscan<5>(pts5, 3.0, 6));
+  }
+  ExpectIdentical(r3[0], r3[1], "3d");
+  ExpectIdentical(r5[0], r5[1], "5d");
+}
+
+// The engine sweep surface: batched sweeps must be schedule-independent
+// too (they share counts across settings, a different code path than
+// repeated one-shot runs).
+TEST(Determinism, EngineSweepAcrossWorkerCounts) {
+  const auto pts = GenerateShape<2>(Shape::kGridish, 700, 123);
+  const std::vector<size_t> settings = {2, 5, 11, 29};
+  std::vector<std::vector<Clustering>> sweeps;
+  for (const int workers : {1, kManyWorkers}) {
+    parallel::ScopedNumWorkers scoped(workers);
+    DbscanEngine<2> engine;
+    engine.SetPoints(pts);
+    sweeps.push_back(engine.Sweep(0.9, settings));
+  }
+  ASSERT_EQ(sweeps[0].size(), sweeps[1].size());
+  for (size_t i = 0; i < sweeps[0].size(); ++i) {
+    ExpectIdentical(sweeps[0][i], sweeps[1][i],
+                    "sweep minpts=" + std::to_string(settings[i]));
+  }
+}
+
+// The streaming surface: the same update sequence must publish snapshots
+// with bit-identical labels at every worker count (incremental recounts,
+// adjacency rebuilds and recomposition all run on the scheduler).
+TEST(Determinism, StreamingUpdatesAcrossWorkerCounts) {
+  const double eps = 1.0;
+  std::vector<std::vector<Clustering>> per_worker_results;
+  for (const int workers : {1, kManyWorkers}) {
+    parallel::ScopedNumWorkers scoped(workers);
+    StreamingClusterer<2> stream(eps, 18);
+    std::vector<Clustering> results;
+    uint64_t first = 0;
+    for (size_t round = 0; round < 4; ++round) {
+      const auto ins =
+          GenerateShape<2>(pdbscan::testing::kAllShapes[round % 5],
+                           150 + 40 * round, 1000 + round);
+      std::vector<uint64_t> del;
+      for (uint64_t id = first / 2; id < first / 2 + 20 * round; ++id) {
+        del.push_back(id);
+      }
+      first = stream.ApplyUpdates(ins, del) + ins.size();
+      results.push_back(stream.Run(6));
+      results.push_back(stream.Run(25));  // Over-cap recount path.
+    }
+    per_worker_results.push_back(std::move(results));
+  }
+  ASSERT_EQ(per_worker_results[0].size(), per_worker_results[1].size());
+  for (size_t i = 0; i < per_worker_results[0].size(); ++i) {
+    ExpectIdentical(per_worker_results[0][i], per_worker_results[1][i],
+                    "streaming step " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace pdbscan

@@ -1,16 +1,24 @@
 // Randomized property sweep: for a wide range of generated configurations
 // (data shape, n, epsilon, minPts, dimension), every exact variant must
-// reproduce the brute-force clustering exactly, and every approximate
-// variant must satisfy the Gan–Tao definition. This is the broadest
-// correctness net in the suite; each case is small enough for the O(n^2)
-// oracle.
+// reproduce the brute-force clustering exactly, every approximate variant
+// must satisfy the Gan–Tao definition, and the streaming surface must stay
+// equivalent to from-scratch runs across randomized insert/erase batches.
+// This is the broadest correctness net in the suite; each case is small
+// enough for the O(n^2) oracle.
+//
+// PDBSCAN_SWEEP_BUDGET multiplies the case counts (default 1); the
+// slow-sweep ctest label runs this binary at a larger budget.
+#include <algorithm>
+#include <cstddef>
 #include <random>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "dbscan/verify.h"
 #include "pdbscan/pdbscan.h"
+#include "testing_util.h"
 
 namespace pdbscan {
 namespace {
@@ -19,98 +27,15 @@ using dbscan::BruteForceDbscan;
 using dbscan::IsValidApproxClustering;
 using dbscan::SameClustering;
 using geometry::Point;
-
-enum class Shape { kUniform, kBlobs, kLines, kGridish, kMixed };
-
-template <int D>
-std::vector<Point<D>> GenerateShape(Shape shape, size_t n, uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  std::uniform_real_distribution<double> coord(0.0, 20.0);
-  std::normal_distribution<double> gauss(0.0, 0.7);
-  std::uniform_real_distribution<double> u01(0.0, 1.0);
-  std::vector<Point<D>> pts(n);
-  switch (shape) {
-    case Shape::kUniform:
-      for (auto& p : pts) {
-        for (int k = 0; k < D; ++k) p[k] = coord(rng);
-      }
-      break;
-    case Shape::kBlobs: {
-      std::vector<Point<D>> centers(4);
-      for (auto& c : centers) {
-        for (int k = 0; k < D; ++k) c[k] = coord(rng);
-      }
-      for (size_t i = 0; i < n; ++i) {
-        const auto& c = centers[i % centers.size()];
-        for (int k = 0; k < D; ++k) pts[i][k] = c[k] + gauss(rng);
-      }
-      break;
-    }
-    case Shape::kLines: {
-      // Points along axis-parallel segments: stresses degenerate geometry
-      // (collinear Delaunay inputs, single-row grids).
-      for (size_t i = 0; i < n; ++i) {
-        const int axis = static_cast<int>(rng() % D);
-        const double offset = coord(rng);
-        for (int k = 0; k < D; ++k) pts[i][k] = std::floor(coord(rng) / 5) * 5;
-        pts[i][axis] = offset;
-      }
-      break;
-    }
-    case Shape::kGridish: {
-      // Near-lattice points: exact ties in distances and cell boundaries.
-      for (size_t i = 0; i < n; ++i) {
-        for (int k = 0; k < D; ++k) {
-          pts[i][k] = std::floor(coord(rng)) + (u01(rng) < 0.3 ? 0.5 : 0.0);
-        }
-      }
-      break;
-    }
-    case Shape::kMixed: {
-      for (size_t i = 0; i < n; ++i) {
-        if (u01(rng) < 0.5) {
-          for (int k = 0; k < D; ++k) pts[i][k] = coord(rng);
-        } else {
-          for (int k = 0; k < D; ++k) pts[i][k] = 10 + gauss(rng);
-        }
-      }
-      break;
-    }
-  }
-  return pts;
-}
-
-struct SweepCase {
-  Shape shape;
-  size_t n;
-  double epsilon;
-  size_t min_pts;
-  uint64_t seed;
-};
-
-std::vector<SweepCase> MakeCases(uint64_t base_seed, size_t count) {
-  std::mt19937_64 rng(base_seed);
-  std::vector<SweepCase> cases;
-  const Shape shapes[] = {Shape::kUniform, Shape::kBlobs, Shape::kLines,
-                          Shape::kGridish, Shape::kMixed};
-  for (size_t i = 0; i < count; ++i) {
-    SweepCase c;
-    c.shape = shapes[rng() % 5];
-    c.n = 50 + rng() % 350;
-    const double eps_choices[] = {0.3, 0.7, 1.1, 2.0, 4.5};
-    c.epsilon = eps_choices[rng() % 5];
-    const size_t minpts_choices[] = {1, 2, 4, 8, 20};
-    c.min_pts = minpts_choices[rng() % 5];
-    c.seed = rng();
-    cases.push_back(c);
-  }
-  return cases;
-}
+using pdbscan::testing::GenerateShape;
+using pdbscan::testing::MakeCases;
+using pdbscan::testing::Shape;
+using pdbscan::testing::SweepBudget;
 
 class PropertySweep2d : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(PropertySweep2d, AllExactVariantsMatchOracle) {
-  for (const auto& c : MakeCases(GetParam(), 6)) {
+  for (const auto& c : MakeCases(GetParam(), 6 * SweepBudget())) {
     auto pts = GenerateShape<2>(c.shape, c.n, c.seed);
     const auto expected = BruteForceDbscan<2>(pts, c.epsilon, c.min_pts);
     const std::vector<Options> configs = {
@@ -130,7 +55,7 @@ TEST_P(PropertySweep2d, AllExactVariantsMatchOracle) {
 
 TEST_P(PropertySweep2d, ApproxVariantsSatisfyDefinition) {
   std::mt19937_64 rng(GetParam() * 77 + 1);
-  for (const auto& c : MakeCases(GetParam() + 1000, 4)) {
+  for (const auto& c : MakeCases(GetParam() + 1000, 4 * SweepBudget())) {
     auto pts = GenerateShape<2>(c.shape, c.n, c.seed);
     const double rho_choices[] = {0.01, 0.1, 0.6};
     const double rho = rho_choices[rng() % 3];
@@ -150,7 +75,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep2d,
 class PropertySweep3d : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(PropertySweep3d, ExactAndApproxAgainstOracle) {
-  for (const auto& c : MakeCases(GetParam() + 5000, 4)) {
+  for (const auto& c : MakeCases(GetParam() + 5000, 4 * SweepBudget())) {
     auto pts = GenerateShape<3>(c.shape, c.n, c.seed);
     const auto expected = BruteForceDbscan<3>(pts, c.epsilon, c.min_pts);
     for (const auto& options :
@@ -196,6 +121,71 @@ TEST_P(PropertySweepHighDim, FiveAndSevenDimensions) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweepHighDim,
                          ::testing::Values(1, 2, 3, 4));
+
+// --- Streaming: incremental maintenance vs. from-scratch rebuild ------------
+
+// Applies `rounds` randomized insert/erase batches over every shape to a
+// StreamingClusterer and, after each batch, checks the published snapshot
+// against a from-scratch Dbscan on the mutated dataset (SameClustering) and
+// — as final arbiter — the brute-force oracle.
+template <int D>
+void StreamingMatchesRebuild(Shape shape, double epsilon, size_t rounds,
+                             uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  StreamingClusterer<D> stream(epsilon, /*counts_cap=*/25);
+  std::vector<uint64_t> live;
+  for (size_t round = 0; round < rounds; ++round) {
+    // Fresh points drawn from the shape family; erases of a random subset.
+    const auto ins = GenerateShape<D>(shape, 30 + rng() % 60, rng());
+    std::shuffle(live.begin(), live.end(), rng);
+    const size_t erase_n = live.empty() ? 0 : rng() % (live.size() / 2 + 1);
+    std::vector<uint64_t> del(live.begin(),
+                              live.begin() + static_cast<ptrdiff_t>(erase_n));
+    live.erase(live.begin(), live.begin() + static_cast<ptrdiff_t>(erase_n));
+    const uint64_t first = stream.ApplyUpdates(ins, del);
+    for (size_t i = 0; i < ins.size(); ++i) live.push_back(first + i);
+
+    const auto pts = stream.LivePoints();
+    ASSERT_EQ(pts.size(), live.size());
+    const size_t min_pts = 1 + rng() % 12;
+    const auto got = stream.Run(min_pts);
+    const auto rebuilt = Dbscan<D>(pts, epsilon, min_pts);
+    ASSERT_TRUE(SameClustering(rebuilt, got))
+        << "streaming vs rebuild: shape=" << static_cast<int>(shape)
+        << " D=" << D << " round=" << round << " n=" << pts.size()
+        << " minpts=" << min_pts << " seed=" << seed;
+    const auto oracle = BruteForceDbscan<D>(
+        std::span<const Point<D>>(pts), epsilon, min_pts);
+    ASSERT_TRUE(SameClustering(oracle, got))
+        << "streaming vs oracle: shape=" << static_cast<int>(shape)
+        << " D=" << D << " round=" << round << " n=" << pts.size()
+        << " minpts=" << min_pts << " seed=" << seed;
+  }
+}
+
+class StreamingPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StreamingPropertySweep, BatchesMatchRebuildAllShapes2d) {
+  for (const Shape shape : pdbscan::testing::kAllShapes) {
+    StreamingMatchesRebuild<2>(shape, 1.1, 3 * SweepBudget(),
+                               GetParam() * 131 + static_cast<int>(shape));
+  }
+}
+
+TEST_P(StreamingPropertySweep, BatchesMatchRebuild3d) {
+  for (const Shape shape :
+       {Shape::kUniform, Shape::kBlobs, Shape::kGridish}) {
+    StreamingMatchesRebuild<3>(shape, 2.0, 2 * SweepBudget(),
+                               GetParam() * 733 + static_cast<int>(shape));
+  }
+}
+
+TEST_P(StreamingPropertySweep, BatchesMatchRebuild5d) {
+  StreamingMatchesRebuild<5>(Shape::kBlobs, 4.0, 2, GetParam() * 977);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingPropertySweep,
+                         ::testing::Values(1, 2, 3));
 
 }  // namespace
 }  // namespace pdbscan

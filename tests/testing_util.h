@@ -1,0 +1,171 @@
+// Shared test infrastructure: the randomized dataset generators and result
+// comparators that the property-sweep, concurrency, determinism and
+// streaming suites all use. One copy here instead of one per suite, so a
+// generator tweak (or a new degenerate shape) hardens every suite at once.
+//
+// Budget knob: PDBSCAN_SWEEP_BUDGET (int, default 1) multiplies the number
+// of randomized cases the property-style suites run. The PR-blocking CI
+// jobs run at the default; the non-blocking slow-sweep job (ctest label
+// `slow-sweep`) runs the same binaries at a larger budget.
+#ifndef PDBSCAN_TESTS_TESTING_UTIL_H_
+#define PDBSCAN_TESTS_TESTING_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dbscan/types.h"
+#include "geometry/point.h"
+#include "util/env.h"
+
+namespace pdbscan::testing {
+
+// Multiplier on randomized-case counts (see header comment).
+inline size_t SweepBudget() {
+  const int budget = util::GetEnvInt("PDBSCAN_SWEEP_BUDGET", 1);
+  return budget < 1 ? 1 : static_cast<size_t>(budget);
+}
+
+// Data shapes that stress different pipeline paths: uniform noise, Gaussian
+// blobs, axis-parallel lines (degenerate geometry: collinear Delaunay
+// inputs, single-row grids), near-lattice points (exact distance and cell
+// boundary ties), and a mixture.
+enum class Shape { kUniform, kBlobs, kLines, kGridish, kMixed };
+
+inline constexpr Shape kAllShapes[] = {Shape::kUniform, Shape::kBlobs,
+                                       Shape::kLines, Shape::kGridish,
+                                       Shape::kMixed};
+
+template <int D>
+std::vector<geometry::Point<D>> GenerateShape(Shape shape, size_t n,
+                                              uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, 20.0);
+  std::normal_distribution<double> gauss(0.0, 0.7);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::vector<geometry::Point<D>> pts(n);
+  switch (shape) {
+    case Shape::kUniform:
+      for (auto& p : pts) {
+        for (int k = 0; k < D; ++k) p[k] = coord(rng);
+      }
+      break;
+    case Shape::kBlobs: {
+      std::vector<geometry::Point<D>> centers(4);
+      for (auto& c : centers) {
+        for (int k = 0; k < D; ++k) c[k] = coord(rng);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        const auto& c = centers[i % centers.size()];
+        for (int k = 0; k < D; ++k) pts[i][k] = c[k] + gauss(rng);
+      }
+      break;
+    }
+    case Shape::kLines: {
+      // Points along axis-parallel segments: stresses degenerate geometry
+      // (collinear Delaunay inputs, single-row grids).
+      for (size_t i = 0; i < n; ++i) {
+        const int axis = static_cast<int>(rng() % D);
+        const double offset = coord(rng);
+        for (int k = 0; k < D; ++k) pts[i][k] = std::floor(coord(rng) / 5) * 5;
+        pts[i][axis] = offset;
+      }
+      break;
+    }
+    case Shape::kGridish: {
+      // Near-lattice points: exact ties in distances and cell boundaries.
+      for (size_t i = 0; i < n; ++i) {
+        for (int k = 0; k < D; ++k) {
+          pts[i][k] = std::floor(coord(rng)) + (u01(rng) < 0.3 ? 0.5 : 0.0);
+        }
+      }
+      break;
+    }
+    case Shape::kMixed: {
+      for (size_t i = 0; i < n; ++i) {
+        if (u01(rng) < 0.5) {
+          for (int k = 0; k < D; ++k) pts[i][k] = coord(rng);
+        } else {
+          for (int k = 0; k < D; ++k) pts[i][k] = 10 + gauss(rng);
+        }
+      }
+      break;
+    }
+  }
+  return pts;
+}
+
+// One randomized configuration for a property-style case.
+struct SweepCase {
+  Shape shape;
+  size_t n;
+  double epsilon;
+  size_t min_pts;
+  uint64_t seed;
+};
+
+inline std::vector<SweepCase> MakeCases(uint64_t base_seed, size_t count) {
+  std::mt19937_64 rng(base_seed);
+  std::vector<SweepCase> cases;
+  for (size_t i = 0; i < count; ++i) {
+    SweepCase c;
+    c.shape = kAllShapes[rng() % 5];
+    c.n = 50 + rng() % 350;
+    const double eps_choices[] = {0.3, 0.7, 1.1, 2.0, 4.5};
+    c.epsilon = eps_choices[rng() % 5];
+    const size_t minpts_choices[] = {1, 2, 4, 8, 20};
+    c.min_pts = minpts_choices[rng() % 5];
+    c.seed = rng();
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+// Gaussian blobs plus 10% uniform noise — the serving-suite workload.
+template <int D>
+std::vector<geometry::Point<D>> BlobPoints(size_t n, size_t blobs, double side,
+                                           double sigma, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, side);
+  std::normal_distribution<double> gauss(0.0, sigma);
+  std::vector<geometry::Point<D>> centers(blobs);
+  for (auto& c : centers) {
+    for (int k = 0; k < D; ++k) c[k] = coord(rng);
+  }
+  std::vector<geometry::Point<D>> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 10 == 9) {  // 10% noise.
+      for (int k = 0; k < D; ++k) pts[i][k] = coord(rng);
+    } else {
+      const auto& c = centers[i % blobs];
+      for (int k = 0; k < D; ++k) pts[i][k] = c[k] + gauss(rng);
+    }
+  }
+  return pts;
+}
+
+// Bit-identical comparison of the full result contract (not just the
+// partition): cluster ids, core flags, and membership lists.
+inline void ExpectIdentical(const Clustering& expected, const Clustering& got,
+                            const std::string& context) {
+  EXPECT_EQ(expected.num_clusters, got.num_clusters) << context;
+  EXPECT_EQ(expected.cluster, got.cluster) << context;
+  EXPECT_EQ(expected.is_core, got.is_core) << context;
+  EXPECT_EQ(expected.membership_offsets, got.membership_offsets) << context;
+  EXPECT_EQ(expected.membership_ids, got.membership_ids) << context;
+}
+
+inline bool Identical(const Clustering& a, const Clustering& b) {
+  return a.num_clusters == b.num_clusters && a.cluster == b.cluster &&
+         a.is_core == b.is_core &&
+         a.membership_offsets == b.membership_offsets &&
+         a.membership_ids == b.membership_ids;
+}
+
+}  // namespace pdbscan::testing
+
+#endif  // PDBSCAN_TESTS_TESTING_UTIL_H_
