@@ -111,83 +111,115 @@ double GridSide(double epsilon) {
   return epsilon / std::sqrt(double(D));
 }
 
-// Fills the CSR neighbor adjacency of `cells` from cells.coords: for every
-// cell, all other cells whose boxes are within epsilon (the exact integer
-// criterion of OffsetWithinEpsilon). Offset enumeration for d <= 3, k-d
-// tree over cell centers for higher d (Section 5.1). `origin`/`side` are
-// the grid anchoring that produced the coords. Factored out of BuildGrid so
-// the streaming DynamicCellIndex can re-derive adjacency for an
-// incrementally recomposed structure through the same code path.
-template <int D>
-void BuildGridAdjacency(CellStructure<D>& cells,
-                        const geometry::Point<D>& origin, double side) {
+// Invokes emit(i, j) for every ordered pair of positions i != j into `ids`
+// such that cells ids[i] and ids[j] can contain points within epsilon of
+// each other (the exact integer criterion of OffsetWithinEpsilon over
+// cells.coords). Offset enumeration probing a hash table for d <= 3, a k-d
+// tree over the cells' centers for higher d (Section 5.1). The loop over i
+// is a parallel_for: emit must tolerate concurrent calls with distinct i
+// (all calls for one i are serial, in deterministic order).
+// `origin`/`side` are the grid anchoring that produced the coords. This is
+// the ONE place the neighbor criterion and its dimension dispatch live —
+// shared by BuildGridAdjacency (ids = every cell) and the sharded
+// boundary merge (ids = seam cells only), so the two cannot diverge.
+template <int D, typename Emit>
+void ForEachNeighborAmong(const CellStructure<D>& cells,
+                          std::span<const uint32_t> ids,
+                          const geometry::Point<D>& origin, double side,
+                          Emit&& emit) {
   using geometry::BBox;
   using geometry::CellCoords;
   using geometry::Point;
+  if (ids.empty()) return;
+  if constexpr (D <= 3) {
+    // Hash table over the candidate cells: coords -> position in `ids`.
+    containers::ConcurrentMap<CellCoords<D>, uint32_t,
+                              internal::CellCoordsHash<D>,
+                              internal::CellCoordsEq<D>>
+        table(ids.size());
+    parallel::parallel_for(0, ids.size(), [&](size_t i) {
+      table.Insert(cells.coords[ids[i]], static_cast<uint32_t>(i));
+    });
+    // Function-local static pointer: computed once, never destroyed.
+    static const auto* const kOffsets =
+        new std::vector<CellCoords<D>>(internal::NeighborOffsets<D>());
+    parallel::parallel_for(0, ids.size(), [&](size_t i) {
+      for (const CellCoords<D>& delta : *kOffsets) {
+        CellCoords<D> probe = cells.coords[ids[i]];
+        for (int a = 0; a < D; ++a) probe[a] += delta[a];
+        const uint32_t* j = table.Find(probe);
+        if (j != nullptr) emit(i, static_cast<size_t>(*j));
+      }
+    });
+  } else {
+    // k-d tree over the candidate cells' centers (Section 5.1).
+    const int k = 1 + static_cast<int>(std::floor(std::sqrt(double(D))));
+    std::vector<Point<D>> centers(ids.size());
+    parallel::parallel_for(0, ids.size(), [&](size_t i) {
+      for (int a = 0; a < D; ++a) {
+        centers[i][a] = origin[a] + side * (cells.coords[ids[i]][a] + 0.5);
+      }
+    });
+    geometry::KdTree<D> tree{std::span<const Point<D>>(centers)};
+    parallel::parallel_for(0, ids.size(), [&](size_t i) {
+      BBox<D> query;
+      for (int a = 0; a < D; ++a) {
+        query.min[a] = centers[i][a] - (k + 0.5) * side;
+        query.max[a] = centers[i][a] + (k + 0.5) * side;
+      }
+      tree.ForEachInBox(query, [&](uint32_t other) {
+        if (other == i) return true;
+        CellCoords<D> delta;
+        for (int a = 0; a < D; ++a) {
+          delta[a] =
+              cells.coords[ids[other]][a] - cells.coords[ids[i]][a];
+        }
+        if (internal::OffsetWithinEpsilon<D>(delta)) {
+          emit(i, static_cast<size_t>(other));
+        }
+        return true;
+      });
+    });
+  }
+}
+
+// Fills the CSR neighbor adjacency of `cells` from cells.coords: for every
+// cell, all other cells whose boxes are within epsilon (the exact integer
+// criterion of OffsetWithinEpsilon), via ForEachNeighborAmong over the full
+// cell set. `origin`/`side` are the grid anchoring that produced the
+// coords. Factored out of BuildGrid so the streaming DynamicCellIndex can
+// re-derive adjacency for an incrementally recomposed structure through
+// the same code path.
+template <int D>
+void BuildGridAdjacency(CellStructure<D>& cells,
+                        const geometry::Point<D>& origin, double side) {
   const size_t num_cells = cells.num_cells();
   if (num_cells == 0) {  // Empty (streaming) structure: trivial CSR.
     cells.nbr_offsets.assign(1, 0);
     cells.nbrs.clear();
     return;
   }
-
-  // Hash table over non-empty cells: coords -> cell id.
-  containers::ConcurrentMap<CellCoords<D>, uint32_t,
-                            internal::CellCoordsHash<D>,
-                            internal::CellCoordsEq<D>>
-      table(num_cells);
-  parallel::parallel_for(0, num_cells, [&](size_t c) {
-    table.Insert(cells.coords[c], static_cast<uint32_t>(c));
-  });
-
+  std::vector<uint32_t> all(num_cells);
+  parallel::parallel_for(0, num_cells,
+                         [&](size_t c) { all[c] = static_cast<uint32_t>(c); });
   std::vector<std::vector<uint32_t>> neighbor_lists(num_cells);
-  if constexpr (D <= 3) {
-    // Function-local static pointer: computed once, never destroyed.
-    static const auto* const kOffsets =
-        new std::vector<CellCoords<D>>(internal::NeighborOffsets<D>());
-    parallel::parallel_for(0, num_cells, [&](size_t c) {
-      auto& list = neighbor_lists[c];
-      for (const CellCoords<D>& delta : *kOffsets) {
-        CellCoords<D> probe = cells.coords[c];
-        for (int i = 0; i < D; ++i) probe[i] += delta[i];
-        const uint32_t* id = table.Find(probe);
-        if (id != nullptr) list.push_back(*id);
-      }
-    });
-  } else {
-    // k-d tree over cell centers (Section 5.1).
-    const int k = 1 + static_cast<int>(std::floor(std::sqrt(double(D))));
-    std::vector<Point<D>> centers(num_cells);
-    parallel::parallel_for(0, num_cells, [&](size_t c) {
-      for (int i = 0; i < D; ++i) {
-        centers[c][i] = origin[i] + side * (cells.coords[c][i] + 0.5);
-      }
-    });
-    geometry::KdTree<D> tree{std::span<const Point<D>>(centers)};
-    parallel::parallel_for(0, num_cells, [&](size_t c) {
-      BBox<D> query;
-      for (int i = 0; i < D; ++i) {
-        query.min[i] = centers[c][i] - (k + 0.5) * side;
-        query.max[i] = centers[c][i] + (k + 0.5) * side;
-      }
-      auto& list = neighbor_lists[c];
-      tree.ForEachInBox(query, [&](uint32_t other) {
-        if (other == c) return true;
-        CellCoords<D> delta;
-        for (int i = 0; i < D; ++i) {
-          delta[i] = cells.coords[other][i] - cells.coords[c][i];
-        }
-        if (internal::OffsetWithinEpsilon<D>(delta)) list.push_back(other);
-        return true;
-      });
-    });
-  }
+  // Positions into `all` are cell ids, so (i, j) is a cell pair directly.
+  ForEachNeighborAmong<D>(cells, std::span<const uint32_t>(all), origin, side,
+                          [&](size_t i, size_t j) {
+                            neighbor_lists[i].push_back(
+                                static_cast<uint32_t>(j));
+                          });
   FlattenNeighbors(neighbor_lists, cells);
 }
 
 // Builds the grid cell structure for `input` with parameter `epsilon`.
-// `bounds_hint`, when non-null, must equal ComputeBounds(input) and skips
-// the reduction pass.
+// `bounds_hint`, when non-null, skips the reduction pass; its `min` corner
+// becomes the grid anchor origin and is the ONLY field read, so any box
+// containing `input` is valid. The engine cache passes ComputeBounds of
+// the full point set; the sharded build deliberately passes the GLOBAL
+// dataset bounds with a shard-subset input so every shard lands on the
+// single-index lattice. Do not start reading other fields of the hint
+// without revisiting those callers.
 template <int D>
 CellStructure<D> BuildGrid(std::span<const geometry::Point<D>> input,
                            double epsilon,

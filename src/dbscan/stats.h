@@ -61,12 +61,32 @@ struct PipelineStats {
   std::atomic<size_t> cells_retained{0};
   std::atomic<size_t> snapshots_published{0};
 
+  // Sharded builds (sharding/sharded_cell_index.h): per-shard structures
+  // built, and the boundary-merge accounting. A merged build counts every
+  // cell exactly once — interior cells inside their shard
+  // (shard_interior_cells), seam-adjacent cells in the merge stage
+  // (shard_boundary_cells) — and records every cross-seam adjacency edge it
+  // adds (shard_seam_links). "Merge work scales with the seam, not the
+  // dataset" is exactly shard_boundary_cells << shard_interior_cells +
+  // shard_boundary_cells.
+  std::atomic<size_t> shards_built{0};
+  std::atomic<size_t> shard_interior_cells{0};
+  std::atomic<size_t> shard_boundary_cells{0};
+  std::atomic<size_t> shard_seam_links{0};
+
   // Per-stage wall-clock seconds, accumulated across runs.
   std::atomic<double> build_cells_seconds{0};
   std::atomic<double> mark_core_seconds{0};
   std::atomic<double> cluster_core_seconds{0};
   std::atomic<double> cluster_border_seconds{0};
   std::atomic<double> finalize_seconds{0};
+  // Sharded builds: the boundary-merge stage alone (cross-seam adjacency
+  // discovery + boundary-cell recount). This is an overlay, not a new
+  // stage: the same span is also attributed to build_cells_seconds
+  // (adjacency/CSR) and mark_core_seconds (recount) so stage totals stay
+  // comparable with unsharded builds — don't add it into a sum of the
+  // per-stage timers.
+  std::atomic<double> shard_merge_seconds{0};
 
   // Adds every counter and timing of `other` into this sink (relaxed reads
   // and adds). Used by EnginePool to aggregate per-context stats; `other`
@@ -86,6 +106,10 @@ struct PipelineStats {
     add(cells_rebuilt, other.cells_rebuilt);
     add(cells_retained, other.cells_retained);
     add(snapshots_published, other.snapshots_published);
+    add(shards_built, other.shards_built);
+    add(shard_interior_cells, other.shard_interior_cells);
+    add(shard_boundary_cells, other.shard_boundary_cells);
+    add(shard_seam_links, other.shard_seam_links);
     AddSeconds(build_cells_seconds,
                other.build_cells_seconds.load(std::memory_order_relaxed));
     AddSeconds(mark_core_seconds,
@@ -96,6 +120,8 @@ struct PipelineStats {
                other.cluster_border_seconds.load(std::memory_order_relaxed));
     AddSeconds(finalize_seconds,
                other.finalize_seconds.load(std::memory_order_relaxed));
+    AddSeconds(shard_merge_seconds,
+               other.shard_merge_seconds.load(std::memory_order_relaxed));
   }
 
   void Reset() {
@@ -109,11 +135,16 @@ struct PipelineStats {
     cells_rebuilt.store(0, std::memory_order_relaxed);
     cells_retained.store(0, std::memory_order_relaxed);
     snapshots_published.store(0, std::memory_order_relaxed);
+    shards_built.store(0, std::memory_order_relaxed);
+    shard_interior_cells.store(0, std::memory_order_relaxed);
+    shard_boundary_cells.store(0, std::memory_order_relaxed);
+    shard_seam_links.store(0, std::memory_order_relaxed);
     build_cells_seconds.store(0, std::memory_order_relaxed);
     mark_core_seconds.store(0, std::memory_order_relaxed);
     cluster_core_seconds.store(0, std::memory_order_relaxed);
     cluster_border_seconds.store(0, std::memory_order_relaxed);
     finalize_seconds.store(0, std::memory_order_relaxed);
+    shard_merge_seconds.store(0, std::memory_order_relaxed);
   }
 };
 

@@ -55,16 +55,32 @@
 #include "dbscan/types.h"
 #include "geometry/point.h"
 
+namespace pdbscan::sharding {
+template <int D>
+class ShardedCellIndex;
+}  // namespace pdbscan::sharding
+
 namespace pdbscan::parallel {
 
 template <int D>
 class EnginePool {
  public:
   // Serves an index built elsewhere (possibly shared with other pools).
+  // The index may come from any producer of frozen CellIndexes: a direct
+  // CellIndex::Build, a streaming DynamicCellIndex snapshot, or a sharded
+  // build's merged index.
   explicit EnginePool(std::shared_ptr<const dbscan::CellIndex<D>> index)
       : index_(std::move(index)) {
     if (!index_) throw std::invalid_argument("EnginePool needs an index");
   }
+
+  // Serves the merged frozen index of a spatially sharded build — sharded
+  // indexes are ordinary CellIndexes after their boundary merge, so
+  // serving and sweeps work unchanged. The pool shares ownership of the
+  // merged index; the ShardedCellIndex itself need not outlive the pool.
+  // Defined in sharding/sharded_cell_index.h (include it to use this
+  // constructor).
+  explicit EnginePool(const sharding::ShardedCellIndex<D>& sharded);
 
   // Builds the index and serves it: the one-stop "service" constructor.
   // `counts_cap` is the largest min_pts answered from the shared counts;
@@ -97,6 +113,7 @@ class EnginePool {
     return lease.slot->context.Sweep(lease.index, minpts_list);
   }
 
+  // Brace-list convenience for the overload above: pool.Sweep({5, 10, 50}).
   std::vector<Clustering> Sweep(std::initializer_list<size_t> minpts_list) {
     return Sweep(
         std::span<const size_t>(minpts_list.begin(), minpts_list.size()));

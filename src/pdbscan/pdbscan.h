@@ -63,6 +63,26 @@
 // memcpy-scale recomposition pass), and readers never block on the writer.
 // See streaming/dynamic_cell_index.h and streaming/streaming_clusterer.h.
 //
+// Quickstart (sharded builds — spatially partitioned construction):
+//
+//   // Grid cells + kScan counting, any dimension. The domain splits into
+//   // 8 grid-aligned slabs, each shard builds and counts concurrently,
+//   // and a boundary-merge stage reconciles only cells within one eps of
+//   // a shard seam before freezing one merged immutable index.
+//   pdbscan::ShardedClusterer<2> sharded(pts, /*epsilon=*/1.0,
+//                                        /*counts_cap=*/100,
+//                                        /*num_shards=*/8);
+//   pdbscan::Clustering c = sharded.Run(/*min_pts=*/10);   // Any thread.
+//
+// Sharding is a build-time decomposition: the merged index is an ordinary
+// CellIndex (EnginePool can be constructed from a ShardedCellIndex
+// directly), queries run the standard pipeline against it, and exact
+// configurations produce labels bit-identical to an unsharded run at any
+// worker count. Merge work is proportional to the boundary-cell count, not
+// the dataset (shard_boundary_cells / shard_seam_links in the stats sink;
+// bench/throughput_sharded.cpp enforces the proportionality by exit code).
+// See sharding/shard_planner.h and sharding/sharded_cell_index.h.
+//
 // Configuration (pdbscan::Options) selects the paper's variants:
 //   OurExact(), OurExactQt(), OurApprox(rho), OurApproxQt(rho),
 //   Our2dGridBcp(), Our2dGridUsec(), Our2dGridDelaunay(),
@@ -93,36 +113,75 @@
 #include "geometry/point.h"
 #include "parallel/engine_pool.h"
 #include "parallel/scheduler.h"
+#include "sharding/shard_planner.h"
+#include "sharding/sharded_cell_index.h"
+#include "sharding/sharded_clusterer.h"
 #include "streaming/streaming_clusterer.h"
 
 namespace pdbscan {
 
+// Fixed-dimension Euclidean point: the input type of every clustering
+// surface. Point2/Point3 are the common shorthands.
 template <int D>
 using Point = geometry::Point<D>;
 using Point2 = geometry::Point<2>;
 using Point3 = geometry::Point<3>;
 
-// The stateful, reusable clusterer (see dbscan/engine.h for the caching
-// contract).
+// The stateful, reusable clusterer for one thread: caches the cell
+// structure across min_pts changes and the layout across epsilon changes
+// (see dbscan/engine.h for the caching contract).
 template <int D>
 using DbscanEngine = dbscan::DbscanEngine<D>;
 
-// The frozen, shareable index + per-thread query context + thread-safe
-// serving pool (see dbscan/cell_index.h and parallel/engine_pool.h).
+// The frozen, shareable half of the pipeline: cells + quadtrees +
+// saturated counts, strictly immutable after Build, shared across threads
+// without locks (see dbscan/cell_index.h).
 template <int D>
 using CellIndex = dbscan::CellIndex<D>;
+
+// Per-thread query state against shared CellIndexes: a private workspace
+// plus a stats sink; one per serving thread (see dbscan/cell_index.h).
 template <int D>
 using QueryContext = dbscan::QueryContext<D>;
+
+// Thread-safe serving facade: a shared CellIndex plus a leased-context
+// free list behind Run/Sweep, callable from any number of threads (see
+// parallel/engine_pool.h).
 template <int D>
 using EnginePool = parallel::EnginePool<D>;
 
-// Streaming surface: incremental insert/erase batches published as
-// immutable snapshots, served concurrently (see
-// streaming/dynamic_cell_index.h and streaming/streaming_clusterer.h).
+// Streaming writer: applies batched inserts/erases of stable point ids
+// incrementally, publishing each state as an immutable CellIndex snapshot
+// (see streaming/dynamic_cell_index.h).
 template <int D>
 using DynamicCellIndex = streaming::DynamicCellIndex<D>;
+
+// Streaming facade: a DynamicCellIndex wired to an EnginePool — one
+// writer, any number of readers, readers never block (see
+// streaming/streaming_clusterer.h).
 template <int D>
 using StreamingClusterer = streaming::StreamingClusterer<D>;
+
+// The executed sharding partition: split axis, lattice-aligned slab cuts,
+// and the seam halo width (see sharding/shard_planner.h).
+template <int D>
+using ShardPlan = sharding::ShardPlan<D>;
+
+// Plans grid-aligned spatial slabs for a point set at a given epsilon
+// (deterministic; clamps the shard count to the lattice).
+using ShardPlanner = sharding::ShardPlanner;
+
+// Spatially partitioned index construction: concurrent per-shard builds, a
+// boundary merge proportional to the seam size, one merged immutable
+// CellIndex as the result (see sharding/sharded_cell_index.h).
+template <int D>
+using ShardedCellIndex = sharding::ShardedCellIndex<D>;
+
+// Sharded-build-plus-serving facade: a ShardedCellIndex wired to an
+// EnginePool; Run/Sweep from any thread, bit-identical to unsharded runs
+// for exact configurations (see sharding/sharded_clusterer.h).
+template <int D>
+using ShardedClusterer = sharding::ShardedClusterer<D>;
 
 // Dimensions instantiated for the runtime-dispatch overload (the paper's
 // evaluation uses 2, 3, 5, 7 and 13).
@@ -160,6 +219,7 @@ Clustering Dbscan(std::span<const Point<D>> points, double epsilon,
   return dbscan::RunDbscan<D>(points, epsilon, min_pts, options);
 }
 
+// Vector convenience for the overload above.
 template <int D>
 Clustering Dbscan(const std::vector<Point<D>>& points, double epsilon,
                   size_t min_pts, const Options& options = Options()) {

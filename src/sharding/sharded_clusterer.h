@@ -1,0 +1,108 @@
+// ShardedClusterer — the sharded-build-plus-serving facade: a
+// ShardedCellIndex (concurrent per-shard construction, boundary merge)
+// wired to an EnginePool (any number of concurrent readers), mirroring the
+// StreamingClusterer pairing one layer down.
+//
+//   pdbscan::ShardedClusterer<2> sharded(pts, /*epsilon=*/1.0,
+//                                        /*counts_cap=*/100,
+//                                        /*num_shards=*/8);
+//   // From any number of threads, concurrently:
+//   pdbscan::Clustering c = sharded.Run(/*min_pts=*/10);
+//   auto sweep = sharded.Sweep({5, 10, 50});
+//
+// The sharding is a *build-time* decomposition: once the boundary merge
+// freezes the merged CellIndex, queries run the standard pipeline against
+// it and results are bit-identical to unsharded runs (exact
+// configurations; see sharded_cell_index.h for the argument and scope).
+// Shard count therefore tunes build latency and the merge footprint, never
+// query results — see docs/TUNING.md.
+#ifndef PDBSCAN_SHARDING_SHARDED_CLUSTERER_H_
+#define PDBSCAN_SHARDING_SHARDED_CLUSTERER_H_
+
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "dbscan/cell_index.h"
+#include "dbscan/stats.h"
+#include "dbscan/types.h"
+#include "geometry/point.h"
+#include "parallel/engine_pool.h"
+#include "sharding/sharded_cell_index.h"
+
+namespace pdbscan::sharding {
+
+template <int D>
+class ShardedClusterer {
+ public:
+  // Builds the sharded index (parameters as in ShardedCellIndex: grid cell
+  // method + kScan range counting required, any dimension) and stands up a
+  // serving pool over the merged result. Build counters land in
+  // build_stats(); per-query counters in the pool's per-context sinks.
+  ShardedClusterer(std::span<const geometry::Point<D>> points, double epsilon,
+                   size_t counts_cap, size_t num_shards,
+                   Options options = Options())
+      : sharded_(points, epsilon, counts_cap, num_shards, std::move(options),
+                 &build_stats_),
+        pool_(sharded_.index()) {}
+
+  ShardedClusterer(const std::vector<geometry::Point<D>>& points,
+                   double epsilon, size_t counts_cap, size_t num_shards,
+                   Options options = Options())
+      : ShardedClusterer(std::span<const geometry::Point<D>>(points), epsilon,
+                         counts_cap, num_shards, std::move(options)) {}
+
+  ShardedClusterer(const ShardedClusterer&) = delete;
+  ShardedClusterer& operator=(const ShardedClusterer&) = delete;
+
+  // Thread-safe: clusters the merged index's point set at `min_pts`.
+  // Bit-identical to a one-shot pdbscan::Dbscan call on the same points for
+  // exact configurations.
+  Clustering Run(size_t min_pts) { return pool_.Run(min_pts); }
+
+  // Thread-safe: a whole min_pts sweep through one leased context (one
+  // shared-counts pass answers every setting within counts_cap).
+  std::vector<Clustering> Sweep(std::span<const size_t> minpts_list) {
+    return pool_.Sweep(minpts_list);
+  }
+  std::vector<Clustering> Sweep(std::initializer_list<size_t> minpts_list) {
+    return pool_.Sweep(minpts_list);
+  }
+
+  // The merged frozen index (shareable with other pools/contexts).
+  const std::shared_ptr<const dbscan::CellIndex<D>>& index() const {
+    return sharded_.index();
+  }
+
+  // The executed partition and build accounting (see sharded_cell_index.h).
+  const ShardPlan<D>& plan() const { return sharded_.plan(); }
+  size_t num_shards() const { return sharded_.num_shards(); }
+  const ShardBuildInfo& build_info() const { return sharded_.build_info(); }
+
+  size_t num_points() const { return sharded_.num_points(); }
+  size_t num_cells() const { return sharded_.num_cells(); }
+
+  // Build-side counters/timings (shards_built, shard_boundary_cells,
+  // shard_merge_seconds, ...).
+  const dbscan::PipelineStats& build_stats() const { return build_stats_; }
+
+  // Sums build-side counters plus every reader context's counters into
+  // `out` (exact when callers are quiescent).
+  void AggregateStats(dbscan::PipelineStats& out) const {
+    out.MergeFrom(build_stats_);
+    pool_.AggregateStats(out);
+  }
+
+  parallel::EnginePool<D>& pool() { return pool_; }
+
+ private:
+  dbscan::PipelineStats build_stats_;
+  ShardedCellIndex<D> sharded_;
+  parallel::EnginePool<D> pool_;
+};
+
+}  // namespace pdbscan::sharding
+
+#endif  // PDBSCAN_SHARDING_SHARDED_CLUSTERER_H_

@@ -187,5 +187,78 @@ TEST_P(StreamingPropertySweep, BatchesMatchRebuild5d) {
 INSTANTIATE_TEST_SUITE_P(Seeds, StreamingPropertySweep,
                          ::testing::Values(1, 2, 3));
 
+// --- Sharded builds: bit-identity with the single-index run -----------------
+
+// For randomized (shape, n, epsilon, min_pts) cases and randomized shard
+// counts, a sharded build must reproduce the one-shot Dbscan result bit for
+// bit — full contract (labels, core flags, memberships) — at 1 worker and
+// at the ambient worker count. Exact grid+kScan configurations only (the
+// sharded path's scope; see sharding/sharded_cell_index.h).
+template <int D>
+void ShardedMatchesUnsharded(uint64_t base_seed, size_t cases,
+                             double eps_scale) {
+  std::mt19937_64 rng(base_seed * 389 + 17);
+  for (const auto& c : MakeCases(base_seed + 21000, cases)) {
+    auto pts = GenerateShape<D>(c.shape, c.n, c.seed);
+    const double epsilon = c.epsilon * eps_scale;
+    const auto expected = Dbscan<D>(pts, epsilon, c.min_pts);
+    const size_t shards = 1 + rng() % 7;
+    const size_t cap = 1 + rng() % 24;  // Sometimes below min_pts: recount.
+    for (const int workers : {1, parallel::num_workers()}) {
+      parallel::ScopedNumWorkers scoped(workers);
+      sharding::ShardedCellIndex<D> sharded(
+          std::span<const Point<D>>(pts), epsilon, cap, shards);
+      dbscan::QueryContext<D> ctx;
+      const auto got = ctx.Run(sharded.index(), c.min_pts);
+      ASSERT_TRUE(pdbscan::testing::Identical(expected, got))
+          << "sharded vs unsharded: D=" << D
+          << " shape=" << static_cast<int>(c.shape) << " n=" << c.n
+          << " eps=" << epsilon << " minpts=" << c.min_pts
+          << " shards=" << shards << " cap=" << cap
+          << " workers=" << workers << " seed=" << c.seed;
+    }
+  }
+}
+
+class ShardedPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShardedPropertySweep, BitIdentical2d) {
+  ShardedMatchesUnsharded<2>(GetParam(), 4 * SweepBudget(), 1.0);
+}
+
+TEST_P(ShardedPropertySweep, BitIdentical3d) {
+  ShardedMatchesUnsharded<3>(GetParam() + 100, 2 * SweepBudget(), 2.0);
+}
+
+TEST_P(ShardedPropertySweep, BitIdentical5d) {
+  ShardedMatchesUnsharded<5>(GetParam() + 200, SweepBudget(), 3.0);
+}
+
+// The 2D-only exact connectors (USEC wavefronts, Delaunay edge filtering)
+// and bucketing run against a merged sharded structure exactly as against a
+// built one: same labels, every configuration.
+TEST_P(ShardedPropertySweep, ExactConnectorsOverShardedIndex2d) {
+  std::mt19937_64 rng(GetParam() * 613 + 5);
+  for (const auto& c : MakeCases(GetParam() + 27000, 2 * SweepBudget())) {
+    auto pts = GenerateShape<2>(c.shape, c.n, c.seed);
+    const size_t shards = 2 + rng() % 5;
+    for (const auto& options :
+         {Our2dGridUsec(), Our2dGridDelaunay(), WithBucketing(Our2dGridBcp())}) {
+      const auto expected = Dbscan<2>(pts, c.epsilon, c.min_pts, options);
+      sharding::ShardedCellIndex<2> sharded(
+          std::span<const Point<2>>(pts), c.epsilon, 24, shards, options);
+      dbscan::QueryContext<2> ctx;
+      ASSERT_TRUE(pdbscan::testing::Identical(
+          expected, ctx.Run(sharded.index(), c.min_pts)))
+          << options.Name() << " shape=" << static_cast<int>(c.shape)
+          << " n=" << c.n << " eps=" << c.epsilon << " minpts=" << c.min_pts
+          << " shards=" << shards << " seed=" << c.seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedPropertySweep,
+                         ::testing::Values(1, 2, 3, 4));
+
 }  // namespace
 }  // namespace pdbscan
