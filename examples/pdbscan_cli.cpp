@@ -1,4 +1,4 @@
-// Command-line DBSCAN over CSV files.
+// Command-line DBSCAN over CSV files, with index persistence.
 //
 // Usage:
 //   pdbscan_cli <input.csv> <epsilon> <minpts> [options]
@@ -10,12 +10,27 @@
 //     --threads T       worker count (default: hardware)
 //     --out FILE        write "cluster_id" per input row (default: stdout
 //                       summary only)
+//     --save-index FILE build a frozen CellIndex from the input and persist
+//                       it as a versioned snapshot before querying
+//     --counts-cap N    min_pts cap baked into a saved index (default:
+//                       max(minpts, 64); larger min_pts queries recount)
+//     --load-index FILE serve from a persisted snapshot instead of
+//                       building: <input.csv> may be "-" and <epsilon> is
+//                       taken from the snapshot (pass 0). The snapshot's
+//                       dimension is auto-detected.
+//     --load-mode MODE  owned (default) copies the snapshot into memory;
+//                       mapped serves it zero-copy from the file mapping
+//     --journal FILE    with --load-index: replay this streaming update
+//                       journal on top of the loaded checkpoint before
+//                       querying (recovery = snapshot + journal)
 //
 // The input CSV holds one point per line, comma-separated coordinates.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <span>
 #include <string>
 
 #include "data/io.h"
@@ -40,13 +55,44 @@ pdbscan::Options MethodByName(const std::string& name) {
   std::exit(2);
 }
 
+void PrintSummary(const pdbscan::Clustering& result, const std::string& label,
+                  double secs) {
+  size_t core = 0, noise = 0;
+  for (size_t i = 0; i < result.size(); ++i) {
+    core += result.is_core[i];
+    noise += result.cluster[i] == pdbscan::Clustering::kNoise;
+  }
+  std::fprintf(stderr,
+               "%s: %zu clusters, %zu core / %zu noise of %zu points, %.3fs "
+               "(%d threads)\n",
+               label.c_str(), result.num_clusters, core, noise, result.size(),
+               secs, pdbscan::parallel::num_workers());
+}
+
+int WriteLabels(const pdbscan::Clustering& result,
+                const std::string& out_path) {
+  if (out_path.empty()) return 0;
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "cluster_id\n";
+  for (size_t i = 0; i < result.size(); ++i) out << result.cluster[i] << '\n';
+  std::fprintf(stderr, "labels written to %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 4) {
-    std::fprintf(stderr, "usage: %s <input.csv> <epsilon> <minpts> "
-                         "[--method NAME] [--rho R] [--bucketing] "
-                         "[--threads T] [--out FILE]\n",
+    std::fprintf(stderr,
+                 "usage: %s <input.csv> <epsilon> <minpts> "
+                 "[--method NAME] [--rho R] [--bucketing] [--threads T] "
+                 "[--out FILE] [--save-index FILE] [--counts-cap N] "
+                 "[--load-index FILE] [--load-mode owned|mapped] "
+                 "[--journal FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -54,7 +100,9 @@ int main(int argc, char** argv) {
   const double epsilon = std::atof(argv[2]);
   const size_t minpts = static_cast<size_t>(std::atoll(argv[3]));
   pdbscan::Options options;
-  std::string out_path;
+  std::string out_path, save_index, load_index, journal_path;
+  pdbscan::LoadMode load_mode = pdbscan::LoadMode::kOwned;
+  size_t counts_cap = 0;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -76,12 +124,121 @@ int main(int argc, char** argv) {
       pdbscan::parallel::set_num_workers(std::atoi(next()));
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--save-index") {
+      save_index = next();
+    } else if (arg == "--counts-cap") {
+      counts_cap = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--load-index") {
+      load_index = next();
+    } else if (arg == "--load-mode") {
+      const std::string mode = next();
+      if (mode == "owned") {
+        load_mode = pdbscan::LoadMode::kOwned;
+      } else if (mode == "mapped") {
+        load_mode = pdbscan::LoadMode::kMapped;
+      } else {
+        std::fprintf(stderr, "unknown --load-mode: %s\n", mode.c_str());
+        return 2;
+      }
+    } else if (arg == "--journal") {
+      journal_path = next();
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
     }
   }
+  if (!journal_path.empty() && load_index.empty()) {
+    std::fprintf(stderr, "--journal requires --load-index\n");
+    return 2;
+  }
 
+  // --- Serve from a persisted snapshot (+ optional journal replay). -------
+  if (!load_index.empty()) {
+    try {
+      const pdbscan::SnapshotInfo info = pdbscan::PeekSnapshot(load_index);
+      std::fprintf(stderr,
+                   "snapshot %s: d=%d, %llu points, %llu cells, eps=%g, "
+                   "cap=%zu, %.1f MB%s\n",
+                   load_index.c_str(), info.dim,
+                   static_cast<unsigned long long>(info.num_points),
+                   static_cast<unsigned long long>(info.num_cells),
+                   info.epsilon, info.counts_cap,
+                   static_cast<double>(info.file_bytes) / (1024.0 * 1024.0),
+                   info.has_stream_state ? ", streaming checkpoint" : "");
+      return pdbscan::DispatchDim(info.dim, [&]<int D>() -> int {
+        pdbscan::util::Timer load_timer;
+        pdbscan::Clustering result;
+        if (journal_path.empty()) {
+          auto index = pdbscan::LoadIndex<D>(load_index, load_mode);
+          std::fprintf(stderr, "loaded in %.3fs (%s)\n", load_timer.Seconds(),
+                       load_mode == pdbscan::LoadMode::kMapped ? "mapped"
+                                                               : "owned");
+          pdbscan::util::Timer run_timer;
+          pdbscan::QueryContext<D> ctx;
+          result = ctx.Run(index, minpts);
+          PrintSummary(result, "loaded-index", run_timer.Seconds());
+        } else {
+          auto loaded =
+              pdbscan::SnapshotReader<D>::Load(load_index, load_mode);
+          if (!loaded.has_stream_state) {
+            std::fprintf(stderr,
+                         "%s is not a streaming checkpoint; cannot replay "
+                         "a journal onto it\n",
+                         load_index.c_str());
+            return 1;
+          }
+          pdbscan::DynamicCellIndex<D> dynamic(
+              loaded.index, std::span<const uint64_t>(loaded.live_ids),
+              loaded.next_id);
+          auto scan = pdbscan::UpdateJournal<D>::Scan(journal_path);
+          pdbscan::UpdateJournal<D>::RequireMatch(
+              journal_path, scan, dynamic.epsilon(), dynamic.counts_cap(),
+              dynamic.options());
+          size_t replayed = 0;
+          if (scan.generation == loaded.journal_generation) {
+            for (const auto& rec : scan.records) {
+              dynamic.ApplyUpdates(
+                  std::span<const pdbscan::Point<D>>(rec.inserts),
+                  std::span<const uint64_t>(rec.erases));
+              ++replayed;
+            }
+          } else if (loaded.journal_generation == scan.generation + 1) {
+            // Crash between checkpoint steps: the snapshot already holds
+            // everything this journal does — nothing to replay.
+            std::fprintf(stderr,
+                         "journal predates the checkpoint (generation %llu "
+                         "vs %llu); already folded in, nothing to replay\n",
+                         static_cast<unsigned long long>(scan.generation),
+                         static_cast<unsigned long long>(
+                             loaded.journal_generation));
+          } else {
+            std::fprintf(stderr,
+                         "error: %s: journal generation %llu cannot pair "
+                         "with snapshot generation %llu\n",
+                         journal_path.c_str(),
+                         static_cast<unsigned long long>(scan.generation),
+                         static_cast<unsigned long long>(
+                             loaded.journal_generation));
+            return 1;
+          }
+          std::fprintf(stderr,
+                       "recovered in %.3fs: %zu journal records replayed, "
+                       "%zu live points\n",
+                       load_timer.Seconds(), replayed, dynamic.num_points());
+          pdbscan::util::Timer run_timer;
+          pdbscan::QueryContext<D> ctx;
+          result = ctx.Run(dynamic.snapshot(), minpts);
+          PrintSummary(result, "recovered-index", run_timer.Seconds());
+        }
+        return WriteLabels(result, out_path);
+      });
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  // --- Build from CSV (optionally persisting the index). ------------------
   pdbscan::util::Timer load_timer;
   pdbscan::data::FlatDataset dataset;
   try {
@@ -96,34 +253,32 @@ int main(int argc, char** argv) {
   pdbscan::util::Timer run_timer;
   pdbscan::Clustering result;
   try {
-    result = pdbscan::Dbscan(dataset.coords.data(), dataset.size(),
-                             dataset.dim, epsilon, minpts, options);
+    if (!save_index.empty()) {
+      // Freeze an index (so there is something durable to save), query it,
+      // and persist it.
+      const size_t cap =
+          counts_cap != 0 ? counts_cap : std::max<size_t>(minpts, 64);
+      result = pdbscan::DispatchDim(dataset.dim, [&]<int D>() {
+        const auto points = pdbscan::data::FromFlat<D>(dataset);
+        auto index = pdbscan::CellIndex<D>::Build(points, epsilon, cap,
+                                                  options);
+        pdbscan::SaveIndex<D>(save_index, *index);
+        std::fprintf(stderr, "index saved to %s (%.1f MB)\n",
+                     save_index.c_str(),
+                     static_cast<double>(
+                         pdbscan::persist::FileBytes(save_index)) /
+                         (1024.0 * 1024.0));
+        pdbscan::QueryContext<D> ctx;
+        return ctx.Run(index, minpts);
+      });
+    } else {
+      result = pdbscan::Dbscan(dataset.coords.data(), dataset.size(),
+                               dataset.dim, epsilon, minpts, options);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  const double secs = run_timer.Seconds();
-
-  size_t core = 0, noise = 0;
-  for (size_t i = 0; i < result.size(); ++i) {
-    core += result.is_core[i];
-    noise += result.cluster[i] == pdbscan::Clustering::kNoise;
-  }
-  std::fprintf(stderr,
-               "%s: %zu clusters, %zu core / %zu noise of %zu points, %.3fs "
-               "(%d threads)\n",
-               options.Name().c_str(), result.num_clusters, core, noise,
-               result.size(), secs, pdbscan::parallel::num_workers());
-
-  if (!out_path.empty()) {
-    std::ofstream out(out_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
-      return 1;
-    }
-    out << "cluster_id\n";
-    for (size_t i = 0; i < result.size(); ++i) out << result.cluster[i] << '\n';
-    std::fprintf(stderr, "labels written to %s\n", out_path.c_str());
-  }
-  return 0;
+  PrintSummary(result, options.Name(), run_timer.Seconds());
+  return WriteLabels(result, out_path);
 }

@@ -1,0 +1,160 @@
+// FlatArray — a contiguous array that either OWNS its elements (vector
+// semantics, used by every builder) or VIEWS a caller-kept-alive buffer
+// (used by the persistence layer to serve a CellStructure directly out of
+// an mmap'ed snapshot with zero copies).
+//
+// The two states exist because the DBSCAN pipeline has exactly two phases
+// with different needs: builders (BuildGrid, BuildBoxCells, the streaming
+// recomposition, the sharded merge) mutate arrays freely, while the frozen
+// serving structures (CellIndex) only ever read them. An owning FlatArray
+// behaves like std::vector for the subset of the API the builders use; a
+// viewing FlatArray is the same bytes without the copy — the reader of a
+// mapped snapshot points each array at the file mapping and the query
+// pipeline cannot tell the difference (it only reads data()/size()).
+//
+// Mutating a view is defined but deliberately expensive: the first mutation
+// materializes a private owned copy (copy-on-write). Builders never operate
+// on views, so in practice this path only guards against misuse; it keeps
+// every vector-style call site valid without sprinkling "is this a view?"
+// checks through the builders.
+//
+// Lifetime: a view does NOT keep its buffer alive. The owner of the
+// structure holding views must pin the backing storage (CellIndex holds the
+// snapshot mapping via a payload shared_ptr; see dbscan/cell_index.h).
+#ifndef PDBSCAN_CONTAINERS_FLAT_ARRAY_H_
+#define PDBSCAN_CONTAINERS_FLAT_ARRAY_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace pdbscan::containers {
+
+template <typename T>
+class FlatArray {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  FlatArray() = default;
+  FlatArray(const FlatArray& o) { *this = o; }
+  FlatArray(FlatArray&& o) noexcept { *this = std::move(o); }
+
+  // Owning construction/assignment from a vector (the builders' path).
+  FlatArray(std::vector<T>&& v) : owned_(std::move(v)), view_(nullptr) {}
+  FlatArray& operator=(std::vector<T>&& v) {
+    owned_ = std::move(v);
+    view_ = nullptr;
+    view_size_ = 0;
+    return *this;
+  }
+
+  // Non-owning view of `size` elements at `data`; the caller keeps the
+  // buffer alive and unchanged for the view's lifetime.
+  static FlatArray View(const T* data, size_t size) {
+    FlatArray a;
+    a.view_ = data;
+    a.view_size_ = size;
+    return a;
+  }
+
+  FlatArray& operator=(const FlatArray& o) {
+    if (this == &o) return *this;
+    // Copying a view yields an equivalent view (same lifetime contract);
+    // copying an owner deep-copies.
+    owned_ = o.owned_;
+    view_ = o.view_;
+    view_size_ = o.view_size_;
+    return *this;
+  }
+
+  FlatArray& operator=(FlatArray&& o) noexcept {
+    owned_ = std::move(o.owned_);
+    view_ = o.view_;
+    view_size_ = o.view_size_;
+    o.view_ = nullptr;
+    o.view_size_ = 0;
+    return *this;
+  }
+
+  bool is_view() const { return view_ != nullptr; }
+
+  const T* data() const { return view_ != nullptr ? view_ : owned_.data(); }
+  size_t size() const { return view_ != nullptr ? view_size_ : owned_.size(); }
+  bool empty() const { return size() == 0; }
+
+  const T& operator[](size_t i) const { return data()[i]; }
+  const T& front() const { return data()[0]; }
+  const T& back() const { return data()[size() - 1]; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size(); }
+
+  // FlatArray models std::ranges::contiguous_range (pointer iterators +
+  // size()), so it converts to std::span<const T> through span's range
+  // constructor wherever a span parameter is expected; span() is the
+  // explicit spelling.
+  std::span<const T> span() const { return std::span<const T>(data(), size()); }
+
+  // --- Mutating API (vector subset). Materializes a view first. ----------
+  T* data() {
+    EnsureOwned();
+    return owned_.data();
+  }
+  T& operator[](size_t i) {
+    // Hot path of every builder: owned already, no copy, just the branch.
+    EnsureOwned();
+    return owned_[i];
+  }
+  iterator begin() {
+    EnsureOwned();
+    return owned_.data();
+  }
+  iterator end() {
+    EnsureOwned();
+    return owned_.data() + owned_.size();
+  }
+  void resize(size_t n) {
+    EnsureOwned();
+    owned_.resize(n);
+  }
+  void assign(size_t n, const T& v) {
+    owned_.assign(n, v);
+    view_ = nullptr;
+    view_size_ = 0;
+  }
+  void clear() {
+    owned_.clear();
+    view_ = nullptr;
+    view_size_ = 0;
+  }
+  void reserve(size_t n) {
+    EnsureOwned();
+    owned_.reserve(n);
+  }
+  void push_back(const T& v) {
+    EnsureOwned();
+    owned_.push_back(v);
+  }
+
+  friend bool operator==(const FlatArray& a, const FlatArray& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  void EnsureOwned() {
+    if (view_ == nullptr) return;
+    owned_.assign(view_, view_ + view_size_);
+    view_ = nullptr;
+    view_size_ = 0;
+  }
+
+  std::vector<T> owned_;
+  const T* view_ = nullptr;
+  size_t view_size_ = 0;
+};
+
+}  // namespace pdbscan::containers
+
+#endif  // PDBSCAN_CONTAINERS_FLAT_ARRAY_H_

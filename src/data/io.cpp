@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -55,11 +56,27 @@ FlatDataset ReadCsv(const std::string& path) {
   return dataset;
 }
 
+namespace {
+
+// Binary dataset header: magic + version + endianness probe, mirroring the
+// snapshot format's guards (persist/format.h) so no binary file in the
+// project "parses" by accident of size.
+constexpr char kDataMagic[8] = {'P', 'D', 'B', 'S', 'D', 'A', 'T', '1'};
+constexpr uint32_t kDataVersion = 1;
+constexpr uint32_t kDataEndianProbe = 0x01020304u;
+
+}  // namespace
+
 void WriteBinary(const std::string& path, const FlatDataset& dataset) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot open " + path + " for writing");
   const uint64_t n = dataset.size();
   const uint64_t dim = static_cast<uint64_t>(dataset.dim);
+  out.write(kDataMagic, sizeof(kDataMagic));
+  out.write(reinterpret_cast<const char*>(&kDataVersion),
+            sizeof(kDataVersion));
+  out.write(reinterpret_cast<const char*>(&kDataEndianProbe),
+            sizeof(kDataEndianProbe));
   out.write(reinterpret_cast<const char*>(&n), sizeof(n));
   out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
   out.write(reinterpret_cast<const char*>(dataset.coords.data()),
@@ -70,10 +87,41 @@ void WriteBinary(const std::string& path, const FlatDataset& dataset) {
 FlatDataset ReadBinary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const uint64_t file_bytes = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  char magic[8] = {};
+  uint32_t version = 0, endian = 0;
   uint64_t n = 0, dim = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&endian), sizeof(endian));
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
   if (!in) throw std::runtime_error(path + ": truncated header");
+  if (std::memcmp(magic, kDataMagic, sizeof(kDataMagic)) != 0) {
+    throw std::runtime_error(path + ": not a pdbscan binary dataset "
+                             "(bad magic)");
+  }
+  if (endian != kDataEndianProbe) {
+    throw std::runtime_error(path +
+                             ": dataset written with incompatible endianness");
+  }
+  if (version != kDataVersion) {
+    throw std::runtime_error(path + ": unsupported dataset version " +
+                             std::to_string(version));
+  }
+  if (dim == 0 || dim > 4096 || (n != 0 && dim > UINT64_MAX / n)) {
+    throw std::runtime_error(path + ": implausible dataset dimensions");
+  }
+  constexpr uint64_t kHeaderBytes =
+      sizeof(kDataMagic) + sizeof(version) + sizeof(endian) + 2 * sizeof(n);
+  if (file_bytes != kHeaderBytes + n * dim * sizeof(double)) {
+    throw std::runtime_error(path + ": truncated or oversized dataset (" +
+                             std::to_string(file_bytes) + " bytes for " +
+                             std::to_string(n) + " x " + std::to_string(dim) +
+                             " points)");
+  }
   FlatDataset dataset;
   dataset.dim = static_cast<int>(dim);
   dataset.coords.resize(n * dim);

@@ -1,5 +1,10 @@
 // Dataset IO: CSV (one point per line, comma-separated coordinates) and a
-// simple binary format (header: n, dim as uint64; then row-major doubles).
+// binary format with a guarded header — magic tag, format version and an
+// endianness probe (consistent with the persistence layer's snapshot
+// format, persist/format.h), then n and dim as uint64 and row-major
+// doubles. ReadBinary validates the header and the exact payload size, so
+// a foreign, truncated, cross-endian or version-skewed file is rejected
+// with std::runtime_error instead of parsing into garbage points.
 #ifndef PDBSCAN_DATA_IO_H_
 #define PDBSCAN_DATA_IO_H_
 

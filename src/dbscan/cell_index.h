@@ -27,12 +27,16 @@
 // parallel::EnginePool (parallel/engine_pool.h) packages a CellIndex with a
 // reusable set of QueryContexts behind a thread-safe Run/Sweep facade.
 //
-// There are two ways a CellIndex comes to exist: built from scratch over a
-// point span (the constructor below, one full build), or adopted from the
+// There are three ways a CellIndex comes to exist: built from scratch over
+// a point span (the constructor below, one full build), adopted from the
 // streaming layer (streaming/dynamic_cell_index.h), which recomposes the
 // structure incrementally after insert/erase batches and publishes each
-// result as a fresh immutable CellIndex snapshot. Queries cannot tell the
-// difference — both paths freeze the same artifact types.
+// result as a fresh immutable CellIndex snapshot, or rehydrated from a
+// persisted snapshot file (persist/snapshot.h), which goes through the same
+// adoption constructor — with the arrays either copied out of the file
+// (owned load) or left viewing the file mapping (zero-copy mmap load; the
+// `payload` parameter pins the mapping for the index's lifetime). Queries
+// cannot tell the difference — all paths freeze the same artifact types.
 #ifndef PDBSCAN_DBSCAN_CELL_INDEX_H_
 #define PDBSCAN_DBSCAN_CELL_INDEX_H_
 
@@ -93,36 +97,44 @@ class CellIndex {
     if (options_.range_count == RangeCountMethod::kQuadtree) {
       trees = &source_.AcquireQuadtrees();
     }
-    MarkCoreCounts(cells, counts_cap_, options_.range_count, trees,
-                   neighbor_counts_);
+    std::vector<uint32_t> counts;
+    MarkCoreCounts(cells, counts_cap_, options_.range_count, trees, counts);
+    neighbor_counts_ = std::move(counts);
     sink.counts_built.fetch_add(1, std::memory_order_relaxed);
     AddSeconds(sink.mark_core_seconds, timer.Seconds());
   }
 
   // Freezes an externally built structure plus matching saturated MarkCore
-  // counts — the snapshot-publishing path of streaming::DynamicCellIndex,
-  // which recomposes `cells` incrementally (dirty cells re-grouped, clean
-  // cells retained) and recounts only the dirty eps-neighborhood, copying
-  // every other cell's counts from the previous snapshot. `neighbor_counts`
-  // must be MarkCore counts over `cells` saturated at `counts_cap`. Only
-  // the kScan range-count method may be adopted: per-cell quadtrees pin the
-  // exact reordered point layout they were built over, so carrying them
-  // across recomposed snapshots would mean rebuilding all of them — the
-  // O(n) cost the incremental path exists to avoid.
-  CellIndex(CellStructure<D> cells, std::vector<uint32_t> neighbor_counts,
-            size_t counts_cap, Options options = Options(),
-            PipelineStats* stats = nullptr)
+  // counts. Two producers use this:
+  //
+  //   * streaming::DynamicCellIndex, which recomposes `cells` incrementally
+  //     (dirty cells re-grouped, clean cells retained) and recounts only
+  //     the dirty eps-neighborhood, copying every other cell's counts from
+  //     the previous snapshot — and the sharded merge, which concatenates
+  //     per-shard builds. Both pass owning arrays and kScan options.
+  //   * persist::SnapshotReader, which rehydrates a saved index — either
+  //     copying the arrays out of the file (owned load) or pointing them at
+  //     the file mapping (zero-copy mmap load). `payload` then pins the
+  //     mapping for the index's lifetime; every other caller leaves it
+  //     null.
+  //
+  // `neighbor_counts` must be MarkCore counts over `cells` saturated at
+  // `counts_cap`. For the kQuadtree range-count method the per-cell
+  // quadtrees are rebuilt eagerly here (deterministic from the adopted
+  // layout, so a rehydrated index answers over-cap queries identically to
+  // the index that was saved) — an O(n) cost, which is why the incremental
+  // streaming producer restricts itself to kScan in its own constructor.
+  CellIndex(CellStructure<D> cells,
+            containers::FlatArray<uint32_t> neighbor_counts, size_t counts_cap,
+            Options options = Options(), PipelineStats* stats = nullptr,
+            std::shared_ptr<const void> payload = nullptr)
       : epsilon_(cells.epsilon),
         counts_cap_(counts_cap),
-        options_(std::move(options)) {
+        options_(std::move(options)),
+        payload_(std::move(payload)) {
     if (epsilon_ <= 0) throw std::invalid_argument("epsilon must be positive");
     if (counts_cap == 0) {
       throw std::invalid_argument("counts_cap must be positive");
-    }
-    if (options_.range_count != RangeCountMethod::kScan) {
-      throw std::invalid_argument(
-          "adopting a prebuilt structure supports the kScan range-count "
-          "method only");
     }
     if (neighbor_counts.size() != cells.num_points()) {
       throw std::invalid_argument(
@@ -132,6 +144,9 @@ class CellIndex {
     // for what it rebuilt vs. retained in its own sink.
     source_.set_stats(stats);
     source_.AdoptPrebuilt(std::move(cells));
+    if (options_.range_count == RangeCountMethod::kQuadtree) {
+      source_.AcquireQuadtrees();
+    }
     neighbor_counts_ = std::move(neighbor_counts);
   }
 
@@ -164,8 +179,10 @@ class CellIndex {
   const CellStructure<D>& cells() const { return source_.cells(); }
 
   // Saturated epsilon-neighbor counts per reordered point (cap =
-  // counts_cap()); answers every min_pts <= the cap.
-  const std::vector<uint32_t>& neighbor_counts() const {
+  // counts_cap()); answers every min_pts <= the cap. May view mapped
+  // snapshot memory — read through the reference, never assume vector
+  // storage.
+  const containers::FlatArray<uint32_t>& neighbor_counts() const {
     return neighbor_counts_;
   }
 
@@ -182,7 +199,10 @@ class CellIndex {
   Options options_;
   // Quiescent after construction: holds the built cells + quadtrees.
   CellSource<D> source_;
-  std::vector<uint32_t> neighbor_counts_;
+  containers::FlatArray<uint32_t> neighbor_counts_;
+  // Pins backing storage (the snapshot file mapping) when the structure or
+  // counts are views; null for owned indexes.
+  std::shared_ptr<const void> payload_;
 };
 
 // Per-thread query state against shared CellIndexes: a private Workspace
@@ -257,7 +277,8 @@ class QueryContext {
   Clustering RunImpl(const CellIndex<D>& index, size_t min_pts,
                      const std::shared_ptr<const CellIndex<D>>* owner) {
     if (min_pts == 0) throw std::invalid_argument("min_pts must be positive");
-    const std::vector<uint32_t>& counts = EnsureCounts(index, min_pts, owner);
+    const std::span<const uint32_t> counts =
+        EnsureCounts(index, min_pts, owner);
     return RunQueryFromCounts(index.cells(), counts, min_pts, index.options(),
                               ws_, *stats_);
   }
@@ -268,8 +289,7 @@ class QueryContext {
     return SweepFromCounts<D>(
         minpts_list, index.options(), ws_, *stats_,
         [&](size_t cap)
-            -> std::pair<const CellStructure<D>&,
-                         const std::vector<uint32_t>&> {
+            -> std::pair<const CellStructure<D>&, std::span<const uint32_t>> {
           return {index.cells(), EnsureCounts(index, cap, owner)};
         });
   }
@@ -284,7 +304,7 @@ class QueryContext {
   // the cache, but only shared_ptr callers (`owner` != nullptr, e.g.
   // EnginePool) can populate it, so steady over-cap traffic through a pool
   // recounts once per context rather than once per query.
-  const std::vector<uint32_t>& EnsureCounts(
+  std::span<const uint32_t> EnsureCounts(
       const CellIndex<D>& index, size_t cap,
       const std::shared_ptr<const CellIndex<D>>* owner) {
     if (cap <= index.counts_cap()) {

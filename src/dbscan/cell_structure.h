@@ -8,6 +8,14 @@
 // structure generically: reordered points with per-cell contiguous ranges,
 // per-cell bounding boxes, and a CSR adjacency of "neighboring cells" (cells
 // that could contain points within epsilon of the cell).
+//
+// Storage: every array is a containers::FlatArray, which a builder uses
+// exactly like a std::vector but which can also VIEW caller-pinned memory.
+// The persistence layer (persist/snapshot.h) exploits that to serve a
+// structure straight out of an mmap'ed snapshot file with zero copies —
+// the query pipeline only reads data()/size() and cannot tell an owned
+// structure from a mapped one. A structure holding views does not keep the
+// backing buffer alive; its owner does (CellIndex pins the mapping).
 #ifndef PDBSCAN_DBSCAN_CELL_STRUCTURE_H_
 #define PDBSCAN_DBSCAN_CELL_STRUCTURE_H_
 
@@ -17,36 +25,40 @@
 #include <span>
 #include <vector>
 
+#include "containers/flat_array.h"
 #include "geometry/point.h"
 
 namespace pdbscan::dbscan {
 
 template <int D>
 struct CellStructure {
+  template <typename T>
+  using Array = containers::FlatArray<T>;
+
   double epsilon = 0;
 
   // Points reordered so each cell's points are contiguous; orig_index maps a
   // reordered position back to the caller's point index.
-  std::vector<geometry::Point<D>> points;
-  std::vector<uint32_t> orig_index;
+  Array<geometry::Point<D>> points;
+  Array<uint32_t> orig_index;
 
   // Cell c holds points [offsets[c], offsets[c+1]).
-  std::vector<size_t> offsets;
+  Array<size_t> offsets;
 
   // Integer grid coordinates per cell (grid method only; empty for the box
   // method).
-  std::vector<geometry::CellCoords<D>> coords;
+  Array<geometry::CellCoords<D>> coords;
 
   // Geometric bounds per cell: the grid cell box for the grid method, the
   // tight content box for the box method. Distinct cells' boxes are
   // separated along at least one axis, which the USEC dispatch relies on.
-  std::vector<geometry::BBox<D>> cell_boxes;
+  Array<geometry::BBox<D>> cell_boxes;
 
   // CSR adjacency: neighbors of cell c are nbrs[nbr_offsets[c] ..
   // nbr_offsets[c+1]). A neighbor is any other cell whose box is within
   // epsilon of c's box.
-  std::vector<size_t> nbr_offsets;
-  std::vector<uint32_t> nbrs;
+  Array<size_t> nbr_offsets;
+  Array<uint32_t> nbrs;
 
   size_t num_points() const { return points.size(); }
   size_t num_cells() const {

@@ -129,8 +129,7 @@ class DbscanEngine {
     return SweepFromCounts<D>(
         minpts_list, options_, ws_, *stats_,
         [&](size_t cap)
-            -> std::pair<const CellStructure<D>&,
-                         const std::vector<uint32_t>&> {
+            -> std::pair<const CellStructure<D>&, std::span<const uint32_t>> {
           EnsureCounts(epsilon, cap);
           return {source_.cells(), ws_.neighbor_counts};
         });

@@ -131,7 +131,7 @@ void MarkCoreCountsForCells(
 
 // Thresholds saturated counts into core flags; valid for min_pts up to the
 // cap the counts were computed with.
-inline void CoreFlagsFromCounts(const std::vector<uint32_t>& counts,
+inline void CoreFlagsFromCounts(std::span<const uint32_t> counts,
                                 size_t min_pts, std::vector<uint8_t>& flags) {
   flags.resize(counts.size());  // Every element is written below.
   parallel::parallel_for(0, counts.size(),

@@ -107,7 +107,7 @@ Clustering Finalize(const CellStructure<D>& cells,
 // caller with equal inputs produces bit-identical clusterings.
 template <int D>
 Clustering RunQueryFromCounts(const CellStructure<D>& cells,
-                              const std::vector<uint32_t>& neighbor_counts,
+                              std::span<const uint32_t> neighbor_counts,
                               size_t min_pts, const Options& options,
                               Workspace<D>& ws, PipelineStats& stats) {
   util::Timer timer;
@@ -169,7 +169,7 @@ std::vector<Clustering> SweepFromCounts(std::span<const size_t> minpts_list,
     if (m == 0) throw std::invalid_argument("min_pts must be positive");
     cap = std::max(cap, m);
   }
-  const std::pair<const CellStructure<D>&, const std::vector<uint32_t>&> cc =
+  const std::pair<const CellStructure<D>&, std::span<const uint32_t>> cc =
       provide(cap);
   for (const size_t m : minpts_list) {
     out.push_back(RunQueryFromCounts(cc.first, cc.second, m, options, ws,

@@ -74,7 +74,23 @@ struct PipelineStats {
   std::atomic<size_t> shard_boundary_cells{0};
   std::atomic<size_t> shard_seam_links{0};
 
+  // Persistence (persist/): bytes written by snapshot/journal producers,
+  // bytes read back by loaders and journal scans, and journal records
+  // replayed into a restored DynamicCellIndex during recovery. "Recovery
+  // cost is proportional to the delta, not the dataset" is measurable as
+  // journal_records_replayed (and the journal's share of
+  // snapshot_bytes_read) staying small relative to the snapshot size;
+  // bench/throughput_persist.cpp reports all of them.
+  std::atomic<size_t> snapshot_bytes_written{0};
+  std::atomic<size_t> snapshot_bytes_read{0};
+  std::atomic<size_t> journal_records_replayed{0};
+
   // Per-stage wall-clock seconds, accumulated across runs.
+  // Wall-clock seconds spent inside SnapshotReader::Load (validation plus
+  // owned-mode copies; the mmap path makes this the headline "cold start
+  // in milliseconds" number).
+  std::atomic<double> snapshot_load_seconds{0};
+
   std::atomic<double> build_cells_seconds{0};
   std::atomic<double> mark_core_seconds{0};
   std::atomic<double> cluster_core_seconds{0};
@@ -110,6 +126,11 @@ struct PipelineStats {
     add(shard_interior_cells, other.shard_interior_cells);
     add(shard_boundary_cells, other.shard_boundary_cells);
     add(shard_seam_links, other.shard_seam_links);
+    add(snapshot_bytes_written, other.snapshot_bytes_written);
+    add(snapshot_bytes_read, other.snapshot_bytes_read);
+    add(journal_records_replayed, other.journal_records_replayed);
+    AddSeconds(snapshot_load_seconds,
+               other.snapshot_load_seconds.load(std::memory_order_relaxed));
     AddSeconds(build_cells_seconds,
                other.build_cells_seconds.load(std::memory_order_relaxed));
     AddSeconds(mark_core_seconds,
@@ -139,6 +160,10 @@ struct PipelineStats {
     shard_interior_cells.store(0, std::memory_order_relaxed);
     shard_boundary_cells.store(0, std::memory_order_relaxed);
     shard_seam_links.store(0, std::memory_order_relaxed);
+    snapshot_bytes_written.store(0, std::memory_order_relaxed);
+    snapshot_bytes_read.store(0, std::memory_order_relaxed);
+    journal_records_replayed.store(0, std::memory_order_relaxed);
+    snapshot_load_seconds.store(0, std::memory_order_relaxed);
     build_cells_seconds.store(0, std::memory_order_relaxed);
     mark_core_seconds.store(0, std::memory_order_relaxed);
     cluster_core_seconds.store(0, std::memory_order_relaxed);

@@ -83,6 +83,33 @@
 // bench/throughput_sharded.cpp enforces the proportionality by exit code).
 // See sharding/shard_planner.h and sharding/sharded_cell_index.h.
 //
+// Quickstart (persistence — survive restarts, cold-start in milliseconds):
+//
+//   // Save any frozen index (built, streaming snapshot, or sharded merge):
+//   auto index = pdbscan::CellIndex<2>::Build(pts, 1.0, 100);
+//   pdbscan::SaveIndex<2>("index.pdbsnap", *index);
+//   // ... new process — rehydrate instead of rebuilding. kMapped serves
+//   // the index zero-copy straight out of the file mapping:
+//   auto loaded = pdbscan::LoadIndex<2>("index.pdbsnap",
+//                                       pdbscan::LoadMode::kMapped);
+//   pdbscan::EnginePool<2> pool(loaded);       // serve it like any index
+//   pdbscan::Clustering c = pool.Run(10);      // bit-identical labels
+//
+// Snapshots are versioned and checksummed: corrupted, truncated or
+// version-skewed files throw pdbscan::PersistError instead of serving a
+// silently wrong index. For a LIVE dataset, PersistentClusterer pairs
+// checkpoints with a write-ahead journal — recovery replays only the
+// batches since the last checkpoint and is bit-identical to the
+// uninterrupted run:
+//
+//   pdbscan::PersistentClusterer<2> live("/var/lib/idx", 1.0, 100);
+//   live.Insert(points);        // journaled, then applied + published
+//   live.Checkpoint();          // snapshot + journal reset
+//   // after a crash, the same constructor recovers: last checkpoint +
+//   // journal replay, then serving resumes.
+//
+// See persist/snapshot.h, persist/journal.h, persist/persistent_clusterer.h.
+//
 // Configuration (pdbscan::Options) selects the paper's variants:
 //   OurExact(), OurExactQt(), OurApprox(rho), OurApproxQt(rho),
 //   Our2dGridBcp(), Our2dGridUsec(), Our2dGridDelaunay(),
@@ -102,8 +129,10 @@
 #ifndef PDBSCAN_PDBSCAN_H_
 #define PDBSCAN_PDBSCAN_H_
 
+#include <memory>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "dbscan/cell_index.h"
@@ -113,6 +142,9 @@
 #include "geometry/point.h"
 #include "parallel/engine_pool.h"
 #include "parallel/scheduler.h"
+#include "persist/journal.h"
+#include "persist/persistent_clusterer.h"
+#include "persist/snapshot.h"
 #include "sharding/shard_planner.h"
 #include "sharding/sharded_cell_index.h"
 #include "sharding/sharded_clusterer.h"
@@ -182,6 +214,63 @@ using ShardedCellIndex = sharding::ShardedCellIndex<D>;
 // for exact configurations (see sharding/sharded_clusterer.h).
 template <int D>
 using ShardedClusterer = sharding::ShardedClusterer<D>;
+
+// --- Persistence surface (see persist/). -----------------------------------
+
+// Every persistence failure: IO errors, bad magic, version / endianness /
+// dimension mismatch, checksum failure, truncation.
+using PersistError = persist::PersistError;
+
+// How LoadIndex materializes a snapshot: kOwned copies the arrays out of
+// the file; kMapped serves them zero-copy from the mmap (the file must
+// stay in place while the index lives).
+using LoadMode = persist::LoadMode;
+
+// Journal durability: fdatasync per batch (kEveryBatch) or OS-buffered
+// (kNone).
+using FsyncPolicy = persist::FsyncPolicy;
+
+// Header-only summary of a snapshot file (dimension, sizes, parameters) —
+// the runtime-dimension dispatch point for loading.
+using persist::PeekSnapshot;
+using SnapshotInfo = persist::SnapshotInfo;
+
+// Snapshot writer/reader pair behind SaveIndex/LoadIndex; use directly for
+// streaming checkpoints (live ids travel with the index).
+template <int D>
+using SnapshotWriter = persist::SnapshotWriter<D>;
+template <int D>
+using SnapshotReader = persist::SnapshotReader<D>;
+
+// The streaming write-ahead log (attach via DynamicCellIndex::set_journal;
+// PersistentClusterer manages one automatically).
+template <int D>
+using UpdateJournal = persist::UpdateJournal<D>;
+
+// Durable serve-while-updating facade: StreamingClusterer semantics whose
+// state survives restarts (checkpoint + journal replay, bit-identical to
+// the uninterrupted run). See persist/persistent_clusterer.h.
+template <int D>
+using PersistentClusterer = persist::PersistentClusterer<D>;
+using PersistOptions = persist::PersistOptions;
+
+// Serializes a frozen index (crash-safe temp-then-rename write).
+template <int D>
+void SaveIndex(const std::string& path, const dbscan::CellIndex<D>& index,
+               dbscan::PipelineStats* stats = nullptr) {
+  persist::SnapshotWriter<D>::Write(path, index, stats);
+}
+
+// Rehydrates a saved index for serving (EnginePool, QueryContext, sweeps).
+// Labels from a loaded index are bit-identical to the index that was
+// saved. Throws PersistError on corruption/truncation/version mismatch and
+// when the snapshot's dimension is not D (PeekSnapshot reports the dim).
+template <int D>
+std::shared_ptr<const dbscan::CellIndex<D>> LoadIndex(
+    const std::string& path, LoadMode mode = LoadMode::kOwned,
+    dbscan::PipelineStats* stats = nullptr) {
+  return persist::SnapshotReader<D>::Load(path, mode, stats).index;
+}
 
 // Dimensions instantiated for the runtime-dispatch overload (the paper's
 // evaluation uses 2, 3, 5, 7 and 13).

@@ -1,0 +1,122 @@
+// Low-level file plumbing for the persistence layer: an mmap wrapper that
+// pins a read-only file mapping, whole-file reads, crash-safe (write-temp-
+// then-rename) snapshot output, and an append-only handle with explicit
+// fsync for the update journal. POSIX-only, like the rest of the build.
+//
+// Everything throws PersistError on failure; nothing here knows about the
+// snapshot or journal formats (see persist/format.h for those).
+#ifndef PDBSCAN_PERSIST_IO_H_
+#define PDBSCAN_PERSIST_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persist/format.h"
+
+namespace pdbscan::persist {
+
+// A read-only mmap of an entire file. Shared ownership: a mapped CellIndex
+// holds one of these as its payload, keeping the mapping alive for exactly
+// as long as any index serves from it.
+class MappedFile {
+ public:
+  // Maps `path` read-only (MAP_PRIVATE). Throws PersistError on open/map
+  // failure or on an empty file.
+  static std::shared_ptr<const MappedFile> Open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile(std::string path, const uint8_t* data, size_t size)
+      : path_(std::move(path)), data_(data), size_(size) {}
+
+  std::string path_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+// Reads the whole file into memory. Throws PersistError on open/read
+// failure.
+std::vector<uint8_t> ReadAllBytes(const std::string& path);
+
+// Reads at most the first `max_bytes` of the file (header peeks). May
+// return fewer bytes when the file is shorter.
+std::vector<uint8_t> ReadPrefixBytes(const std::string& path,
+                                     size_t max_bytes);
+
+// Size of `path` in bytes; throws PersistError if it cannot be stat'ed.
+uint64_t FileBytes(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+// Writes a file in one crash-safe step: the content goes to `path`.tmp,
+// is fsync'ed, and is renamed over `path` (atomic on POSIX), so a crash
+// mid-write never leaves a half-written file under the final name.
+// `write` is called with an opaque sink; see BufferedWriter.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(const std::string& path);
+  ~AtomicFileWriter();  // Aborts (unlinks the temp file) if not committed.
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  // Appends raw bytes at the current position.
+  void Write(const void* data, size_t bytes);
+  // Zero padding up to absolute offset `offset` (which must not be behind
+  // the current position) — section alignment.
+  void PadTo(uint64_t offset);
+  uint64_t position() const { return position_; }
+
+  // Rewrites `bytes` at absolute `offset` (used to back-patch the header
+  // once the payload checksum is known), without moving position().
+  void Overwrite(uint64_t offset, const void* data, size_t bytes);
+
+  // fsync + rename over the final path. No further writes afterwards.
+  void Commit();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  int fd_ = -1;
+  uint64_t position_ = 0;
+  bool committed_ = false;
+};
+
+// Append-only file handle for the journal: opens existing or creates,
+// appends at the end, syncs on request, and can truncate back to a prefix
+// (checkpoint reset).
+class AppendFile {
+ public:
+  // Opens `path` for appending, creating it if missing. `created` reports
+  // whether the file was empty/new (the caller then writes the header).
+  explicit AppendFile(const std::string& path);
+  ~AppendFile();
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  void Append(const void* data, size_t bytes);
+  // fdatasync; throws PersistError on failure.
+  void Sync();
+  // Truncates the file to `bytes` and syncs (checkpoint reset).
+  void TruncateTo(uint64_t bytes);
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  uint64_t size_ = 0;
+};
+
+}  // namespace pdbscan::persist
+
+#endif  // PDBSCAN_PERSIST_IO_H_

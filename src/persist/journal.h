@@ -1,0 +1,346 @@
+// UpdateJournal — the write-ahead log of the streaming path.
+//
+// Durability for a live dataset splits naturally along the same line the
+// serving architecture does: the snapshot (persist/snapshot.h) is the big
+// immutable base, and the journal is the small replayable delta — each
+// record is one ApplyUpdates batch (erased ids + inserted points + the
+// first id the batch assigned). Recovery = load the last snapshot, replay
+// every journal record after it, and the restored DynamicCellIndex is
+// bit-identical to the uninterrupted live run: record replay re-executes
+// the exact ApplyUpdates sequence, and the first-id check below proves the
+// id assignment lines up. Recovery cost is proportional to the delta since
+// the last checkpoint, never the dataset.
+//
+// Record framing (persist/format.h): a fixed header (magic, version, dim,
+// endianness, epsilon, counts_cap, options — so a journal can never be
+// replayed against a mismatched configuration), then self-delimiting
+// records each carrying its own checksum. Replay distinguishes the two
+// failure shapes a WAL meets in practice:
+//
+//   * a torn TAIL (crash mid-append): the final record is shorter than it
+//     declares or fails its checksum — replay stops cleanly before it and
+//     reports truncated_tail (the writer then truncates it away on the
+//     next Append);
+//   * corruption anywhere ELSE (a complete record with a bad checksum
+//     followed by more bytes): PersistError — the log cannot be trusted.
+//
+// Appends go through a single fd with optional per-batch fdatasync
+// (FsyncPolicy): kEveryBatch survives power loss at one syscall per batch,
+// kNone leaves durability to the OS page cache (fast; a crash may lose the
+// most recent batches but never corrupts the replayable prefix).
+//
+// Threading contract: one writer, like the DynamicCellIndex it logs for.
+#ifndef PDBSCAN_PERSIST_JOURNAL_H_
+#define PDBSCAN_PERSIST_JOURNAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dbscan/stats.h"
+#include "dbscan/types.h"
+#include "geometry/point.h"
+#include "persist/format.h"
+#include "persist/io.h"
+
+namespace pdbscan::persist {
+
+// When the journal fdatasync's.
+enum class FsyncPolicy {
+  kNone,       // OS-buffered appends; fastest, loses recent batches on crash.
+  kEveryBatch  // One fdatasync per ApplyUpdates; survives power loss.
+};
+
+// One decoded journal record during replay.
+template <int D>
+struct JournalRecord {
+  uint64_t first_id = 0;
+  std::vector<geometry::Point<D>> inserts;
+  std::vector<uint64_t> erases;
+};
+
+// The outcome of scanning a journal file.
+template <int D>
+struct JournalScan {
+  std::vector<JournalRecord<D>> records;
+  // True when the file ended in a torn (incomplete or checksum-failing)
+  // final record — the normal shape after a crash mid-append. The records
+  // before it are intact and were returned.
+  bool truncated_tail = false;
+  // Byte size of the intact prefix (header + complete records); the writer
+  // truncates the file here before appending again.
+  uint64_t intact_bytes = 0;
+  double epsilon = 0;
+  size_t counts_cap = 0;
+  // Journal epoch (see SnapshotHeader::journal_generation): recovery
+  // replays only when this matches the snapshot's generation.
+  uint64_t generation = 0;
+  Options options;
+};
+
+template <int D>
+class UpdateJournal {
+ public:
+  // Opens (or creates) the journal at `path` for appending. A fresh file
+  // gets the configuration header; an existing file must carry a matching
+  // one — replaying inserts into a different (epsilon, counts_cap, options)
+  // index would silently produce a different clustering, so the mismatch
+  // throws instead. If the existing file has a torn tail (see Scan), the
+  // tail is truncated away before the first append. A caller that has
+  // already Scan'ed the file (PersistentClusterer, which replays the
+  // records first) passes the result as `prescan` so a large journal is
+  // not read and decoded a second time during recovery.
+  UpdateJournal(const std::string& path, double epsilon, size_t counts_cap,
+                const Options& options, uint64_t generation = 0,
+                FsyncPolicy fsync = FsyncPolicy::kNone,
+                dbscan::PipelineStats* stats = nullptr,
+                const JournalScan<D>* prescan = nullptr)
+      : epsilon_(epsilon),
+        counts_cap_(counts_cap),
+        options_(options),
+        generation_(generation),
+        fsync_(fsync),
+        stats_(stats != nullptr ? stats : &dbscan::GlobalStats()) {
+    // A file shorter than one header can hold no records: it is a torn
+    // creation or a torn ResetToGeneration (crash between truncate and a
+    // durable header). Either way the correct state is a fresh header at
+    // the caller's generation, not an error — treat it as absent.
+    const bool existed =
+        FileExists(path) && FileBytes(path) >= sizeof(JournalHeader);
+    if (existed) {
+      uint64_t scanned_generation, intact_bytes;
+      bool truncated_tail;
+      if (prescan != nullptr) {
+        scanned_generation = prescan->generation;
+        intact_bytes = prescan->intact_bytes;
+        truncated_tail = prescan->truncated_tail;
+        RequireMatch(path, *prescan, epsilon, counts_cap, options);
+      } else {
+        const JournalScan<D> scan = Scan(path);
+        RequireMatch(path, scan, epsilon, counts_cap, options);
+        scanned_generation = scan.generation;
+        intact_bytes = scan.intact_bytes;
+        truncated_tail = scan.truncated_tail;
+      }
+      if (scanned_generation != generation) {
+        throw PersistError(path + ": journal generation " +
+                           std::to_string(scanned_generation) +
+                           " does not match expected " +
+                           std::to_string(generation));
+      }
+      file_ = std::make_unique<AppendFile>(path);
+      if (truncated_tail || file_->size() != intact_bytes) {
+        file_->TruncateTo(intact_bytes);
+      }
+    } else {
+      file_ = std::make_unique<AppendFile>(path);
+      if (file_->size() > 0) file_->TruncateTo(0);  // Drop a torn header.
+      WriteHeader();
+    }
+  }
+
+  UpdateJournal(const UpdateJournal&) = delete;
+  UpdateJournal& operator=(const UpdateJournal&) = delete;
+
+  // Appends one applied batch. `first_id` is the id ApplyUpdates assigned
+  // to inserts[0] (recorded so replay can assert the id sequence lines
+  // up). Called by DynamicCellIndex after batch validation.
+  void Append(std::span<const geometry::Point<D>> inserts,
+              std::span<const uint64_t> erases, uint64_t first_id) {
+    JournalRecordHeader rh;
+    rh.record_bytes = JournalRecordBytes(D, inserts.size(), erases.size());
+    rh.first_id = first_id;
+    rh.num_inserts = inserts.size();
+    rh.num_erases = erases.size();
+    buffer_.resize(rh.record_bytes);
+    uint8_t* w = buffer_.data();
+    std::memcpy(w, &rh, sizeof(rh));
+    w += sizeof(rh);
+    if (!erases.empty()) {
+      std::memcpy(w, erases.data(), erases.size() * sizeof(uint64_t));
+      w += erases.size() * sizeof(uint64_t);
+    }
+    if (!inserts.empty()) {
+      std::memcpy(w, inserts.data(),
+                  inserts.size() * sizeof(geometry::Point<D>));
+      w += inserts.size() * sizeof(geometry::Point<D>);
+    }
+    const uint64_t sum =
+        Checksum64(buffer_.data(), rh.record_bytes - sizeof(uint64_t));
+    std::memcpy(w, &sum, sizeof(sum));
+    file_->Append(buffer_.data(), buffer_.size());
+    if (fsync_ == FsyncPolicy::kEveryBatch) file_->Sync();
+    stats_->snapshot_bytes_written.fetch_add(buffer_.size(),
+                                             std::memory_order_relaxed);
+  }
+
+  // Checkpoint reset: drops every record and starts the given epoch with a
+  // fresh header. Called after a snapshot tagged `generation` has been
+  // durably written (it already captures every dropped record's effects).
+  void ResetToGeneration(uint64_t generation) {
+    generation_ = generation;
+    file_->TruncateTo(0);
+    WriteHeader();
+  }
+
+  uint64_t generation() const { return generation_; }
+
+  uint64_t size_bytes() const { return file_->size(); }
+  const std::string& path() const { return file_->path(); }
+
+  // Decodes the journal at `path`. Throws PersistError for a missing /
+  // foreign / version-skewed / mid-file-corrupted journal; a torn tail is
+  // reported, not thrown (see JournalScan).
+  static JournalScan<D> Scan(const std::string& path,
+                             dbscan::PipelineStats* stats = nullptr) {
+    const std::vector<uint8_t> bytes = ReadAllBytes(path);
+    if (bytes.size() < sizeof(JournalHeader)) {
+      throw PersistError(path + ": truncated journal (no complete header)");
+    }
+    JournalHeader h;
+    std::memcpy(&h, bytes.data(), sizeof(h));
+    if (std::memcmp(h.magic, kJournalMagic, sizeof(kJournalMagic)) != 0) {
+      throw PersistError(path + ": not a pdbscan journal (bad magic)");
+    }
+    if (h.endian != kEndianProbe) {
+      throw PersistError(path +
+                         ": journal written with incompatible endianness");
+    }
+    if (h.version != kJournalVersion) {
+      throw PersistError(path + ": unsupported journal version " +
+                         std::to_string(h.version));
+    }
+    JournalHeader probe = h;
+    probe.header_checksum = 0;
+    if (Checksum64(&probe, sizeof(probe)) != h.header_checksum) {
+      throw PersistError(path + ": journal header checksum mismatch");
+    }
+    if (h.dim != D) {
+      throw PersistError(path + ": journal dimension " +
+                         std::to_string(h.dim) + " does not match " +
+                         std::to_string(D));
+    }
+
+    JournalScan<D> scan;
+    scan.epsilon = h.epsilon;
+    scan.counts_cap = static_cast<size_t>(h.counts_cap);
+    scan.generation = h.generation;
+    scan.options = DecodeOptions(h.options, path);
+    // Each record is appended with ONE write(), so a crash leaves at most a
+    // prefix of a valid record (or, after power loss reorders writeback, a
+    // full-length final record with a bad checksum). That shapes the
+    // classification below: any break that reaches end-of-file is a torn
+    // tail; anything inconsistent with MORE bytes after it is corruption.
+    size_t at = sizeof(JournalHeader);
+    while (at < bytes.size()) {
+      const size_t remaining = bytes.size() - at;
+      if (remaining < sizeof(JournalRecordHeader)) {
+        scan.truncated_tail = true;  // Partial record header at EOF.
+        break;
+      }
+      JournalRecordHeader rh;
+      std::memcpy(&rh, bytes.data() + at, sizeof(rh));
+      if (rh.num_inserts > (1ull << 40) || rh.num_erases > (1ull << 40) ||
+          rh.record_bytes !=
+              JournalRecordBytes(D, rh.num_inserts, rh.num_erases)) {
+        // A fully present header can only be inconsistent through real
+        // corruption (a torn write is a prefix, and prefixes that include
+        // the header include it verbatim).
+        throw PersistError(path + ": corrupted journal record at byte " +
+                           std::to_string(at));
+      }
+      if (rh.record_bytes > remaining) {
+        scan.truncated_tail = true;  // Partial record payload at EOF.
+        break;
+      }
+      uint64_t stored;
+      std::memcpy(&stored,
+                  bytes.data() + at + rh.record_bytes - sizeof(uint64_t),
+                  sizeof(uint64_t));
+      if (Checksum64(bytes.data() + at,
+                     rh.record_bytes - sizeof(uint64_t)) != stored) {
+        if (at + rh.record_bytes == bytes.size()) {
+          scan.truncated_tail = true;  // Reordered-writeback torn tail.
+          break;
+        }
+        throw PersistError(path + ": corrupted journal record at byte " +
+                           std::to_string(at));
+      }
+      JournalRecord<D> rec;
+      rec.first_id = rh.first_id;
+      const uint8_t* r = bytes.data() + at + sizeof(rh);
+      rec.erases.resize(rh.num_erases);
+      if (rh.num_erases > 0) {
+        std::memcpy(rec.erases.data(), r, rh.num_erases * sizeof(uint64_t));
+        r += rh.num_erases * sizeof(uint64_t);
+      }
+      rec.inserts.resize(rh.num_inserts);
+      if (rh.num_inserts > 0) {
+        std::memcpy(rec.inserts.data(), r,
+                    rh.num_inserts * sizeof(geometry::Point<D>));
+      }
+      scan.records.push_back(std::move(rec));
+      at += rh.record_bytes;
+    }
+    scan.intact_bytes = static_cast<uint64_t>(at);
+    if (stats != nullptr) {
+      stats->snapshot_bytes_read.fetch_add(scan.intact_bytes,
+                                           std::memory_order_relaxed);
+    }
+    return scan;
+  }
+
+  static void RequireMatch(const std::string& path,
+                           const JournalScan<D>& scan, double epsilon,
+                           size_t counts_cap, const Options& options) {
+    const bool same_options =
+        scan.options.cell_method == options.cell_method &&
+        scan.options.connect_method == options.connect_method &&
+        scan.options.range_count == options.range_count &&
+        scan.options.bucketing == options.bucketing &&
+        scan.options.core_only == options.core_only &&
+        scan.options.num_buckets == options.num_buckets &&
+        scan.options.rho == options.rho &&
+        scan.options.delaunay_jitter_seed == options.delaunay_jitter_seed;
+    if (scan.epsilon != epsilon || scan.counts_cap != counts_cap ||
+        !same_options) {
+      throw PersistError(
+          path + ": journal configuration does not match this index "
+                 "(epsilon / counts_cap / options)");
+    }
+  }
+
+ private:
+  void WriteHeader() {
+    JournalHeader h;
+    std::memcpy(h.magic, kJournalMagic, sizeof(kJournalMagic));
+    h.version = kJournalVersion;
+    h.endian = kEndianProbe;
+    h.dim = D;
+    h.epsilon = epsilon_;
+    h.counts_cap = counts_cap_;
+    h.generation = generation_;
+    h.options = EncodeOptions(options_);
+    h.header_checksum = 0;
+    h.header_checksum = Checksum64(&h, sizeof(h));
+    file_->Append(&h, sizeof(h));
+    file_->Sync();
+  }
+
+  double epsilon_;
+  size_t counts_cap_;
+  Options options_;
+  uint64_t generation_;
+  FsyncPolicy fsync_;
+  dbscan::PipelineStats* stats_;
+  std::unique_ptr<AppendFile> file_;
+  std::vector<uint8_t> buffer_;  // Reused record encoding scratch.
+};
+
+}  // namespace pdbscan::persist
+
+#endif  // PDBSCAN_PERSIST_JOURNAL_H_

@@ -1,0 +1,276 @@
+// PersistentClusterer — the durable serve-while-updating facade: a
+// StreamingClusterer-shaped surface (one writer, many lock-free readers)
+// whose state survives process restarts.
+//
+//   pdbscan::PersistentClusterer<2> live("/var/lib/myindex",
+//                                        /*epsilon=*/1.0,
+//                                        /*counts_cap=*/100);
+//   live.Insert(points);                 // journaled, then applied
+//   pdbscan::Clustering c = live.Run(10);  // any thread, concurrently
+//   live.Checkpoint();                   // snapshot + journal reset
+//   // ... process dies, restarts:
+//   pdbscan::PersistentClusterer<2> again("/var/lib/myindex", 1.0, 100);
+//   // `again` now serves a state bit-identical to `live`'s last applied
+//   // batch: last checkpoint + journal replay.
+//
+// Recovery contract (enforced by tests/test_persist.cpp and
+// bench/throughput_persist.cpp): the recovered instance's published
+// snapshot, and every snapshot it publishes for subsequent batches, is
+// bit-identical to the uninterrupted run's. Recovery cost is the snapshot
+// load (O(validation) in mapped mode) plus replay of the batches since the
+// last checkpoint — proportional to the delta, not the dataset.
+//
+// Files inside `dir` (which must already exist):
+//   index.pdbsnap   — the last checkpoint (streaming state included)
+//   updates.pdbjnl  — the WAL of batches applied since that checkpoint
+//
+// Crash safety: snapshots are written temp-then-rename; the
+// snapshot/journal pair is reconciled through the journal generation (see
+// persist/format.h), so a crash at ANY point — mid-batch, mid-snapshot,
+// between checkpoint steps — recovers to a published batch boundary,
+// never a partial state. A configuration mismatch (different epsilon /
+// counts_cap / options than the stored files) throws PersistError rather
+// than serving a silently different clustering.
+//
+// Threading contract: ApplyUpdates / Insert / Erase / Checkpoint from ONE
+// writer thread (or externally serialized); Run / Sweep / snapshot() from
+// any thread, any time.
+#ifndef PDBSCAN_PERSIST_PERSISTENT_CLUSTERER_H_
+#define PDBSCAN_PERSIST_PERSISTENT_CLUSTERER_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dbscan/cell_index.h"
+#include "dbscan/stats.h"
+#include "dbscan/types.h"
+#include "geometry/point.h"
+#include "parallel/engine_pool.h"
+#include "persist/format.h"
+#include "persist/journal.h"
+#include "persist/snapshot.h"
+#include "streaming/dynamic_cell_index.h"
+
+namespace pdbscan::persist {
+
+// Durability / recovery knobs.
+struct PersistOptions {
+  // How recovery materializes the checkpoint snapshot. kMapped serves the
+  // restored index straight from the file mapping (cold start in
+  // milliseconds; the snapshot file must stay in place while serving).
+  LoadMode load_mode = LoadMode::kOwned;
+  // Journal durability; kEveryBatch fdatasyncs each ApplyUpdates.
+  FsyncPolicy journal_fsync = FsyncPolicy::kNone;
+};
+
+template <int D>
+class PersistentClusterer {
+ public:
+  PersistentClusterer(const std::string& dir, double epsilon,
+                      size_t counts_cap, Options options = Options(),
+                      PersistOptions persist_options = PersistOptions())
+      : snapshot_path_(dir + "/index.pdbsnap"),
+        journal_path_(dir + "/updates.pdbjnl"),
+        persist_options_(persist_options) {
+    // 1. Base state: the last checkpoint, or empty when none exists.
+    uint64_t generation = 0;
+    if (FileExists(snapshot_path_)) {
+      LoadedSnapshot<D> loaded = SnapshotReader<D>::Load(
+          snapshot_path_, persist_options_.load_mode, &update_stats_);
+      if (!loaded.has_stream_state) {
+        throw PersistError(snapshot_path_ +
+                           ": not a streaming checkpoint (no live-id state)");
+      }
+      RequireConfig(loaded.index->epsilon(), loaded.index->counts_cap(),
+                    loaded.index->options(), epsilon, counts_cap, options);
+      generation = loaded.journal_generation;
+      index_ = std::make_unique<streaming::DynamicCellIndex<D>>(
+          std::move(loaded.index),
+          std::span<const uint64_t>(loaded.live_ids), loaded.next_id,
+          &update_stats_);
+      recovered_from_snapshot_ = true;
+    } else {
+      index_ = std::make_unique<streaming::DynamicCellIndex<D>>(
+          epsilon, counts_cap, options, &update_stats_);
+    }
+
+    // 2. Replay the journal — with it detached, so replaying does not
+    // re-append the records it is reading. Files shorter than one header
+    // hold no records (a torn creation or a torn checkpoint reset); the
+    // journal constructor below reinitializes them at the snapshot's
+    // epoch.
+    JournalScan<D> scan;
+    bool scanned = false;
+    if (FileExists(journal_path_) &&
+        FileBytes(journal_path_) >= sizeof(JournalHeader)) {
+      scan = UpdateJournal<D>::Scan(journal_path_, &update_stats_);
+      scanned = true;
+      UpdateJournal<D>::RequireMatch(journal_path_, scan, epsilon, counts_cap,
+                                     options);
+      if (scan.generation == generation) {
+        for (const JournalRecord<D>& rec : scan.records) {
+          const uint64_t first_id = index_->ApplyUpdates(
+              std::span<const geometry::Point<D>>(rec.inserts),
+              std::span<const uint64_t>(rec.erases));
+          if (first_id != rec.first_id) {
+            throw PersistError(journal_path_ +
+                               ": journal ids do not align with the "
+                               "snapshot (corrupted checkpoint pairing)");
+          }
+          ++records_replayed_;
+        }
+        update_stats_.journal_records_replayed.fetch_add(
+            records_replayed_, std::memory_order_relaxed);
+      } else if (generation == scan.generation + 1) {
+        // Crash window between the two checkpoint steps: the snapshot
+        // already contains everything this journal holds. Drop it by
+        // starting the snapshot's epoch fresh (step 3 handles it).
+        stale_journal_ = true;
+      } else {
+        throw PersistError(journal_path_ + ": journal generation " +
+                           std::to_string(scan.generation) +
+                           " cannot pair with snapshot generation " +
+                           std::to_string(generation));
+      }
+    }
+
+    // 3. Open the journal for appending at the snapshot's epoch and attach
+    // it, so every future batch is logged before it is applied. The scan
+    // from step 2 is handed over so the file is not decoded twice.
+    if (stale_journal_) {
+      journal_ = std::make_unique<UpdateJournal<D>>(
+          journal_path_, epsilon, counts_cap, options,
+          /*generation=*/generation - 1, persist_options_.journal_fsync,
+          &update_stats_, &scan);
+      journal_->ResetToGeneration(generation);
+    } else {
+      journal_ = std::make_unique<UpdateJournal<D>>(
+          journal_path_, epsilon, counts_cap, options, generation,
+          persist_options_.journal_fsync, &update_stats_,
+          scanned ? &scan : nullptr);
+    }
+    generation_ = generation;
+    index_->set_journal(journal_.get());
+
+    pool_ = std::make_unique<parallel::EnginePool<D>>(index_->snapshot());
+  }
+
+  PersistentClusterer(const PersistentClusterer&) = delete;
+  PersistentClusterer& operator=(const PersistentClusterer&) = delete;
+
+  // Writer-thread only: journals, applies, and publishes one batch (erases
+  // first, then inserts; ids as in StreamingClusterer). The batch is in
+  // the WAL before any state changes, so a crash at any later point
+  // replays it.
+  uint64_t ApplyUpdates(std::span<const geometry::Point<D>> inserts,
+                        std::span<const uint64_t> erases) {
+    const uint64_t first_id = index_->ApplyUpdates(inserts, erases);
+    pool_->ReplaceIndex(index_->snapshot());
+    return first_id;
+  }
+
+  uint64_t Insert(std::span<const geometry::Point<D>> points) {
+    return ApplyUpdates(points, std::span<const uint64_t>());
+  }
+  uint64_t Insert(const std::vector<geometry::Point<D>>& points) {
+    return Insert(std::span<const geometry::Point<D>>(points));
+  }
+  void Erase(std::span<const uint64_t> ids) {
+    ApplyUpdates(std::span<const geometry::Point<D>>(), ids);
+  }
+  void Erase(const std::vector<uint64_t>& ids) {
+    Erase(std::span<const uint64_t>(ids));
+  }
+
+  // Writer-thread only: makes the current state the new recovery base —
+  // writes a snapshot (temp + rename, fsync'ed) tagged with the next
+  // journal generation, then resets the journal to that generation.
+  // Recovery after a crash between the two steps replays nothing and
+  // reconciles the epochs (see the class comment).
+  void Checkpoint() {
+    const uint64_t next_generation = generation_ + 1;
+    const auto snap = index_->snapshot();
+    SnapshotWriter<D>::Write(snapshot_path_, *snap, index_->LiveIds(),
+                             index_->next_id(), next_generation,
+                             &update_stats_);
+    journal_->ResetToGeneration(next_generation);
+    generation_ = next_generation;
+  }
+
+  // Thread-safe query surface (see parallel/engine_pool.h).
+  Clustering Run(size_t min_pts) { return pool_->Run(min_pts); }
+  std::vector<Clustering> Sweep(std::span<const size_t> minpts_list) {
+    return pool_->Sweep(minpts_list);
+  }
+  std::vector<Clustering> Sweep(std::initializer_list<size_t> minpts_list) {
+    return pool_->Sweep(minpts_list);
+  }
+  std::shared_ptr<const dbscan::CellIndex<D>> snapshot() const {
+    return index_->snapshot();
+  }
+
+  // Writer-thread accessors (see streaming/dynamic_cell_index.h).
+  size_t num_points() const { return index_->num_points(); }
+  size_t num_cells() const { return index_->num_cells(); }
+  std::vector<geometry::Point<D>> LivePoints() const {
+    return index_->LivePoints();
+  }
+  const std::vector<uint64_t>& LiveIds() const { return index_->LiveIds(); }
+  uint64_t next_id() const { return index_->next_id(); }
+
+  // Recovery introspection: whether construction found a checkpoint, and
+  // how many journal records it replayed on top.
+  bool recovered_from_snapshot() const { return recovered_from_snapshot_; }
+  size_t records_replayed() const { return records_replayed_; }
+  uint64_t generation() const { return generation_; }
+
+  // Cumulative writer-side + persistence counters (snapshot_bytes_*,
+  // journal_records_replayed, cells_rebuilt/retained, ...).
+  const dbscan::PipelineStats& update_stats() const { return update_stats_; }
+  void AggregateStats(dbscan::PipelineStats& out) const {
+    out.MergeFrom(update_stats_);
+    pool_->AggregateStats(out);
+  }
+
+  parallel::EnginePool<D>& pool() { return *pool_; }
+
+ private:
+  static void RequireConfig(double got_eps, size_t got_cap,
+                            const Options& got, double eps, size_t cap,
+                            const Options& want) {
+    const bool same =
+        got_eps == eps && got_cap == cap &&
+        got.cell_method == want.cell_method &&
+        got.connect_method == want.connect_method &&
+        got.range_count == want.range_count &&
+        got.bucketing == want.bucketing && got.core_only == want.core_only &&
+        got.num_buckets == want.num_buckets && got.rho == want.rho &&
+        got.delaunay_jitter_seed == want.delaunay_jitter_seed;
+    if (!same) {
+      throw PersistError(
+          "persisted index configuration does not match this constructor's "
+          "(epsilon / counts_cap / options)");
+    }
+  }
+
+  std::string snapshot_path_;
+  std::string journal_path_;
+  PersistOptions persist_options_;
+  dbscan::PipelineStats update_stats_;
+  std::unique_ptr<streaming::DynamicCellIndex<D>> index_;
+  std::unique_ptr<UpdateJournal<D>> journal_;
+  std::unique_ptr<parallel::EnginePool<D>> pool_;
+  uint64_t generation_ = 0;
+  bool recovered_from_snapshot_ = false;
+  bool stale_journal_ = false;
+  size_t records_replayed_ = 0;
+};
+
+}  // namespace pdbscan::persist
+
+#endif  // PDBSCAN_PERSIST_PERSISTENT_CLUSTERER_H_

@@ -62,6 +62,7 @@
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -74,6 +75,7 @@
 #include "geometry/point.h"
 #include "parallel/engine_pool.h"
 #include "parallel/scheduler.h"
+#include "persist/snapshot.h"
 #include "sharding/shard_planner.h"
 #include "util/timer.h"
 
@@ -91,6 +93,10 @@ struct ShardBuildInfo {
   double shard_build_seconds = 0;  // Phase 1: concurrent per-shard builds.
   double shard_count_seconds = 0;  // Phase 1: interior MarkCore counts.
   double merge_seconds = 0;        // Phase 3: seam adjacency + recount.
+  // Per-shard spill (when a spill directory was given): one snapshot file
+  // per shard, written concurrently between phases 1 and 2.
+  std::vector<std::string> spill_paths;
+  double spill_seconds = 0;
 };
 
 template <int D>
@@ -108,26 +114,9 @@ class ShardedCellIndex {
                    size_t counts_cap, size_t num_shards,
                    Options options = Options(),
                    dbscan::PipelineStats* stats = nullptr)
-      : options_(std::move(options)) {
-    if (epsilon <= 0) throw std::invalid_argument("epsilon must be positive");
-    if (counts_cap == 0) {
-      throw std::invalid_argument("counts_cap must be positive");
-    }
-    if (options_.cell_method != CellMethod::kGrid) {
-      throw std::invalid_argument(
-          "sharded builds support the grid cell method only (the box strip "
-          "decomposition is a global function of all points)");
-    }
-    if (options_.range_count != RangeCountMethod::kScan) {
-      throw std::invalid_argument(
-          "sharded builds support the kScan range-count method only "
-          "(per-cell quadtrees pin each shard's exact point layout)");
-    }
-    dbscan::PipelineStats& sink =
-        stats != nullptr ? *stats : dbscan::GlobalStats();
-    plan_ = ShardPlanner::Plan<D>(points, epsilon, num_shards);
-    BuildMerged(points, epsilon, counts_cap, stats, sink);
-  }
+      : ShardedCellIndex(points, epsilon, counts_cap, num_shards,
+                         /*spill_dir=*/std::string(), std::move(options),
+                         stats) {}
 
   ShardedCellIndex(const std::vector<geometry::Point<D>>& points,
                    double epsilon, size_t counts_cap, size_t num_shards,
@@ -135,6 +124,34 @@ class ShardedCellIndex {
                    dbscan::PipelineStats* stats = nullptr)
       : ShardedCellIndex(std::span<const geometry::Point<D>>(points), epsilon,
                          counts_cap, num_shards, std::move(options), stats) {}
+
+  // Build with per-shard spill: between the concurrent per-shard builds
+  // and the merge, every shard's structure + interior counts are written
+  // to `spill_dir`/shard-<s>.pdbsnap — concurrently, one snapshot file per
+  // shard builder. Spill files are build checkpoints in the standard
+  // snapshot format (loadable for inspection or a partial-restart
+  // pipeline); note their boundary cells' counts are pre-merge (interior
+  // counts are already globally exact, boundary cells recount at merge).
+  // The merged frozen index itself saves ONCE via Save() below.
+  ShardedCellIndex(std::span<const geometry::Point<D>> points, double epsilon,
+                   size_t counts_cap, size_t num_shards,
+                   const std::string& spill_dir, Options options = Options(),
+                   dbscan::PipelineStats* stats = nullptr)
+      : options_(std::move(options)), spill_dir_(spill_dir) {
+    ValidateConfig(epsilon, counts_cap);
+    dbscan::PipelineStats& sink =
+        stats != nullptr ? *stats : dbscan::GlobalStats();
+    plan_ = ShardPlanner::Plan<D>(points, epsilon, num_shards);
+    BuildMerged(points, epsilon, counts_cap, stats, sink);
+  }
+
+  // Saves the merged frozen index as one ordinary snapshot —
+  // persist::SnapshotReader (or pdbscan::LoadIndex) rehydrates it for
+  // serving without redoing the sharded build.
+  void Save(const std::string& path,
+            dbscan::PipelineStats* stats = nullptr) const {
+    persist::SnapshotWriter<D>::Write(path, *index_, stats);
+  }
 
   ShardedCellIndex(const ShardedCellIndex&) = delete;
   ShardedCellIndex& operator=(const ShardedCellIndex&) = delete;
@@ -159,6 +176,23 @@ class ShardedCellIndex {
   const ShardBuildInfo& build_info() const { return info_; }
 
  private:
+  void ValidateConfig(double epsilon, size_t counts_cap) const {
+    if (epsilon <= 0) throw std::invalid_argument("epsilon must be positive");
+    if (counts_cap == 0) {
+      throw std::invalid_argument("counts_cap must be positive");
+    }
+    if (options_.cell_method != CellMethod::kGrid) {
+      throw std::invalid_argument(
+          "sharded builds support the grid cell method only (the box strip "
+          "decomposition is a global function of all points)");
+    }
+    if (options_.range_count != RangeCountMethod::kScan) {
+      throw std::invalid_argument(
+          "sharded builds support the kScan range-count method only "
+          "(per-cell quadtrees pin each shard's exact point layout)");
+    }
+  }
+
   void BuildMerged(std::span<const geometry::Point<D>> points, double epsilon,
                    size_t counts_cap, dbscan::PipelineStats* stats,
                    dbscan::PipelineStats& sink) {
@@ -230,6 +264,30 @@ class ShardedCellIndex {
     info_.shard_count_seconds = timer.Seconds();
     dbscan::AddSeconds(sink.mark_core_seconds, info_.shard_count_seconds);
     sink.counts_built.fetch_add(1, std::memory_order_relaxed);
+
+    // --- Optional per-shard spill: each shard builder persists its own
+    // structure + interior counts concurrently (one snapshot file per
+    // shard, standard format). The merged index is NOT reassembled from
+    // these — they are durable build checkpoints; Save() persists the
+    // merged result once after the merge. ------------------------------
+    if (!spill_dir_.empty()) {
+      timer.Reset();
+      info_.spill_paths.resize(num_shards);
+      for (size_t s = 0; s < num_shards; ++s) {
+        info_.spill_paths[s] =
+            spill_dir_ + "/shard-" + std::to_string(s) + ".pdbsnap";
+      }
+      parallel::parallel_for(
+          0, num_shards,
+          [&](size_t s) {
+            persist::WriteSnapshotRaw<D>(
+                info_.spill_paths[s], shards[s],
+                std::span<const uint32_t>(shard_counts[s]), counts_cap,
+                options_, {}, 0, 0, stats);
+          },
+          1);
+      info_.spill_seconds = timer.Seconds();
+    }
 
     // --- Phase 2: recompose the flat merged structure. --------------------
     timer.Reset();
@@ -377,6 +435,7 @@ class ShardedCellIndex {
   ShardPlan<D> plan_;
   ShardBuildInfo info_;
   std::shared_ptr<const dbscan::CellIndex<D>> index_;
+  std::string spill_dir_;  // Empty: no per-shard spill.
 };
 
 }  // namespace pdbscan::sharding

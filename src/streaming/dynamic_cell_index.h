@@ -69,6 +69,7 @@
 #include <utility>
 #include <vector>
 
+#include "containers/flat_array.h"
 #include "dbscan/cell_index.h"
 #include "dbscan/cell_structure.h"
 #include "dbscan/grid.h"
@@ -77,6 +78,7 @@
 #include "dbscan/types.h"
 #include "geometry/point.h"
 #include "parallel/scheduler.h"
+#include "persist/journal.h"
 #include "util/timer.h"
 
 namespace pdbscan::streaming {
@@ -128,8 +130,104 @@ class DynamicCellIndex {
     Publish(Recompose(/*dirty=*/{}, /*vanished=*/{}));
   }
 
+  // Restores the writer from a persisted streaming checkpoint: the loaded
+  // snapshot plus the stable live ids (dataset order) and next id it was
+  // saved with (persist::SnapshotReader returns all three). The snapshot
+  // is published as-is — queries against the restored index are trivially
+  // bit-identical to the saved one — and the writer-side state (per-cell
+  // buckets, id bookkeeping, cell order) is reconstructed from the
+  // snapshot's own layout, so subsequent ApplyUpdates batches behave
+  // exactly as they would have on the uninterrupted instance (that is what
+  // makes snapshot + journal replay == the live run; see persist/journal.h
+  // and tests/test_persist.cpp). Throws std::invalid_argument for
+  // non-streaming configurations and PersistError-shaped invariant
+  // violations (ids not ascending, coords off the origin-anchored lattice:
+  // e.g. a snapshot produced by CellIndex::Build rather than a streaming
+  // checkpoint).
+  DynamicCellIndex(std::shared_ptr<const dbscan::CellIndex<D>> snapshot,
+                   std::span<const uint64_t> live_ids, uint64_t next_id,
+                   dbscan::PipelineStats* stats = nullptr)
+      : epsilon_(snapshot != nullptr ? snapshot->epsilon() : 0),
+        side_(dbscan::GridSide<D>(epsilon_)),
+        counts_cap_(snapshot != nullptr ? snapshot->counts_cap() : 0),
+        options_(snapshot != nullptr ? snapshot->options() : Options()),
+        stats_(stats != nullptr ? stats : &dbscan::GlobalStats()) {
+    if (snapshot == nullptr) {
+      throw std::invalid_argument("restore needs a snapshot");
+    }
+    if (options_.cell_method != CellMethod::kGrid ||
+        options_.range_count != RangeCountMethod::kScan) {
+      throw std::invalid_argument(
+          "streaming restore supports grid cells with kScan range counting "
+          "only (the configurations DynamicCellIndex itself produces)");
+    }
+    for (int i = 0; i < D; ++i) origin_[i] = 0.0;
+
+    const dbscan::CellStructure<D>& cells = snapshot->cells();
+    const size_t n = cells.num_points();
+    const size_t m = cells.num_cells();
+    if (live_ids.size() != n) {
+      throw std::invalid_argument(
+          "restore: live ids must cover every point");
+    }
+    live_ids_.assign(live_ids.begin(), live_ids.end());
+    for (size_t k = 0; k < n; ++k) {
+      if (live_ids_[k] >= next_id ||
+          (k > 0 && live_ids_[k] <= live_ids_[k - 1])) {
+        throw std::invalid_argument(
+            "restore: live ids must be ascending and below next_id");
+      }
+    }
+    next_id_ = next_id;
+
+    // Writer state from the snapshot's own layout. Bucket order within a
+    // cell is exactly the snapshot's per-cell point order (Recompose wrote
+    // it from the buckets), so reconstruction is the inverse copy.
+    cell_order_.resize(m);
+    buckets_.reserve(m);
+    cell_of_id_.reserve(n);
+    for (size_t c = 0; c < m; ++c) {
+      const geometry::CellCoords<D> coords = cells.coords[c];
+      // Reject snapshots from a differently anchored grid: every cell must
+      // sit on the origin-anchored lattice this writer will extend.
+      const size_t begin = cells.offsets[c];
+      if (cells.cell_size(c) == 0 ||
+          geometry::CellOf<D>(cells.points[begin], origin_, side_) != coords) {
+        throw std::invalid_argument(
+            "restore: snapshot is not an origin-anchored streaming "
+            "checkpoint");
+      }
+      cell_order_[c] = coords;
+      cell_id_.emplace(coords, static_cast<uint32_t>(c));
+      Bucket& bucket = buckets_[coords];
+      const size_t size = cells.cell_size(c);
+      bucket.ids.reserve(size);
+      bucket.pts.reserve(size);
+      for (size_t i = begin; i < begin + size; ++i) {
+        const uint64_t id = live_ids_[cells.orig_index[i]];
+        bucket.ids.push_back(id);
+        bucket.pts.push_back(cells.points[i]);
+        cell_of_id_.emplace(id, coords);
+      }
+    }
+
+    UpdateStats update;
+    update.num_points = n;
+    update.num_cells = m;
+    update.cells_retained = m;
+    pending_ = std::move(snapshot);
+    Publish(update);
+  }
+
   DynamicCellIndex(const DynamicCellIndex&) = delete;
   DynamicCellIndex& operator=(const DynamicCellIndex&) = delete;
+
+  // Attaches a write-ahead journal: every subsequently applied batch is
+  // appended (after validation, before mutation — WAL discipline) as one
+  // record, so `restore(last checkpoint) + replay` reproduces this
+  // writer's exact update sequence. Pass nullptr to detach. The journal
+  // must outlive the attachment; writer-thread only, like ApplyUpdates.
+  void set_journal(persist::UpdateJournal<D>* journal) { journal_ = journal; }
 
   double epsilon() const { return epsilon_; }
   size_t counts_cap() const { return counts_cap_; }
@@ -154,6 +252,10 @@ class DynamicCellIndex {
         throw std::invalid_argument("erase of unknown point id");
       }
     }
+
+    // WAL: the batch is durable (to the attached journal's fsync policy)
+    // before any in-memory state changes, so a crash mid-apply replays it.
+    if (journal_ != nullptr) journal_->Append(inserts, erases, next_id_);
 
     util::Timer timer;
     CoordsSet dirty;
@@ -373,7 +475,7 @@ class DynamicCellIndex {
     for (size_t c = 0; c < m; ++c) {
       if (recount[c]) rebuilt_list.push_back(static_cast<uint32_t>(c));
     }
-    const std::vector<uint32_t>* prev_counts =
+    const containers::FlatArray<uint32_t>* prev_counts =
         prev != nullptr ? &prev->neighbor_counts() : nullptr;
     parallel::parallel_for(
         0, m,
@@ -422,6 +524,7 @@ class DynamicCellIndex {
   size_t counts_cap_;
   Options options_;
   dbscan::PipelineStats* stats_;
+  persist::UpdateJournal<D>* journal_ = nullptr;
   geometry::Point<D> origin_;
 
   // Live points bucketed by cell, plus the id bookkeeping that makes

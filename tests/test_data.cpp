@@ -2,6 +2,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -183,6 +184,57 @@ TEST(Io, DimensionMismatchThrows) {
   flat.dim = 3;
   flat.coords = {1, 2, 3};
   EXPECT_THROW(data::FromFlat<2>(flat), std::runtime_error);
+}
+
+TEST(Io, BinaryRejectsForeignAndTruncatedFiles) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "pdbscan_bad.bin";
+
+  // A right-sized file of arbitrary bytes must NOT parse: the magic guard
+  // rejects it.
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::vector<char> garbage(32 + 6 * sizeof(double), 'x');
+    out.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+  }
+  EXPECT_THROW(data::ReadBinary(path), std::runtime_error);
+
+  // A valid file truncated mid-payload (and mid-header) must be rejected.
+  auto flat = data::ToFlat<3>(data::UniformFill<3>(100, 5));
+  data::WriteBinary(path, flat);
+  const auto full = [&] {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    return bytes;
+  }();
+  for (const size_t keep : {full.size() - 8, size_t{20}, size_t{3}}) {
+    std::ofstream out(path, std::ios::binary);
+    out.write(full.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    EXPECT_THROW(data::ReadBinary(path), std::runtime_error)
+        << "kept " << keep << " of " << full.size() << " bytes";
+  }
+
+  // A version bump must be rejected, not misparsed. The version field sits
+  // after the 8-byte magic.
+  {
+    std::vector<char> skewed = full;
+    skewed[8] = 9;
+    std::ofstream out(path, std::ios::binary);
+    out.write(skewed.data(), static_cast<std::streamsize>(skewed.size()));
+  }
+  EXPECT_THROW(data::ReadBinary(path), std::runtime_error);
+
+  // And an extended file (trailing junk) is a size mismatch, not data.
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(full.data(), static_cast<std::streamsize>(full.size()));
+    out << "tail";
+  }
+  EXPECT_THROW(data::ReadBinary(path), std::runtime_error);
+
+  std::remove(path.c_str());
 }
 
 }  // namespace

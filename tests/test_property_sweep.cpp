@@ -8,10 +8,15 @@
 //
 // PDBSCAN_SWEEP_BUDGET multiplies the case counts (default 1); the
 // slow-sweep ctest label runs this binary at a larger budget.
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstddef>
+#include <cstdio>
+#include <filesystem>
 #include <random>
 #include <span>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -256,6 +261,70 @@ TEST_P(ShardedPropertySweep, ExactConnectorsOverShardedIndex2d) {
     }
   }
 }
+
+// Persistence: for randomized configurations, save -> load (both modes)
+// -> Run + Sweep must be bit-identical to the live-built index. Exact and
+// approximate variants alike — a loaded approximate index reproduces the
+// SAME approximate clustering it was saved with (determinism of the frozen
+// artifact), which is a stronger property than re-satisfying the Gan–Tao
+// definition.
+template <int D>
+void PersistCase(uint64_t base_seed, size_t cases,
+                 const std::vector<Options>& configs) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("pdbscan_prop_persist_" + std::to_string(::getpid()) + "_" +
+        std::to_string(D) + "d.pdbsnap"))
+          .string();
+  std::mt19937_64 rng(base_seed * 131 + D);
+  for (const auto& c : MakeCases(base_seed, cases)) {
+    auto pts = GenerateShape<D>(c.shape, c.n, c.seed);
+    const size_t cap = 1 + rng() % 24;
+    for (const auto& options : configs) {
+      auto live = CellIndex<D>::Build(pts, c.epsilon, cap, options);
+      SaveIndex<D>(path, *live);
+      QueryContext<D> live_ctx, ctx;
+      const std::vector<size_t> sweep = {c.min_pts, c.min_pts + cap, 1};
+      const auto expected =
+          live_ctx.Sweep(*live, std::span<const size_t>(sweep));
+      for (const LoadMode mode : {LoadMode::kOwned, LoadMode::kMapped}) {
+        auto loaded = LoadIndex<D>(path, mode);
+        const auto got = ctx.Sweep(loaded, std::span<const size_t>(sweep));
+        ASSERT_EQ(expected.size(), got.size());
+        for (size_t i = 0; i < sweep.size(); ++i) {
+          ASSERT_TRUE(pdbscan::testing::Identical(expected[i], got[i]))
+              << options.Name() << " d=" << D
+              << (mode == LoadMode::kMapped ? " mapped" : " owned")
+              << " shape=" << static_cast<int>(c.shape) << " n=" << c.n
+              << " eps=" << c.epsilon << " cap=" << cap
+              << " minpts=" << sweep[i] << " seed=" << c.seed;
+        }
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+class PersistPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PersistPropertySweep, LoadedIndexesBitIdentical2d) {
+  PersistCase<2>(GetParam(), 2 * SweepBudget(),
+                 {Our2dGridBcp(), Our2dBoxUsec(), OurExactQt(),
+                  OurApprox(0.1)});
+}
+
+TEST_P(PersistPropertySweep, LoadedIndexesBitIdentical3d) {
+  PersistCase<3>(GetParam() + 4000, 2 * SweepBudget(),
+                 {OurExact(), OurApprox(0.1), OurApproxQt(0.01)});
+}
+
+TEST_P(PersistPropertySweep, LoadedIndexesBitIdentical5d) {
+  PersistCase<5>(GetParam() + 5000, SweepBudget(),
+                 {OurExact(), OurApprox(0.1)});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PersistPropertySweep,
+                         ::testing::Values(1, 2, 3));
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ShardedPropertySweep,
                          ::testing::Values(1, 2, 3, 4));
