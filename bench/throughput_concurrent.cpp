@@ -117,6 +117,13 @@ int main() {
                   "counts_reused=%zu (index adopted, built once above)\n",
                   clients, pool.contexts_created(), agg.counts_built.load(),
                   agg.counts_reused.load());
+      std::printf("kernels: %s dispatch, %zu simd batches, %zu box-pruned / "
+                  "%zu norm-pruned points\n",
+                  kernels::LevelName(static_cast<kernels::Level>(
+                      agg.kernel_dispatch_level.load())),
+                  agg.kernel_batches.load(),
+                  agg.kernel_points_pruned_box.load(),
+                  agg.kernel_points_pruned_norm.load());
     }
   }
   std::printf("\n");

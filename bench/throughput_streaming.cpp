@@ -191,5 +191,11 @@ int main() {
                   ? double(agg.cells_retained.load()) /
                         double(agg.cells_rebuilt.load())
                   : 0.0);
+  std::printf("kernels: %s dispatch, %zu simd batches, %zu box-pruned / "
+              "%zu norm-pruned points\n",
+              kernels::LevelName(static_cast<kernels::Level>(
+                  agg.kernel_dispatch_level.load())),
+              agg.kernel_batches.load(), agg.kernel_points_pruned_box.load(),
+              agg.kernel_points_pruned_norm.load());
   return proportional ? 0 : 1;
 }

@@ -34,6 +34,8 @@
 #include <string>
 
 #include "data/io.h"
+#include "dbscan/stats.h"
+#include "kernels/kernel_api.h"
 #include "pdbscan/pdbscan.h"
 #include "util/timer.h"
 
@@ -67,6 +69,16 @@ void PrintSummary(const pdbscan::Clustering& result, const std::string& label,
                "(%d threads)\n",
                label.c_str(), result.num_clusters, core, noise, result.size(),
                secs, pdbscan::parallel::num_workers());
+  const auto& stats = pdbscan::dbscan::GlobalStats();
+  std::fprintf(
+      stderr,
+      "kernels: %s dispatch, %zu simd batches, %zu box-pruned / %zu "
+      "norm-pruned points\n",
+      pdbscan::kernels::LevelName(static_cast<pdbscan::kernels::Level>(
+          stats.kernel_dispatch_level.load(std::memory_order_relaxed))),
+      stats.kernel_batches.load(std::memory_order_relaxed),
+      stats.kernel_points_pruned_box.load(std::memory_order_relaxed),
+      stats.kernel_points_pruned_norm.load(std::memory_order_relaxed));
 }
 
 int WriteLabels(const pdbscan::Clustering& result,

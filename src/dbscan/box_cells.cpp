@@ -179,6 +179,7 @@ CellStructure<2> BuildBoxCells(std::span<const Point<2>> input, double epsilon,
     }
   });
   FlattenNeighbors(neighbor_lists, cells);
+  cells.BuildSoALanes();
   return cells;
 }
 

@@ -98,7 +98,8 @@ class CellIndex {
       trees = &source_.AcquireQuadtrees();
     }
     std::vector<uint32_t> counts;
-    MarkCoreCounts(cells, counts_cap_, options_.range_count, trees, counts);
+    MarkCoreCounts(cells, counts_cap_, options_.range_count, trees, counts,
+                   &sink);
     neighbor_counts_ = std::move(counts);
     sink.counts_built.fetch_add(1, std::memory_order_relaxed);
     AddSeconds(sink.mark_core_seconds, timer.Seconds());
@@ -143,6 +144,11 @@ class CellIndex {
     // No build counters tick here: the producer (DynamicCellIndex) accounts
     // for what it rebuilt vs. retained in its own sink.
     source_.set_stats(stats);
+    // Safety net for producers predating the SoA lanes: an adopted
+    // structure without lanes gets owned ones built here, so queries always
+    // run vectorized. (Mapped snapshots arrive with strided lane views and
+    // pass through untouched.)
+    if (!cells.has_soa() && cells.num_points() > 0) cells.BuildSoALanes();
     source_.AdoptPrebuilt(std::move(cells));
     if (options_.range_count == RangeCountMethod::kQuadtree) {
       source_.AcquireQuadtrees();
@@ -317,7 +323,7 @@ class QueryContext {
     }
     util::Timer timer;
     MarkCoreCounts(index.cells(), cap, index.options().range_count,
-                   &index.quadtrees(), ws_.neighbor_counts);
+                   &index.quadtrees(), ws_.neighbor_counts, stats_);
     if (owner != nullptr) {
       cached_index_ = *owner;
       cached_cap_ = cap;

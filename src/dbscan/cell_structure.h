@@ -20,6 +20,7 @@
 #define PDBSCAN_DBSCAN_CELL_STRUCTURE_H_
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -27,6 +28,7 @@
 
 #include "containers/flat_array.h"
 #include "geometry/point.h"
+#include "parallel/scheduler.h"
 
 namespace pdbscan::dbscan {
 
@@ -60,6 +62,17 @@ struct CellStructure {
   Array<size_t> nbr_offsets;
   Array<uint32_t> nbrs;
 
+  // Structure-of-arrays coordinate lanes over the reordered points:
+  // soa[d][i] == points[i][d]. Derived data (never serialized) consumed by
+  // the SIMD distance kernels (src/kernels/): per-cell point ranges become
+  // contiguous per-dimension double runs, loadable 8 at a time. Builders
+  // populate the lanes with BuildSoALanes() (owned, 64-byte aligned); a
+  // mapped snapshot serves them as strided views straight into its AoS
+  // point array (ViewSoALanesFromPoints — zero copies, scalar-read only).
+  // When absent (has_soa() == false) every kernel call site falls back to
+  // the AoS scalar loop, which is bit-identical by contract.
+  std::array<Array<double>, D> soa;
+
   size_t num_points() const { return points.size(); }
   size_t num_cells() const {
     return offsets.empty() ? 0 : offsets.size() - 1;
@@ -76,6 +89,57 @@ struct CellStructure {
                                      nbr_offsets[c + 1] - nbr_offsets[c]);
   }
 
+  // True iff the SoA lanes are populated and consistent with points.
+  bool has_soa() const {
+    if (points.empty()) return false;
+    for (int d = 0; d < D; ++d) {
+      if (soa[static_cast<size_t>(d)].size() != points.size()) return false;
+    }
+    return true;
+  }
+
+  // Element stride of the SoA lanes (1 for built lanes, D for lanes viewed
+  // out of a mapped AoS point array).
+  size_t soa_stride() const { return soa[0].stride(); }
+
+  // Materializes owned, 64-byte-aligned SoA lanes from `points`
+  // (transpose; every builder calls this once, after the reordered points
+  // are final).
+  void BuildSoALanes() {
+    const size_t n = points.size();
+    if (n == 0) {
+      for (auto& lane : soa) lane.clear();
+      return;
+    }
+    std::array<double*, D> dst;
+    for (int d = 0; d < D; ++d) {
+      dst[static_cast<size_t>(d)] =
+          soa[static_cast<size_t>(d)].AllocateAligned(n);
+    }
+    const geometry::Point<D>* src = points.data();
+    parallel::parallel_for(0, n, [&](size_t i) {
+      for (int d = 0; d < D; ++d) {
+        dst[static_cast<size_t>(d)][i] = src[i][d];
+      }
+    });
+  }
+
+  // Points the SoA lanes at the existing AoS point buffer with stride D —
+  // zero-copy, for structures whose points VIEW pinned memory (a mapped
+  // snapshot). Kernels read strided lanes through the scalar path. Never
+  // call this on a structure that owns its points: the lanes would dangle
+  // as soon as the structure is copied or its points reallocate.
+  void ViewSoALanesFromPoints() {
+    static_assert(sizeof(geometry::Point<D>) == D * sizeof(double),
+                  "SoA lane views require densely packed points");
+    const size_t n = points.size();
+    const double* base = reinterpret_cast<const double*>(points.data());
+    for (int d = 0; d < D; ++d) {
+      soa[static_cast<size_t>(d)] = Array<double>::StridedView(
+          n == 0 ? nullptr : base + d, n, static_cast<size_t>(D));
+    }
+  }
+
   // Sizes every per-point and per-cell array for `num_cells` cells holding
   // `num_points` reordered points, leaving contents unspecified: offsets
   // must then be filled as a prefix sum, followed by points / orig_index /
@@ -89,6 +153,9 @@ struct CellStructure {
     offsets.assign(num_cells + 1, 0);
     coords.resize(num_cells);
     cell_boxes.resize(num_cells);
+    // Any existing lanes are stale the moment points are recomposed; drop
+    // them so has_soa() cannot report a false positive at the old size.
+    for (auto& lane : soa) lane.clear();
   }
 };
 

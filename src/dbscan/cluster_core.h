@@ -8,7 +8,7 @@
 // in batches so that large cells prune queries before small ones run.
 //
 // Connectivity between two core cells can be decided by:
-//   * BcpConnector          — filtered, blocked, early-terminating
+//   * BcpConnector          — filtered, vectorized, early-terminating
 //                             bichromatic closest pair ("our-exact");
 //   * QuadtreeBcpConnector  — quadtree range query over the neighbor's core
 //                             points ("our-exact-qt");
@@ -26,6 +26,7 @@
 #define PDBSCAN_DBSCAN_CLUSTER_CORE_H_
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -40,6 +41,7 @@
 #include "geometry/delaunay.h"
 #include "geometry/quadtree.h"
 #include "geometry/wavefront.h"
+#include "kernels/kernel_api.h"
 #include "parallel/scheduler.h"
 #include "primitives/scan.h"
 #include "primitives/sort.h"
@@ -97,52 +99,69 @@ CoreIndex BuildCoreIndex(const CellStructure<D>& cells,
 
 // --- Connectors -----------------------------------------------------------
 
-// Blocked, early-terminating BCP on core points, with the Gan–Tao
+// Vectorized, early-terminating BCP on core points, with the Gan–Tao
 // pre-filter that drops points farther than epsilon from the other cell.
+// The smaller filtered side is gathered into SoA scratch lanes once; each
+// point of the larger side then probes it through the dispatched distance
+// kernel with cap 1 ("is any point within eps?"). The answer — does some
+// pair lie within eps — is a deterministic function of the cell pair, same
+// as the blocked scalar scan this replaces.
 template <int D>
 class BcpConnector {
  public:
-  BcpConnector(const CellStructure<D>& cells, const CoreIndex& core)
-      : cells_(cells), core_(core) {}
+  BcpConnector(const CellStructure<D>& cells, const CoreIndex& core,
+               PipelineStats* stats = nullptr)
+      : cells_(cells), core_(core), stats_(stats) {}
 
   bool Connected(size_t g, size_t h) const {
     const double eps2 = cells_.epsilon * cells_.epsilon;
     // Filter each side against the other cell's box.
-    std::vector<const geometry::Point<D>*> a, b;
-    for (const uint32_t pos : core_.core_of(g)) {
-      if (cells_.cell_boxes[h].MinSquaredDistance(cells_.points[pos]) <= eps2) {
-        a.push_back(&cells_.points[pos]);
-      }
-    }
+    std::vector<uint32_t> a = FilterByBox(g, h, eps2);
     if (a.empty()) return false;
-    for (const uint32_t pos : core_.core_of(h)) {
-      if (cells_.cell_boxes[g].MinSquaredDistance(cells_.points[pos]) <= eps2) {
-        b.push_back(&cells_.points[pos]);
-      }
-    }
+    std::vector<uint32_t> b = FilterByBox(h, g, eps2);
     if (b.empty()) return false;
-    // Blocked pairwise distances: abort as soon as a pair is within eps.
-    constexpr size_t kBlock = 64;
-    for (size_t ia = 0; ia < a.size(); ia += kBlock) {
-      const size_t ea = std::min(a.size(), ia + kBlock);
-      for (size_t ib = 0; ib < b.size(); ib += kBlock) {
-        const size_t eb = std::min(b.size(), ib + kBlock);
-        double best = std::numeric_limits<double>::infinity();
-        for (size_t x = ia; x < ea; ++x) {
-          for (size_t y = ib; y < eb; ++y) {
-            const double d2 = a[x]->SquaredDistance(*b[y]);
-            if (d2 < best) best = d2;
-          }
-        }
-        if (best <= eps2) return true;
+    const std::vector<uint32_t>& target = a.size() <= b.size() ? a : b;
+    const std::vector<uint32_t>& probes = a.size() <= b.size() ? b : a;
+    // Gather the target side's coordinates into lane-major scratch.
+    const size_t m = target.size();
+    std::vector<double> scratch(m * static_cast<size_t>(D));
+    std::array<const double*, D> lanes;
+    for (int d = 0; d < D; ++d) {
+      double* lane = scratch.data() + static_cast<size_t>(d) * m;
+      for (size_t i = 0; i < m; ++i) lane[i] = cells_.points[target[i]][d];
+      lanes[static_cast<size_t>(d)] = lane;
+    }
+    kernels::Counters kc;
+    const kernels::DistanceKernelOps& ops = kernels::Ops();
+    bool connected = false;
+    for (const uint32_t pos : probes) {
+      if (ops.count_within(lanes.data(), 1, D, m, cells_.points[pos].x.data(),
+                           eps2, 1, &kc) > 0) {
+        connected = true;
+        break;
       }
     }
-    return false;
+    if (stats_ != nullptr) FlushKernelCounters(*stats_, kc);
+    return connected;
   }
 
  private:
+  // Core positions of cell `from` within eps of cell `against`'s box.
+  std::vector<uint32_t> FilterByBox(size_t from, size_t against,
+                                    double eps2) const {
+    std::vector<uint32_t> kept;
+    for (const uint32_t pos : core_.core_of(from)) {
+      if (cells_.cell_boxes[against].MinSquaredDistance(cells_.points[pos]) <=
+          eps2) {
+        kept.push_back(pos);
+      }
+    }
+    return kept;
+  }
+
   const CellStructure<D>& cells_;
   const CoreIndex& core_;
+  PipelineStats* stats_;
 };
 
 // BCP decided by quadtree range queries over the neighbor cell's core
@@ -402,7 +421,7 @@ void ClusterCore(const CellStructure<D>& cells, const CoreIndex& core,
                  PipelineStats& stats = GlobalStats()) {
   switch (options.connect_method) {
     case ConnectMethod::kBcp: {
-      BcpConnector<D> connector(cells, core);
+      BcpConnector<D> connector(cells, core, &stats);
       ClusterCoreWithConnector(cells, core, options, connector, uf, stats);
       return;
     }

@@ -188,7 +188,7 @@ class DbscanEngine {
       trees = &source_.AcquireQuadtrees();
     }
     MarkCoreCounts(cells, cap, options_.range_count, trees,
-                   ws_.neighbor_counts);
+                   ws_.neighbor_counts, stats_);
     counts_cap_ = cap;
     counts_generation_ = source_.generation();
     counts_valid_ = true;

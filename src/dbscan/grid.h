@@ -272,6 +272,7 @@ CellStructure<D> BuildGrid(std::span<const geometry::Point<D>> input,
   });
 
   BuildGridAdjacency(cells, origin, side);
+  cells.BuildSoALanes();
   return cells;
 }
 

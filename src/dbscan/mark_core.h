@@ -9,6 +9,7 @@
 #define PDBSCAN_DBSCAN_MARK_CORE_H_
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <numeric>
@@ -16,8 +17,10 @@
 #include <vector>
 
 #include "dbscan/cell_structure.h"
+#include "dbscan/stats.h"
 #include "dbscan/types.h"
 #include "geometry/quadtree.h"
+#include "kernels/kernel_api.h"
 #include "parallel/scheduler.h"
 
 namespace pdbscan::dbscan {
@@ -47,12 +50,13 @@ namespace internal {
 
 // Saturated neighbor counts for the points of one cell (the loop body of
 // Algorithm 2). Writes exactly counts[offsets[c] .. offsets[c+1]), so any
-// set of distinct cells may be counted concurrently.
+// set of distinct cells may be counted concurrently. Kernel-layer counters
+// flush into `stats` once per cell.
 template <int D>
 void CountCellPoints(
     const CellStructure<D>& cells, size_t cap, RangeCountMethod method,
     const std::vector<std::unique_ptr<geometry::CellQuadtree<D>>>* trees,
-    size_t c, std::vector<uint32_t>& counts) {
+    size_t c, std::vector<uint32_t>& counts, PipelineStats& stats) {
   const double eps = cells.epsilon;
   const double eps2 = eps * eps;
   const size_t begin = cells.offsets[c];
@@ -65,25 +69,55 @@ void CountCellPoints(
     return;
   }
   const auto neighbors = cells.neighbors(c);
+  kernels::Counters kc;
+  const kernels::DistanceKernelOps& ops = kernels::Ops();
+  const bool use_soa = method == RangeCountMethod::kScan && cells.has_soa();
+  std::array<const double*, D> lane_base;
+  size_t lane_stride = 1;
+  if (use_soa) {
+    for (int d = 0; d < D; ++d) {
+      lane_base[static_cast<size_t>(d)] =
+          cells.soa[static_cast<size_t>(d)].data();
+    }
+    lane_stride = cells.soa_stride();
+  }
   for (size_t i = begin; i < end; ++i) {
     const geometry::Point<D>& p = cells.points[i];
     size_t count = end - begin;  // All same-cell points are within eps.
     for (const uint32_t h : neighbors) {
       if (count >= cap) break;
+      // Prune the neighboring cell by its box, for BOTH range-count
+      // methods. For kQuadtree this is not just the root-node test moved
+      // up: the tree's root box can only be smaller than the cell box
+      // (single-child collapse), so a skip here means the count was 0.
+      if (cells.cell_boxes[h].MinSquaredDistance(p) > eps2) {
+        kc.points_pruned_box += cells.cell_size(h);
+        continue;
+      }
       if (method == RangeCountMethod::kQuadtree) {
-        count += (*trees)[h]->CountInBall(p, eps, cap - count);
+        count += (*trees)[h]->CountInBall(p, eps, cap - count, &kc);
       } else {
-        // Scan the neighboring cell (prune by its box first).
-        if (cells.cell_boxes[h].MinSquaredDistance(p) > eps2) continue;
         const size_t h_begin = cells.offsets[h];
         const size_t h_end = cells.offsets[h + 1];
-        for (size_t j = h_begin; j < h_end && count < cap; ++j) {
-          if (cells.points[j].SquaredDistance(p) <= eps2) ++count;
+        if (use_soa) {
+          std::array<const double*, D> lanes;
+          for (int d = 0; d < D; ++d) {
+            lanes[static_cast<size_t>(d)] =
+                lane_base[static_cast<size_t>(d)] + h_begin * lane_stride;
+          }
+          count += ops.count_within(lanes.data(), lane_stride, D,
+                                    h_end - h_begin, p.x.data(), eps2,
+                                    cap - count, &kc);
+        } else {
+          for (size_t j = h_begin; j < h_end && count < cap; ++j) {
+            if (cells.points[j].SquaredDistance(p) <= eps2) ++count;
+          }
         }
       }
     }
     counts[i] = static_cast<uint32_t>(std::min(count, cap));
   }
+  FlushKernelCounters(stats, kc);
 }
 
 }  // namespace internal
@@ -95,16 +129,18 @@ void CountCellPoints(
 // counts once at cap = max(minPts list) and answer a whole min_pts sweep.
 // `trees` must be the cells' quadtrees when method == kQuadtree (pass the
 // engine's cached trees, or BuildCellQuadtrees(cells)); ignored otherwise.
+// Kernel-layer counters accumulate into `stats` (nullptr = GlobalStats()).
 template <int D>
 void MarkCoreCounts(
     const CellStructure<D>& cells, size_t cap, RangeCountMethod method,
     const std::vector<std::unique_ptr<geometry::CellQuadtree<D>>>* trees,
-    std::vector<uint32_t>& counts) {
+    std::vector<uint32_t>& counts, PipelineStats* stats = nullptr) {
+  PipelineStats& sink = stats != nullptr ? *stats : GlobalStats();
   counts.assign(cells.num_points(), 0);
   parallel::parallel_for(
       0, cells.num_cells(),
       [&](size_t c) {
-        internal::CountCellPoints(cells, cap, method, trees, c, counts);
+        internal::CountCellPoints(cells, cap, method, trees, c, counts, sink);
       },
       1);
 }
@@ -119,12 +155,14 @@ template <int D>
 void MarkCoreCountsForCells(
     const CellStructure<D>& cells, size_t cap, RangeCountMethod method,
     const std::vector<std::unique_ptr<geometry::CellQuadtree<D>>>* trees,
-    std::span<const uint32_t> cell_ids, std::vector<uint32_t>& counts) {
+    std::span<const uint32_t> cell_ids, std::vector<uint32_t>& counts,
+    PipelineStats* stats = nullptr) {
+  PipelineStats& sink = stats != nullptr ? *stats : GlobalStats();
   parallel::parallel_for(
       0, cell_ids.size(),
       [&](size_t k) {
         internal::CountCellPoints(cells, cap, method, trees, cell_ids[k],
-                                  counts);
+                                  counts, sink);
       },
       1);
 }

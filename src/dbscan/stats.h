@@ -24,6 +24,8 @@
 #include <atomic>
 #include <cstddef>
 
+#include "kernels/kernel_api.h"
+
 namespace pdbscan::dbscan {
 
 // Accumulates seconds into a relaxed atomic double (CAS loop: fetch_add on
@@ -85,6 +87,20 @@ struct PipelineStats {
   std::atomic<size_t> snapshot_bytes_read{0};
   std::atomic<size_t> journal_records_replayed{0};
 
+  // Distance-kernel layer (src/kernels/): SIMD batches executed, and points
+  // whose exact distance was never computed because a whole cell was pruned
+  // by its bounding box (kernel_points_pruned_box) or a whole batch by its
+  // first-coordinate partial norm (kernel_points_pruned_norm). The kernels
+  // accumulate into a stack-local kernels::Counters; call sites flush it
+  // here via FlushKernelCounters so the inner loops stay atomics-free.
+  std::atomic<size_t> kernel_batches{0};
+  std::atomic<size_t> kernel_points_pruned_box{0};
+  std::atomic<size_t> kernel_points_pruned_norm{0};
+  // Dispatch level the last kernel-using pass ran at (kernels::Level as
+  // int). A gauge, not an accumulator: MergeFrom takes the max so an
+  // aggregate over per-context sinks reports the highest level used.
+  std::atomic<size_t> kernel_dispatch_level{0};
+
   // Per-stage wall-clock seconds, accumulated across runs.
   // Wall-clock seconds spent inside SnapshotReader::Load (validation plus
   // owned-mode copies; the mmap path makes this the headline "cold start
@@ -129,6 +145,17 @@ struct PipelineStats {
     add(snapshot_bytes_written, other.snapshot_bytes_written);
     add(snapshot_bytes_read, other.snapshot_bytes_read);
     add(journal_records_replayed, other.journal_records_replayed);
+    add(kernel_batches, other.kernel_batches);
+    add(kernel_points_pruned_box, other.kernel_points_pruned_box);
+    add(kernel_points_pruned_norm, other.kernel_points_pruned_norm);
+    {
+      const size_t theirs =
+          other.kernel_dispatch_level.load(std::memory_order_relaxed);
+      size_t ours = kernel_dispatch_level.load(std::memory_order_relaxed);
+      while (theirs > ours && !kernel_dispatch_level.compare_exchange_weak(
+                                  ours, theirs, std::memory_order_relaxed)) {
+      }
+    }
     AddSeconds(snapshot_load_seconds,
                other.snapshot_load_seconds.load(std::memory_order_relaxed));
     AddSeconds(build_cells_seconds,
@@ -163,6 +190,10 @@ struct PipelineStats {
     snapshot_bytes_written.store(0, std::memory_order_relaxed);
     snapshot_bytes_read.store(0, std::memory_order_relaxed);
     journal_records_replayed.store(0, std::memory_order_relaxed);
+    kernel_batches.store(0, std::memory_order_relaxed);
+    kernel_points_pruned_box.store(0, std::memory_order_relaxed);
+    kernel_points_pruned_norm.store(0, std::memory_order_relaxed);
+    kernel_dispatch_level.store(0, std::memory_order_relaxed);
     snapshot_load_seconds.store(0, std::memory_order_relaxed);
     build_cells_seconds.store(0, std::memory_order_relaxed);
     mark_core_seconds.store(0, std::memory_order_relaxed);
@@ -177,6 +208,26 @@ struct PipelineStats {
 inline PipelineStats& GlobalStats() {
   static PipelineStats* stats = new PipelineStats();
   return *stats;
+}
+
+// Flushes a kernel-layer counter block (accumulated atomics-free inside a
+// distance-kernel call site) into a stats sink, and records the dispatch
+// level the pass ran at.
+inline void FlushKernelCounters(PipelineStats& stats,
+                                const kernels::Counters& kc) {
+  if (kc.batches != 0) {
+    stats.kernel_batches.fetch_add(kc.batches, std::memory_order_relaxed);
+  }
+  if (kc.points_pruned_box != 0) {
+    stats.kernel_points_pruned_box.fetch_add(kc.points_pruned_box,
+                                             std::memory_order_relaxed);
+  }
+  if (kc.points_pruned_norm != 0) {
+    stats.kernel_points_pruned_norm.fetch_add(kc.points_pruned_norm,
+                                              std::memory_order_relaxed);
+  }
+  stats.kernel_dispatch_level.store(
+      static_cast<size_t>(kernels::ActiveLevel()), std::memory_order_relaxed);
 }
 
 }  // namespace pdbscan::dbscan

@@ -20,6 +20,7 @@
 #ifndef PDBSCAN_GEOMETRY_QUADTREE_H_
 #define PDBSCAN_GEOMETRY_QUADTREE_H_
 
+#include <array>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -28,7 +29,9 @@
 #include <span>
 #include <vector>
 
+#include "containers/flat_array.h"
 #include "geometry/point.h"
+#include "kernels/kernel_api.h"
 #include "parallel/scheduler.h"
 #include "primitives/integer_sort.h"
 
@@ -51,7 +54,10 @@ class CellQuadtree {
         max_level_(max_level),
         leaf_threshold_(leaf_threshold) {
     nodes_.reserve(order_.size() / leaf_threshold_ * 2 + 2);
-    if (!order_.empty()) root_ = BuildNode(0, order_.size(), box, 0);
+    if (!order_.empty()) {
+      root_ = BuildNode(0, order_.size(), box, 0);
+      BuildLanes();
+    }
   }
 
   static constexpr int kNoDepthLimit = std::numeric_limits<int>::max();
@@ -79,34 +85,39 @@ class CellQuadtree {
   size_t num_nodes() const { return nodes_.size(); }
 
   // Exact count of points within `radius` of `center`, stopping early once
-  // the count reaches `cap`.
+  // the count reaches `cap`. Leaf scans run through the dispatched distance
+  // kernel (src/kernels/) over the tree's SoA lanes; `counters` (optional)
+  // collects kernel observability counters.
   size_t CountInBall(const Point<D>& center, double radius,
-                     size_t cap = SIZE_MAX) const {
+                     size_t cap = SIZE_MAX,
+                     kernels::Counters* counters = nullptr) const {
     if (root_ < 0 || cap == 0) return 0;
-    return CountExact(root_, center, radius * radius, cap);
+    return CountExact(root_, center, radius * radius, cap, counters);
   }
 
   // True iff some point lies within `radius` of `center`.
-  bool ContainsInBall(const Point<D>& center, double radius) const {
-    return CountInBall(center, radius, 1) > 0;
+  bool ContainsInBall(const Point<D>& center, double radius,
+                      kernels::Counters* counters = nullptr) const {
+    return CountInBall(center, radius, 1, counters) > 0;
   }
 
   // Approximate count: a value between |B(center, radius)| and
   // |B(center, radius * (1 + rho))|, capped at `cap`.
   size_t ApproxCountInBall(const Point<D>& center, double radius, double rho,
-                           size_t cap = SIZE_MAX) const {
+                           size_t cap = SIZE_MAX,
+                           kernels::Counters* counters = nullptr) const {
     if (root_ < 0 || cap == 0) return 0;
     const double r2 = radius * radius;
     const double r2_outer = radius * (1 + rho) * radius * (1 + rho);
-    return CountApprox(root_, center, radius, r2, r2_outer, cap);
+    return CountApprox(root_, center, radius, r2, r2_outer, cap, counters);
   }
 
   // True iff the approximate count is non-zero: guaranteed true when a point
   // lies within `radius`, guaranteed false when no point lies within
   // `radius * (1 + rho)`, and either answer in between.
-  bool ApproxContainsInBall(const Point<D>& center, double radius,
-                            double rho) const {
-    return ApproxCountInBall(center, radius, rho, 1) > 0;
+  bool ApproxContainsInBall(const Point<D>& center, double radius, double rho,
+                            kernels::Counters* counters = nullptr) const {
+    return ApproxCountInBall(center, radius, rho, 1, counters) > 0;
   }
 
  private:
@@ -217,32 +228,58 @@ class CellQuadtree {
     return static_cast<int32_t>(nodes_.size() - 1);
   }
 
-  size_t CountExact(int32_t id, const Point<D>& center, double r2,
-                    size_t cap) const {
+  // Materializes SoA coordinate lanes in `order_` order (leaf ranges become
+  // contiguous per-dimension runs), so leaf scans vector-load instead of
+  // gathering through the permutation. Built once, after BuildNode froze
+  // the permutation.
+  void BuildLanes() {
+    const size_t n = order_.size();
+    std::array<double*, D> dst;
+    for (int d = 0; d < D; ++d) {
+      dst[static_cast<size_t>(d)] =
+          lanes_[static_cast<size_t>(d)].AllocateAligned(n);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const Point<D>& p = points_[order_[i]];
+      for (int d = 0; d < D; ++d) dst[static_cast<size_t>(d)][i] = p[d];
+    }
+  }
+
+  // Kernel scan of a leaf's [begin, end) lane range; bit-identical to the
+  // scalar loop over points_[order_[i]] it replaces (same point order, same
+  // per-point arithmetic, same min(count, cap) saturation).
+  size_t ScanLeaf(uint32_t begin, uint32_t end, const Point<D>& center,
+                  double r2, size_t cap, kernels::Counters* counters) const {
+    std::array<const double*, D> lanes;
+    for (int d = 0; d < D; ++d) {
+      lanes[static_cast<size_t>(d)] =
+          lanes_[static_cast<size_t>(d)].data() + begin;
+    }
+    return kernels::Ops().count_within(lanes.data(), 1, D, end - begin,
+                                       center.x.data(), r2, cap, counters);
+  }
+
+  size_t CountExact(int32_t id, const Point<D>& center, double r2, size_t cap,
+                    kernels::Counters* counters) const {
     const Node& node = nodes_[static_cast<size_t>(id)];
     if (node.box.MinSquaredDistance(center) > r2) return 0;
     if (node.box.MaxSquaredDistance(center) <= r2) {
       return node.count < cap ? node.count : cap;
     }
     if (node.children.empty()) {
-      size_t count = 0;
-      for (uint32_t i = node.begin; i < node.end; ++i) {
-        if (points_[order_[i]].SquaredDistance(center) <= r2) {
-          if (++count >= cap) return cap;
-        }
-      }
-      return count;
+      return ScanLeaf(node.begin, node.end, center, r2, cap, counters);
     }
     size_t count = 0;
     for (int32_t child : node.children) {
-      count += CountExact(child, center, r2, cap - count);
+      count += CountExact(child, center, r2, cap - count, counters);
       if (count >= cap) return cap;
     }
     return count;
   }
 
   size_t CountApprox(int32_t id, const Point<D>& center, double radius,
-                     double r2, double r2_outer, size_t cap) const {
+                     double r2, double r2_outer, size_t cap,
+                     kernels::Counters* counters) const {
     const Node& node = nodes_[static_cast<size_t>(id)];
     if (node.box.MinSquaredDistance(center) > r2) return 0;
     if (node.box.MaxSquaredDistance(center) <= r2_outer) {
@@ -254,17 +291,12 @@ class CellQuadtree {
         // most rho * eps, so all its points are within eps * (1 + rho).
         return node.count < cap ? node.count : cap;
       }
-      size_t count = 0;
-      for (uint32_t i = node.begin; i < node.end; ++i) {
-        if (points_[order_[i]].SquaredDistance(center) <= r2) {
-          if (++count >= cap) return cap;
-        }
-      }
-      return count;
+      return ScanLeaf(node.begin, node.end, center, r2, cap, counters);
     }
     size_t count = 0;
     for (int32_t child : node.children) {
-      count += CountApprox(child, center, radius, r2, r2_outer, cap - count);
+      count += CountApprox(child, center, radius, r2, r2_outer, cap - count,
+                           counters);
       if (count >= cap) return cap;
     }
     return count;
@@ -272,6 +304,7 @@ class CellQuadtree {
 
   std::span<const Point<D>> points_;
   std::vector<uint32_t> order_;
+  std::array<containers::FlatArray<double>, D> lanes_;
   std::vector<Node> nodes_;
   std::mutex nodes_mu_;
   int max_level_ = kNoDepthLimit;

@@ -1,0 +1,143 @@
+// Runtime kernel dispatch: picks the best distance-kernel variant that is
+// both compiled into this binary (CMake option PDBSCAN_SIMD, macros
+// PDBSCAN_KERNEL_AVX2 / PDBSCAN_KERNEL_AVX512) and supported by the
+// running CPU (cpuid via __builtin_cpu_supports). One binary therefore
+// runs correctly on any host; SIMD translation units are compiled with
+// per-file arch flags and never executed on CPUs that lack them.
+//
+// Override order: ForceLevel() (the test knob) beats the
+// PDBSCAN_FORCE_KERNEL environment variable (read once at first use),
+// which beats cpuid. Both overrides clamp to the best supported level, so
+// forcing avx512 on an AVX2-only host runs AVX2, never an illegal
+// instruction.
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include "kernels/kernel_api.h"
+#include "kernels/kernel_registry.h"
+#include "util/env.h"
+
+namespace pdbscan::kernels {
+namespace {
+
+int DetectBest() {
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(PDBSCAN_KERNEL_AVX512)
+  if (__builtin_cpu_supports("avx512f")) {
+    return static_cast<int>(Level::kAvx512);
+  }
+#endif
+#if defined(PDBSCAN_KERNEL_AVX2)
+  if (__builtin_cpu_supports("avx2")) {
+    return static_cast<int>(Level::kAvx2);
+  }
+#endif
+#endif
+  return static_cast<int>(Level::kScalar);
+}
+
+int ClampToSupported(int level) {
+  const int best = static_cast<int>(BestSupportedLevel());
+  if (level < 0) return static_cast<int>(Level::kScalar);
+  return level > best ? best : level;
+}
+
+// Programmatic override (ForceLevel); -1 = none.
+std::atomic<int> g_forced{-1};
+
+// Environment override, resolved once. Unknown values are reported and
+// ignored (run at the best supported level) rather than failing: the knob
+// is an operational override, not configuration the pipeline depends on.
+int EnvOrDetectedLevel() {
+  const std::string forced = util::GetEnvString("PDBSCAN_FORCE_KERNEL", "");
+  if (!forced.empty()) {
+    Level parsed;
+    if (ParseLevel(forced, &parsed)) {
+      return ClampToSupported(static_cast<int>(parsed));
+    }
+    std::fprintf(stderr,
+                 "pdbscan: ignoring unknown PDBSCAN_FORCE_KERNEL=\"%s\" "
+                 "(expected scalar|avx2|avx512)\n",
+                 forced.c_str());
+  }
+  return static_cast<int>(BestSupportedLevel());
+}
+
+}  // namespace
+
+Level BestSupportedLevel() {
+  static const int best = DetectBest();
+  return static_cast<Level>(best);
+}
+
+bool LevelSupported(Level level) {
+  // Each level's instruction set is a superset of the previous one's, so
+  // support is simply "at most the detected best".
+  const int l = static_cast<int>(level);
+  return l >= 0 && l <= static_cast<int>(BestSupportedLevel());
+}
+
+std::vector<Level> SupportedLevels() {
+  std::vector<Level> levels;
+  for (int l = 0; l <= static_cast<int>(BestSupportedLevel()); ++l) {
+    levels.push_back(static_cast<Level>(l));
+  }
+  return levels;
+}
+
+Level ActiveLevel() {
+  static const int env_level = EnvOrDetectedLevel();
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  return static_cast<Level>(forced >= 0 ? forced : env_level);
+}
+
+void ForceLevel(Level level) {
+  g_forced.store(ClampToSupported(static_cast<int>(level)),
+                 std::memory_order_relaxed);
+}
+
+bool ParseLevel(std::string_view name, Level* out) {
+  if (name == "scalar") {
+    *out = Level::kScalar;
+    return true;
+  }
+  if (name == "avx2") {
+    *out = Level::kAvx2;
+    return true;
+  }
+  if (name == "avx512") {
+    *out = Level::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+const DistanceKernelOps& OpsFor(Level level) {
+  switch (static_cast<Level>(ClampToSupported(static_cast<int>(level)))) {
+#if defined(PDBSCAN_KERNEL_AVX512)
+    case Level::kAvx512:
+      return kAvx512Ops;
+#endif
+#if defined(PDBSCAN_KERNEL_AVX2)
+    case Level::kAvx2:
+      return kAvx2Ops;
+#endif
+    default:
+      return kScalarOps;
+  }
+}
+
+}  // namespace pdbscan::kernels

@@ -1,0 +1,134 @@
+// Vectorized distance kernels — the SIMD layer under MarkCore, the quadtree
+// leaf scans, and the BCP connectivity scan.
+//
+// The hot loops of the pipeline all reduce to one primitive: "how many of
+// these n points lie within eps of query q, stopping once the answer
+// reaches cap?". This header defines that primitive as a function-pointer
+// table (DistanceKernelOps) with three implementations — scalar, AVX2 and
+// AVX-512 — selected once at startup by cpuid (runtime dispatch: one binary
+// runs correctly on any host; see kernels/dispatch.cpp).
+//
+// Data layout: kernels read structure-of-arrays coordinate lanes —
+// `lanes[d][i * stride]` is coordinate d of point i — so a batch of 8
+// consecutive points loads as contiguous doubles per dimension instead of 8
+// strided AoS gathers. CellStructure carries these lanes next to its AoS
+// points (see CellStructure::BuildSoALanes); stride != 1 occurs only for
+// lanes viewed directly out of a mapped snapshot's AoS point array, and
+// delegates to the scalar path.
+//
+// Bit-identity contract (enforced by the property sweep): every
+// implementation returns EXACTLY what the scalar reference returns —
+// min(|{i : d2(p_i, q) <= eps2}|, cap) with d2 accumulated per point in
+// dimension order 0..dim-1 as fl(sum + fl(diff * diff)). Vectorizing
+// *across points* keeps each point's accumulation order unchanged, so lane
+// results equal Point::SquaredDistance bit for bit. No FMA: fused
+// multiply-add rounds differently from mul-then-add and would break the
+// contract — the SIMD TUs are built with -ffp-contract=off because once an
+// FMA-capable ISA is enabled the compiler otherwise contracts mul+add
+// pairs on its own, even through intrinsics. The partial-norm prune (skip a batch when every lane's
+// first-coordinate term already exceeds eps2) is exact, not approximate:
+// with round-to-nearest, adding the remaining non-negative terms can never
+// bring a partial sum back below any of its prefixes.
+#ifndef PDBSCAN_KERNELS_KERNEL_API_H_
+#define PDBSCAN_KERNELS_KERNEL_API_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace pdbscan::kernels {
+
+// Dispatch levels, ordered: a level's instructions are a superset of every
+// lower level's, so "best supported" is a simple max.
+enum class Level : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+// Highest dimensionality the kernels accept (the pipeline instantiates
+// D in {2,3,4,5,7,13}; tail handling uses a fixed-size lane-pointer array).
+inline constexpr int kMaxLanes = 16;
+
+// Per-call observability counters, accumulated by the kernels into a plain
+// stack-local struct (no atomics in the inner loop) and flushed by the call
+// site into its PipelineStats sink (see dbscan/stats.h FlushKernelCounters).
+struct Counters {
+  // SIMD batches executed (8-point iterations; 0 on the scalar path).
+  uint64_t batches = 0;
+  // Points skipped by the partial-norm prune (whole batches whose first
+  // coordinate already put every lane beyond eps2).
+  uint64_t points_pruned_norm = 0;
+  // Points skipped by cell-box pruning. The kernels never set this — the
+  // call sites that prune whole cells by bounding box account for it here
+  // so all distance-avoidance counters travel together.
+  uint64_t points_pruned_box = 0;
+
+  void MergeFrom(const Counters& o) {
+    batches += o.batches;
+    points_pruned_norm += o.points_pruned_norm;
+    points_pruned_box += o.points_pruned_box;
+  }
+};
+
+// Counts points within sqrt(eps2) of q, saturated at cap.
+//   lanes   — dim pointers; coordinate d of point i is lanes[d][i * stride].
+//   stride  — element stride within each lane (1 for packed SoA lanes).
+//   dim     — number of coordinates (1 <= dim <= kMaxLanes).
+//   n       — number of points.
+//   q       — query coordinates, q[0..dim-1].
+//   cap     — saturation bound; the kernel may stop scanning once reached.
+//             cap == 0 returns 0 without reading anything.
+//   counters— optional observability sink (may be nullptr).
+// Returns min(exact count, cap); bit-identical across implementations.
+using CountWithinFn = size_t (*)(const double* const* lanes, size_t stride,
+                                 int dim, size_t n, const double* q,
+                                 double eps2, size_t cap, Counters* counters);
+
+// The dispatched kernel table. One entry today; the table (rather than a
+// bare function pointer) keeps room for batched multi-query variants
+// without touching the dispatch machinery.
+struct DistanceKernelOps {
+  CountWithinFn count_within;
+};
+
+// --- Runtime dispatch (kernels/dispatch.cpp) -------------------------------
+
+// Highest level both compiled into this binary (CMake option PDBSCAN_SIMD)
+// and supported by the running CPU (cpuid).
+Level BestSupportedLevel();
+
+// True iff `level` can execute on this binary + CPU.
+bool LevelSupported(Level level);
+
+// All supported levels, ascending (always starts with kScalar).
+std::vector<Level> SupportedLevels();
+
+// The level queries currently run at. Defaults to BestSupportedLevel();
+// the PDBSCAN_FORCE_KERNEL environment variable (scalar|avx2|avx512, read
+// once at first use) or ForceLevel() lower it. Requests for an unsupported
+// level clamp to the best supported one.
+Level ActiveLevel();
+
+// Programmatic override of ActiveLevel() (the test knob behind the
+// PDBSCAN_FORCE_KERNEL sweep). Clamps to BestSupportedLevel(). Not intended
+// to be raced against in-flight queries: results are always correct (every
+// level is bit-identical), but counters may mix levels.
+void ForceLevel(Level level);
+
+// Parses "scalar" / "avx2" / "avx512" (case-sensitive). Returns false and
+// leaves *out untouched on unknown input.
+bool ParseLevel(std::string_view name, Level* out);
+
+const char* LevelName(Level level);
+
+// Kernel table for an explicit level (clamped to supported).
+const DistanceKernelOps& OpsFor(Level level);
+
+// Kernel table for ActiveLevel() — what the pipeline call sites use.
+inline const DistanceKernelOps& Ops() { return OpsFor(ActiveLevel()); }
+
+}  // namespace pdbscan::kernels
+
+#endif  // PDBSCAN_KERNELS_KERNEL_API_H_

@@ -1,0 +1,95 @@
+// AVX2 distance kernel: 8 squared distances per iteration (two 4-lane
+// __m256d accumulators), compared against eps2 as a lane mask + popcount.
+// Compiled with -mavx2 for this file only; never executed unless cpuid
+// reports AVX2 (kernels/dispatch.cpp).
+//
+// Bit identity with the scalar reference (see kernel_api.h): lanes are
+// vectorized ACROSS points, each point still accumulates
+// fl(sum + fl(diff * diff)) in dimension order, and mul/add stay separate
+// instructions (no FMA — it rounds once where mul+add rounds twice).
+#include "kernels/kernel_api.h"
+#include "kernels/kernel_registry.h"
+#include "kernels/kernel_scalar_inline.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace pdbscan::kernels {
+namespace {
+
+#if defined(__AVX2__)
+
+size_t CountWithinAvx2(const double* const* lanes, size_t stride, int dim,
+                       size_t n, const double* q, double eps2, size_t cap,
+                       Counters* counters) {
+  if (stride != 1 || dim < 1 || dim > kMaxLanes) {
+    // Strided lanes (mapped-snapshot views into AoS points) can't be
+    // vector-loaded; the scalar path handles them at every level.
+    return internal::CountWithinScalarImpl(lanes, stride, dim, n, q, eps2,
+                                           cap, counters);
+  }
+  const __m256d veps2 = _mm256_set1_pd(eps2);
+  uint64_t batches = 0;
+  uint64_t pruned = 0;
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= n && count < cap; i += 8) {
+    ++batches;
+    const __m256d q0 = _mm256_set1_pd(q[0]);
+    const __m256d d0a = _mm256_sub_pd(_mm256_loadu_pd(lanes[0] + i), q0);
+    const __m256d d0b = _mm256_sub_pd(_mm256_loadu_pd(lanes[0] + i + 4), q0);
+    __m256d acc_a = _mm256_mul_pd(d0a, d0a);
+    __m256d acc_b = _mm256_mul_pd(d0b, d0b);
+    if (dim > 1) {
+      // Partial-norm prune: if every lane's first-coordinate term already
+      // exceeds eps2, the remaining non-negative terms cannot bring any sum
+      // back down (exact in FP: round-to-nearest addition of t >= 0 never
+      // goes below the prefix), so the batch contributes zero matches.
+      const int alive =
+          _mm256_movemask_pd(_mm256_cmp_pd(acc_a, veps2, _CMP_LE_OQ)) |
+          _mm256_movemask_pd(_mm256_cmp_pd(acc_b, veps2, _CMP_LE_OQ));
+      if (alive == 0) {
+        pruned += 8;
+        continue;
+      }
+      for (int d = 1; d < dim; ++d) {
+        const __m256d qd = _mm256_set1_pd(q[d]);
+        const __m256d da = _mm256_sub_pd(_mm256_loadu_pd(lanes[d] + i), qd);
+        const __m256d db =
+            _mm256_sub_pd(_mm256_loadu_pd(lanes[d] + i + 4), qd);
+        acc_a = _mm256_add_pd(acc_a, _mm256_mul_pd(da, da));
+        acc_b = _mm256_add_pd(acc_b, _mm256_mul_pd(db, db));
+      }
+    }
+    const int mask_a =
+        _mm256_movemask_pd(_mm256_cmp_pd(acc_a, veps2, _CMP_LE_OQ));
+    const int mask_b =
+        _mm256_movemask_pd(_mm256_cmp_pd(acc_b, veps2, _CMP_LE_OQ));
+    count += static_cast<size_t>(__builtin_popcount(mask_a)) +
+             static_cast<size_t>(__builtin_popcount(mask_b));
+  }
+  if (count < cap && i < n) {
+    // Scalar tail over the remaining < 8 points (or the rest of the range
+    // after a saturating early-exit, where the clamp below absorbs it).
+    const double* tail[kMaxLanes];
+    for (int d = 0; d < dim; ++d) tail[d] = lanes[d] + i;
+    count += internal::CountWithinScalarImpl(tail, 1, dim, n - i, q, eps2,
+                                             cap - count, nullptr);
+  }
+  if (counters != nullptr) {
+    counters->batches += batches;
+    counters->points_pruned_norm += pruned;
+  }
+  return count < cap ? count : cap;
+}
+
+#else
+#error "kernel_avx2.cpp must be compiled with -mavx2 (see CMake PDBSCAN_SIMD)"
+#endif  // __AVX2__
+
+}  // namespace
+
+extern const DistanceKernelOps kAvx2Ops = {CountWithinAvx2};
+
+}  // namespace pdbscan::kernels

@@ -1,0 +1,78 @@
+// AVX-512 distance kernel: 8 squared distances per iteration in one
+// __m512d accumulator, compared against eps2 with _mm512_cmp_pd_mask and
+// counted by popcount on the 8-bit lane mask. Compiled with -mavx512f for
+// this file only; never executed unless cpuid reports AVX-512F
+// (kernels/dispatch.cpp).
+//
+// Same bit-identity contract as the AVX2 and scalar variants: vectorized
+// across points, per-point accumulation in dimension order, no FMA.
+#include "kernels/kernel_api.h"
+#include "kernels/kernel_registry.h"
+#include "kernels/kernel_scalar_inline.h"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace pdbscan::kernels {
+namespace {
+
+#if defined(__AVX512F__)
+
+size_t CountWithinAvx512(const double* const* lanes, size_t stride, int dim,
+                         size_t n, const double* q, double eps2, size_t cap,
+                         Counters* counters) {
+  if (stride != 1 || dim < 1 || dim > kMaxLanes) {
+    return internal::CountWithinScalarImpl(lanes, stride, dim, n, q, eps2,
+                                           cap, counters);
+  }
+  const __m512d veps2 = _mm512_set1_pd(eps2);
+  uint64_t batches = 0;
+  uint64_t pruned = 0;
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= n && count < cap; i += 8) {
+    ++batches;
+    const __m512d q0 = _mm512_set1_pd(q[0]);
+    const __m512d d0 = _mm512_sub_pd(_mm512_loadu_pd(lanes[0] + i), q0);
+    __m512d acc = _mm512_mul_pd(d0, d0);
+    if (dim > 1) {
+      // Partial-norm prune; exact, see kernel_api.h.
+      const __mmask8 alive = _mm512_cmp_pd_mask(acc, veps2, _CMP_LE_OQ);
+      if (alive == 0) {
+        pruned += 8;
+        continue;
+      }
+      for (int d = 1; d < dim; ++d) {
+        const __m512d qd = _mm512_set1_pd(q[d]);
+        const __m512d dd = _mm512_sub_pd(_mm512_loadu_pd(lanes[d] + i), qd);
+        acc = _mm512_add_pd(acc, _mm512_mul_pd(dd, dd));
+      }
+    }
+    const __mmask8 within = _mm512_cmp_pd_mask(acc, veps2, _CMP_LE_OQ);
+    count += static_cast<size_t>(
+        __builtin_popcount(static_cast<unsigned>(within)));
+  }
+  if (count < cap && i < n) {
+    const double* tail[kMaxLanes];
+    for (int d = 0; d < dim; ++d) tail[d] = lanes[d] + i;
+    count += internal::CountWithinScalarImpl(tail, 1, dim, n - i, q, eps2,
+                                             cap - count, nullptr);
+  }
+  if (counters != nullptr) {
+    counters->batches += batches;
+    counters->points_pruned_norm += pruned;
+  }
+  return count < cap ? count : cap;
+}
+
+#else
+#error \
+    "kernel_avx512.cpp must be compiled with -mavx512f (see CMake PDBSCAN_SIMD)"
+#endif  // __AVX512F__
+
+}  // namespace
+
+extern const DistanceKernelOps kAvx512Ops = {CountWithinAvx512};
+
+}  // namespace pdbscan::kernels

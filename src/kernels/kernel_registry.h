@@ -1,0 +1,18 @@
+// Internal: the per-level kernel tables, one per translation unit.
+// kAvx2Ops / kAvx512Ops exist only when CMake compiled their TU (macros
+// PDBSCAN_KERNEL_AVX2 / PDBSCAN_KERNEL_AVX512); dispatch.cpp references
+// them under the same guards.
+#ifndef PDBSCAN_KERNELS_KERNEL_REGISTRY_H_
+#define PDBSCAN_KERNELS_KERNEL_REGISTRY_H_
+
+#include "kernels/kernel_api.h"
+
+namespace pdbscan::kernels {
+
+extern const DistanceKernelOps kScalarOps;
+extern const DistanceKernelOps kAvx2Ops;
+extern const DistanceKernelOps kAvx512Ops;
+
+}  // namespace pdbscan::kernels
+
+#endif  // PDBSCAN_KERNELS_KERNEL_REGISTRY_H_

@@ -1,0 +1,20 @@
+// Scalar distance kernel — the portable baseline and the bit-identity
+// reference every SIMD variant is tested against.
+#include "kernels/kernel_api.h"
+#include "kernels/kernel_scalar_inline.h"
+
+namespace pdbscan::kernels {
+namespace {
+
+size_t CountWithinScalar(const double* const* lanes, size_t stride, int dim,
+                         size_t n, const double* q, double eps2, size_t cap,
+                         Counters* counters) {
+  return internal::CountWithinScalarImpl(lanes, stride, dim, n, q, eps2, cap,
+                                         counters);
+}
+
+}  // namespace
+
+extern const DistanceKernelOps kScalarOps = {CountWithinScalar};
+
+}  // namespace pdbscan::kernels

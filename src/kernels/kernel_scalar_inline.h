@@ -1,0 +1,34 @@
+// The scalar reference implementation of CountWithinFn, as an inline
+// function so the SIMD translation units reuse it verbatim for loop tails
+// and for strided (mapped-snapshot) lanes. This loop IS the bit-identity
+// contract: per point, accumulate fl(diff * diff) in dimension order — the
+// same arithmetic as Point<D>::SquaredDistance — and saturate at cap.
+#ifndef PDBSCAN_KERNELS_KERNEL_SCALAR_INLINE_H_
+#define PDBSCAN_KERNELS_KERNEL_SCALAR_INLINE_H_
+
+#include <cstddef>
+
+#include "kernels/kernel_api.h"
+
+namespace pdbscan::kernels::internal {
+
+inline size_t CountWithinScalarImpl(const double* const* lanes, size_t stride,
+                                    int dim, size_t n, const double* q,
+                                    double eps2, size_t cap,
+                                    Counters* /*counters*/) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (count >= cap) return cap;
+    double d2 = 0;
+    for (int d = 0; d < dim; ++d) {
+      const double diff = lanes[d][i * stride] - q[d];
+      d2 += diff * diff;
+    }
+    if (d2 <= eps2) ++count;
+  }
+  return count < cap ? count : cap;
+}
+
+}  // namespace pdbscan::kernels::internal
+
+#endif  // PDBSCAN_KERNELS_KERNEL_SCALAR_INLINE_H_

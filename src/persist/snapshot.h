@@ -411,6 +411,17 @@ class SnapshotReader {
     containers::FlatArray<uint32_t> counts;
     AdoptArray<uint32_t>(counts, data, layout.neighbor_counts, n, mode);
 
+    // SoA coordinate lanes for the distance kernels are derived data, never
+    // part of the wire format. A mapped load keeps its zero-copy guarantee
+    // by viewing lane d as every D-th double of the mapped AoS point array
+    // (the kernels read strided lanes through their scalar path); an owned
+    // load materializes packed aligned lanes like any other builder.
+    if (mode == LoadMode::kMapped) {
+      cells.ViewSoALanesFromPoints();
+    } else {
+      cells.BuildSoALanes();
+    }
+
     // In mapped mode the index pins the mapping; owned mode pins nothing
     // (the FlatArrays own their copies and `owned_bytes` dies here).
     std::shared_ptr<const void> payload =

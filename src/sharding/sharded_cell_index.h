@@ -258,7 +258,7 @@ class ShardedCellIndex {
           }
           dbscan::MarkCoreCountsForCells<D>(
               cells, counts_cap, RangeCountMethod::kScan, nullptr,
-              std::span<const uint32_t>(interior), shard_counts[s]);
+              std::span<const uint32_t>(interior), shard_counts[s], &sink);
         },
         1);
     info_.shard_count_seconds = timer.Seconds();
@@ -399,6 +399,9 @@ class ShardedCellIndex {
         }
       }
     });
+    // Lanes over the merged points: the seam recount below and every query
+    // on the adopted index run through the SIMD distance kernels.
+    merged.BuildSoALanes();
     recompose_seconds += timer.Seconds();
 
     // --- Phase 3b: boundary recount against the completed adjacency —
@@ -407,7 +410,7 @@ class ShardedCellIndex {
     timer.Reset();
     dbscan::MarkCoreCountsForCells<D>(
         merged, counts_cap, RangeCountMethod::kScan, nullptr,
-        std::span<const uint32_t>(boundary), merged_counts);
+        std::span<const uint32_t>(boundary), merged_counts, &sink);
     const double recount_seconds = timer.Seconds();
 
     // Stage attribution mirrors an unsharded build: classification, CSR

@@ -435,6 +435,9 @@ class DynamicCellIndex {
         },
         1);
     dbscan::BuildGridAdjacency(cells, origin_, side_);
+    // Lanes for the recomposed points: the recount below and every query on
+    // the published snapshot run through the SIMD distance kernels.
+    cells.BuildSoALanes();
 
     // New coords -> cell id map; keep the previous one for retained-count
     // lookups and vanished-cell neighborhoods.
@@ -493,7 +496,7 @@ class DynamicCellIndex {
         1);
     dbscan::MarkCoreCountsForCells<D>(
         cells, counts_cap_, RangeCountMethod::kScan, nullptr,
-        std::span<const uint32_t>(rebuilt_list), counts);
+        std::span<const uint32_t>(rebuilt_list), counts, stats_);
     update.recount_seconds = timer.Seconds();
     dbscan::AddSeconds(stats_->mark_core_seconds, update.recount_seconds);
 

@@ -22,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include "dbscan/verify.h"
+#include "kernels/kernel_api.h"
 #include "pdbscan/pdbscan.h"
 #include "testing_util.h"
 
@@ -328,6 +329,76 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PersistPropertySweep,
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ShardedPropertySweep,
                          ::testing::Values(1, 2, 3, 4));
+
+// --- Kernel dispatch levels: SIMD vs scalar bit-identity --------------------
+
+// Restores the ambient dispatch level (which may itself be forced via
+// PDBSCAN_FORCE_KERNEL, e.g. the CI matrix) when a forced-level test exits.
+struct ScopedKernelLevel {
+  kernels::Level original = kernels::ActiveLevel();
+  ~ScopedKernelLevel() { kernels::ForceLevel(original); }
+};
+
+// For randomized cases, every supported dispatch level must reproduce the
+// scalar kernel's result bit for bit: the full clustering contract (labels,
+// core flags, memberships) through both range-count methods, AND the raw
+// saturated MarkCore neighbor counts of a built index. Runs at 1 worker and
+// the ambient worker count — kernels are dispatched per call, so neither
+// scheduling nor partitioning may leak into the answer.
+template <int D>
+void KernelLevelsBitIdentical(uint64_t base_seed, size_t cases,
+                              double eps_scale) {
+  ScopedKernelLevel restore;
+  const std::vector<kernels::Level> levels = kernels::SupportedLevels();
+  std::mt19937_64 rng(base_seed * 517 + D);
+  for (const auto& c : MakeCases(base_seed + 41000, cases)) {
+    auto pts = GenerateShape<D>(c.shape, c.n, c.seed);
+    const double epsilon = c.epsilon * eps_scale;
+    const size_t cap = 1 + rng() % 24;
+    for (const auto& options : {OurExact(), OurExactQt()}) {
+      for (const int workers : {1, parallel::num_workers()}) {
+        parallel::ScopedNumWorkers scoped(workers);
+        kernels::ForceLevel(kernels::Level::kScalar);
+        const auto expected = Dbscan<D>(pts, epsilon, c.min_pts, options);
+        const auto ref_index = CellIndex<D>::Build(pts, epsilon, cap, options);
+        for (const kernels::Level level : levels) {
+          if (level == kernels::Level::kScalar) continue;
+          kernels::ForceLevel(level);
+          const auto got = Dbscan<D>(pts, epsilon, c.min_pts, options);
+          ASSERT_TRUE(pdbscan::testing::Identical(expected, got))
+              << kernels::LevelName(level) << " vs scalar: " << options.Name()
+              << " D=" << D << " shape=" << static_cast<int>(c.shape)
+              << " n=" << c.n << " eps=" << epsilon
+              << " minpts=" << c.min_pts << " workers=" << workers
+              << " seed=" << c.seed;
+          const auto index = CellIndex<D>::Build(pts, epsilon, cap, options);
+          ASSERT_TRUE(ref_index->neighbor_counts() == index->neighbor_counts())
+              << kernels::LevelName(level)
+              << " MarkCore counts diverge: " << options.Name() << " D=" << D
+              << " n=" << c.n << " eps=" << epsilon << " cap=" << cap
+              << " workers=" << workers << " seed=" << c.seed;
+        }
+      }
+    }
+  }
+}
+
+class KernelPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernelPropertySweep, AllLevelsBitIdentical2d) {
+  KernelLevelsBitIdentical<2>(GetParam(), 4 * SweepBudget(), 1.0);
+}
+
+TEST_P(KernelPropertySweep, AllLevelsBitIdentical3d) {
+  KernelLevelsBitIdentical<3>(GetParam() + 300, 2 * SweepBudget(), 2.0);
+}
+
+TEST_P(KernelPropertySweep, AllLevelsBitIdentical5d) {
+  KernelLevelsBitIdentical<5>(GetParam() + 600, SweepBudget(), 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelPropertySweep,
+                         ::testing::Values(1, 2, 3));
 
 }  // namespace
 }  // namespace pdbscan
