@@ -1,0 +1,167 @@
+// Serving-scheduler throughput and tail latency: 8 clients hammering one
+// frozen index through a ServingScheduler, reported as p50/p99 latency and
+// queries/sec per configuration (aligned table + #csv rows).
+//
+// Three steady-state arms isolate what each mechanism buys:
+//   solo        — coalescing off, cache off: every request pays its own
+//                 full pipeline pass (the EnginePool baseline, via the
+//                 scheduler's queue).
+//   coalesced   — coalescing on, cache off: concurrent requests share one
+//                 batched Sweep per claim window.
+//   coal+cache  — coalescing on, cache on: repeated (generation, eps,
+//                 min_pts) hits skip execution entirely.
+// A fourth arm (overload) shrinks the queue and attaches real deadlines, so
+// rejections and timeouts actually fire; its p50/p99 cover the requests
+// that were served.
+//
+// Acceptance gate, enforced by exit code: EVERY kOk response in EVERY arm —
+// coalesced, cached, overloaded — is bit-identical to the solo
+// EnginePool::Run reference for the same min_pts (single generation here,
+// so "same generation" == "same reference"). The scheduler is pinned to 1
+// inner worker: scaling must come from admission/coalescing/caching, not
+// from hiding inner parallelism.
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "parallel/engine_pool.h"
+#include "parallel/serving_scheduler.h"
+
+namespace {
+
+using namespace pdbscan;
+
+bool Identical(const Clustering& a, const Clustering& b) {
+  return a.num_clusters == b.num_clusters && a.cluster == b.cluster &&
+         a.is_core == b.is_core &&
+         a.membership_offsets == b.membership_offsets &&
+         a.membership_ids == b.membership_ids;
+}
+
+double Percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0;
+  const size_t idx = std::min(
+      sorted_ms.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_ms.size() - 1)));
+  return sorted_ms[idx];
+}
+
+struct ArmConfig {
+  std::string name;
+  bool coalescing;
+  size_t cache_capacity;
+  size_t queue_limit;
+  uint64_t timeout_nanos;
+};
+
+}  // namespace
+
+int main() {
+  using namespace pdbscan::bench;
+
+  const size_t n = ScaledN(60000);
+  const double eps = 300;  // The 2D-SS-varden defaults of the fig11 suite.
+  const std::vector<size_t> minpts_rotation = {10, 20, 50, 100};
+  const size_t counts_cap = 100;
+  const size_t clients = 8;
+  const size_t requests_per_client = 24;
+
+  std::printf("=== Serving scheduler: p50/p99 under 8 clients ===\n");
+  std::printf("dataset=2D-SS-varden n=%zu eps=%g counts_cap=%zu "
+              "requests/client=%zu\n\n",
+              n, eps, counts_cap, requests_per_client);
+
+  const auto pts = data::SsVarden<2>(n);
+  auto index = CellIndex<2>::Build(pts, eps, counts_cap);
+
+  // Serving configuration: 1 inner worker, throughput from concurrency.
+  parallel::set_num_workers(1);
+
+  // The solo reference every arm is audited against.
+  std::vector<Clustering> expected;
+  {
+    EnginePool<2> ref_pool(index);
+    for (const size_t m : minpts_rotation) expected.push_back(ref_pool.Run(m));
+  }
+
+  const std::vector<ArmConfig> arms = {
+      {"solo", false, 0, 100000, parallel::kNeverNanos},
+      {"coalesced", true, 0, 100000, parallel::kNeverNanos},
+      {"coal+cache", true, 64, 100000, parallel::kNeverNanos},
+      {"overload", true, 0, /*queue_limit=*/4,
+       parallel::MillisToNanos(200)},
+  };
+
+  util::BenchTable table({"arm", "requests", "ok", "rejected", "timed_out",
+                          "coalesced", "cache_hits", "p50_ms", "p99_ms",
+                          "qps", "identical"});
+  bool all_identical = true;
+  for (const ArmConfig& arm : arms) {
+    EnginePool<2> pool(index);
+    parallel::ServingOptions opts;
+    opts.queue_limit = arm.queue_limit;
+    opts.default_timeout_nanos = arm.timeout_nanos;
+    opts.cache_capacity = arm.cache_capacity;
+    opts.coalescing = arm.coalescing;
+    opts.num_executors = 1;
+    parallel::ServingScheduler<2> scheduler(pool, opts);
+
+    std::atomic<size_t> ok{0};
+    std::atomic<size_t> mismatches{0};
+    std::mutex latencies_mu;
+    std::vector<double> latencies_ms;
+
+    util::Timer timer;
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c]() {
+        std::vector<double> mine;
+        mine.reserve(requests_per_client);
+        for (size_t q = 0; q < requests_per_client; ++q) {
+          const size_t which = (c + q) % minpts_rotation.size();
+          util::Timer lat;
+          const ServeResult r = scheduler.Submit(minpts_rotation[which]);
+          if (r.status != ServeStatus::kOk) continue;
+          mine.push_back(lat.Seconds() * 1000.0);
+          ok.fetch_add(1, std::memory_order_relaxed);
+          if (!Identical(expected[which], r.clustering)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        std::lock_guard<std::mutex> lock(latencies_mu);
+        latencies_ms.insert(latencies_ms.end(), mine.begin(), mine.end());
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double seconds = timer.Seconds();
+    scheduler.Shutdown();
+
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    const auto& s = scheduler.serving_stats();
+    const size_t total = clients * requests_per_client;
+    if (mismatches.load() != 0) all_identical = false;
+    table.AddRow(
+        {arm.name, std::to_string(total), std::to_string(ok.load()),
+         std::to_string(s.requests_rejected.load()),
+         std::to_string(s.requests_timed_out.load()),
+         std::to_string(s.requests_coalesced.load()),
+         std::to_string(s.cache_hits.load()),
+         util::BenchTable::Num(Percentile(latencies_ms, 0.50), 3),
+         util::BenchTable::Num(Percentile(latencies_ms, 0.99), 3),
+         util::BenchTable::Num(static_cast<double>(ok.load()) / seconds, 4),
+         mismatches.load() == 0 ? "yes" : "NO"});
+  }
+  table.Print();
+  table.PrintCsv();
+
+  std::printf("\nidentical=%s (every kOk response — coalesced, cached and "
+              "overloaded arms included — vs the solo EnginePool::Run "
+              "reference)\n",
+              all_identical ? "yes" : "NO");
+  const unsigned hw = std::thread::hardware_concurrency();
+  parallel::set_num_workers(hw > 0 ? static_cast<int>(hw) : 1);
+  return all_identical ? 0 : 1;
+}

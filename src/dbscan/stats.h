@@ -87,6 +87,35 @@ struct PipelineStats {
   std::atomic<size_t> snapshot_bytes_read{0};
   std::atomic<size_t> journal_records_replayed{0};
 
+  // Serving scheduler (parallel/serving_scheduler.h) admission accounting.
+  // requests_admitted counts submits that entered the queue (or were
+  // cache-served at admission); requests_rejected counts requests resolved
+  // kRejected under overload — the refused newcomer under kRejectNew
+  // (never admitted), or the evicted oldest under kDropOldest (admitted
+  // earlier, so that policy ticks BOTH counters for the victim). Under a
+  // quiescent scheduler with kRejectNew
+  //   requests_admitted + requests_rejected == total submits,
+  // and under either policy every submit resolves exactly once
+  // (kOk + kRejected + kTimedOut + kShutdown == total submits).
+  // requests_timed_out counts deadline expiries (queued or mid-execution)
+  // plus lease-deadline expiries of the legacy EnginePool Run/Sweep
+  // surfaces; requests_coalesced counts requests that shared a batched
+  // execution with an earlier one (batch of k -> k-1 coalesced);
+  // cache_hits / cache_misses count admission-time result-cache lookups
+  // (zero while the cache is disabled), so with the cache on
+  //   cache_hits + cache_misses == total submits reaching admission
+  // (every submit except those refused after shutdown; under kRejectNew
+  // that sum equals requests_admitted + requests_rejected).
+  std::atomic<size_t> requests_admitted{0};
+  std::atomic<size_t> requests_rejected{0};
+  std::atomic<size_t> requests_timed_out{0};
+  std::atomic<size_t> requests_coalesced{0};
+  std::atomic<size_t> cache_hits{0};
+  std::atomic<size_t> cache_misses{0};
+  // Deepest the admission queue ever got. A gauge like
+  // kernel_dispatch_level: MergeFrom takes the max, not the sum.
+  std::atomic<size_t> queue_depth_peak{0};
+
   // Distance-kernel layer (src/kernels/): SIMD batches executed, and points
   // whose exact distance was never computed because a whole cell was pruned
   // by its bounding box (kernel_points_pruned_box) or a whole batch by its
@@ -145,6 +174,20 @@ struct PipelineStats {
     add(snapshot_bytes_written, other.snapshot_bytes_written);
     add(snapshot_bytes_read, other.snapshot_bytes_read);
     add(journal_records_replayed, other.journal_records_replayed);
+    add(requests_admitted, other.requests_admitted);
+    add(requests_rejected, other.requests_rejected);
+    add(requests_timed_out, other.requests_timed_out);
+    add(requests_coalesced, other.requests_coalesced);
+    add(cache_hits, other.cache_hits);
+    add(cache_misses, other.cache_misses);
+    {
+      const size_t theirs =
+          other.queue_depth_peak.load(std::memory_order_relaxed);
+      size_t ours = queue_depth_peak.load(std::memory_order_relaxed);
+      while (theirs > ours && !queue_depth_peak.compare_exchange_weak(
+                                  ours, theirs, std::memory_order_relaxed)) {
+      }
+    }
     add(kernel_batches, other.kernel_batches);
     add(kernel_points_pruned_box, other.kernel_points_pruned_box);
     add(kernel_points_pruned_norm, other.kernel_points_pruned_norm);
@@ -190,6 +233,13 @@ struct PipelineStats {
     snapshot_bytes_written.store(0, std::memory_order_relaxed);
     snapshot_bytes_read.store(0, std::memory_order_relaxed);
     journal_records_replayed.store(0, std::memory_order_relaxed);
+    requests_admitted.store(0, std::memory_order_relaxed);
+    requests_rejected.store(0, std::memory_order_relaxed);
+    requests_timed_out.store(0, std::memory_order_relaxed);
+    requests_coalesced.store(0, std::memory_order_relaxed);
+    cache_hits.store(0, std::memory_order_relaxed);
+    cache_misses.store(0, std::memory_order_relaxed);
+    queue_depth_peak.store(0, std::memory_order_relaxed);
     kernel_batches.store(0, std::memory_order_relaxed);
     kernel_points_pruned_box.store(0, std::memory_order_relaxed);
     kernel_points_pruned_norm.store(0, std::memory_order_relaxed);

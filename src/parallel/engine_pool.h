@@ -5,25 +5,43 @@
 // formalizes): an immutable shared index, cheap per-client query state.
 // The pool owns a shared_ptr<const CellIndex<D>> plus a free list of
 // QueryContexts; any number of client threads may call Run/Sweep
-// concurrently — each call leases a context (creating one only when every
-// existing context is busy, so steady-state traffic allocates nothing),
-// runs the standard query pipeline against the shared index, and returns
-// the context to the free list. Results are bit-identical to serial
-// one-shot pdbscan::Dbscan calls with the same parameters.
+// concurrently — each call leases a context, runs the standard query
+// pipeline against the shared index, and returns the context to the free
+// list. Results are bit-identical to serial one-shot pdbscan::Dbscan calls
+// with the same parameters.
 //
 // Snapshot hand-over: ReplaceIndex() swaps in a new immutable snapshot
 // (typically published by streaming::DynamicCellIndex after an update
-// batch). Each query pins the snapshot current at its start — the lease
-// copies the shared_ptr under the same lock that hands out the context —
-// so readers never block on writers and never observe a half-applied
-// update; queries in flight during a swap simply finish against the
-// snapshot they started with, which stays alive until the last such query
-// drops its reference.
+// batch) and bumps the pool's snapshot GENERATION — a monotonically
+// increasing number that names exactly one served dataset state. Each
+// query pins the (snapshot, generation) pair current at its start — the
+// lease copies both under the same lock that hands out the context — so
+// readers never block on writers and never observe a half-applied update;
+// queries in flight during a swap simply finish against the snapshot they
+// started with, which stays alive until the last such query drops its
+// reference. Generations are what make caching-under-updates sound: a
+// result computed from generation G is valid for exactly the requests that
+// would be served from G (see parallel/serving_scheduler.h).
 //
 //   auto index = pdbscan::dbscan::CellIndex<2>::Build(pts, eps, cap, opts);
 //   pdbscan::parallel::EnginePool<2> pool(index);
 //   // from any thread:
 //   pdbscan::Clustering c = pool.Run(min_pts);
+//
+// Context bounding and lease deadlines: by default the pool creates a new
+// QueryContext whenever every existing one is busy, so leases never block —
+// but each context owns scratch proportional to the dataset, so an
+// unbounded burst of clients means unbounded memory. SetMaxContexts(n)
+// caps the pool; once n contexts are busy, further acquisitions WAIT for a
+// free one. A bounded wait is only safe with a deadline (a stalled client
+// would otherwise starve every later caller forever), so all acquisition —
+// including the legacy Run/Sweep surfaces — goes through
+// AcquireLease/TryAcquireLeaseUntil, which honor a per-pool default
+// deadline (SetDefaultLeaseDeadline) and time out with LeaseTimeout /
+// an empty lease instead of blocking indefinitely. Timed-out legacy calls
+// tick requests_timed_out in the pool's own stats sink. Waits go through
+// an injectable Clock (serving_clock.h), so the timeout paths are
+// deterministic fake-clock unit tests, not timing assertions.
 //
 // Inner parallelism: queries execute on the process-wide work-stealing
 // scheduler (scheduler.h), which accepts submissions from any thread, so
@@ -37,11 +55,13 @@
 // Stats: each context accumulates into its own PipelineStats (no shared
 // Reset/read-out races between clients, unlike leaning on GlobalStats());
 // AggregateStats() sums the per-context sinks plus the index-build counters
-// into a caller-provided sink. The sums are exact once callers are
-// quiescent.
+// and the pool's own admission counters into a caller-provided sink. The
+// sums are exact once callers are quiescent.
 #ifndef PDBSCAN_PARALLEL_ENGINE_POOL_H_
 #define PDBSCAN_PARALLEL_ENGINE_POOL_H_
 
+#include <condition_variable>
+#include <cstdint>
 #include <initializer_list>
 #include <memory>
 #include <mutex>
@@ -54,6 +74,7 @@
 #include "dbscan/stats.h"
 #include "dbscan/types.h"
 #include "geometry/point.h"
+#include "parallel/serving_clock.h"
 
 namespace pdbscan::sharding {
 template <int D>
@@ -61,6 +82,12 @@ class ShardedCellIndex;
 }  // namespace pdbscan::sharding
 
 namespace pdbscan::parallel {
+
+// Thrown by the blocking acquisition surfaces (Run/Sweep/AcquireLease) when
+// a bounded pool stays exhausted past the default lease deadline.
+struct LeaseTimeout : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 template <int D>
 class EnginePool {
@@ -95,22 +122,140 @@ class EnginePool {
   EnginePool(const EnginePool&) = delete;
   EnginePool& operator=(const EnginePool&) = delete;
 
-  // Thread-safe: clusters the served snapshot's point set at `min_pts`.
-  // Passing the shared_ptr lets the leased context cache over-cap recounts
-  // across queries (once per context, not once per query) and pins the
-  // snapshot for the duration of the query even if ReplaceIndex runs.
-  Clustering Run(size_t min_pts) {
-    Lease lease(*this);
-    lease.slot->context.EvictStaleCountsCache(lease.index);
-    return lease.slot->context.Run(lease.index, min_pts);
+  // RAII lease: one QueryContext plus the (snapshot, generation) pair
+  // pinned at acquisition, all taken under one lock acquisition. Movable
+  // and boolean-testable so the non-throwing acquisition surface can
+  // return "no lease" on timeout. Run/Sweep on an empty lease throw.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), slot_(other.slot_),
+          index_(std::move(other.index_)), generation_(other.generation_) {
+      other.pool_ = nullptr;
+      other.slot_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        slot_ = other.slot_;
+        index_ = std::move(other.index_);
+        generation_ = other.generation_;
+        other.pool_ = nullptr;
+        other.slot_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    explicit operator bool() const { return slot_ != nullptr; }
+
+    // The snapshot this lease pins; every Run/Sweep through the lease
+    // answers from exactly this dataset state, even across ReplaceIndex.
+    const std::shared_ptr<const dbscan::CellIndex<D>>& index() const {
+      return index_;
+    }
+
+    // The generation number of the pinned snapshot.
+    uint64_t generation() const { return generation_; }
+
+    // Clusters the pinned snapshot at `min_pts` through the leased context.
+    Clustering Run(size_t min_pts) {
+      Require();
+      return slot_->context.Run(index_, min_pts);
+    }
+
+    // Answers a whole min_pts sweep against the pinned snapshot.
+    std::vector<Clustering> Sweep(std::span<const size_t> minpts_list) {
+      Require();
+      return slot_->context.Sweep(index_, minpts_list);
+    }
+
+   private:
+    friend class EnginePool;
+    Lease(EnginePool* pool, typename EnginePool::Slot* slot,
+          std::shared_ptr<const dbscan::CellIndex<D>> index,
+          uint64_t generation)
+        : pool_(pool), slot_(slot), index_(std::move(index)),
+          generation_(generation) {}
+
+    void Require() const {
+      if (slot_ == nullptr) {
+        throw std::logic_error("Run/Sweep on an empty EnginePool::Lease");
+      }
+    }
+
+    void Release() {
+      if (pool_ == nullptr || slot_ == nullptr) return;
+      std::lock_guard<std::mutex> lock(pool_->mu_);
+      pool_->free_.push_back(slot_);
+      pool_->lease_cv_.notify_one();
+      pool_ = nullptr;
+      slot_ = nullptr;
+    }
+
+    EnginePool* pool_ = nullptr;
+    typename EnginePool::Slot* slot_ = nullptr;
+    std::shared_ptr<const dbscan::CellIndex<D>> index_;
+    uint64_t generation_ = 0;
+  };
+
+  // Blocking acquisition with the pool's default deadline. Returns
+  // immediately while the pool is unbounded or has capacity; on a bounded,
+  // exhausted pool waits for a release and throws LeaseTimeout once the
+  // default deadline passes (ticking requests_timed_out in pool_stats()).
+  Lease AcquireLease() {
+    const uint64_t deadline =
+        default_lease_deadline_nanos_.load(std::memory_order_relaxed);
+    Lease lease = TryAcquireLeaseUntil(
+        deadline == kNeverNanos ? kNeverNanos
+                                : clock()->NowNanos() + deadline);
+    if (!lease) {
+      pool_stats_.requests_timed_out.fetch_add(1, std::memory_order_relaxed);
+      throw LeaseTimeout("EnginePool lease wait exceeded the default deadline");
+    }
+    return lease;
   }
+
+  // Non-throwing acquisition bounded by an absolute deadline on the pool's
+  // clock (kNeverNanos: wait indefinitely). Returns an empty lease on
+  // timeout; ticks no stats — callers own their timeout accounting.
+  Lease TryAcquireLeaseUntil(uint64_t deadline_nanos) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (!free_.empty()) {
+        Slot* slot = free_.back();
+        free_.pop_back();
+        slot->context.EvictStaleCountsCache(index_);
+        return Lease(this, slot, index_, generation_);
+      }
+      const size_t max = max_contexts_;
+      if (max == 0 || slots_.size() < max) {
+        slots_.push_back(std::make_unique<Slot>());
+        return Lease(this, slots_.back().get(), index_, generation_);
+      }
+      if (clock()->WaitUntil(lock, lease_cv_, deadline_nanos) ==
+              Clock::WaitStatus::kTimeout &&
+          free_.empty()) {
+        return Lease();
+      }
+    }
+  }
+
+  // Thread-safe: clusters the served snapshot's point set at `min_pts`.
+  // The leased context caches over-cap recounts across queries (once per
+  // context, not once per query) and pins the snapshot for the duration of
+  // the query even if ReplaceIndex runs. Throws LeaseTimeout if a bounded
+  // pool stays exhausted past the default lease deadline.
+  Clustering Run(size_t min_pts) { return AcquireLease().Run(min_pts); }
 
   // Thread-safe: answers a whole min_pts sweep through one leased context,
   // entirely against the single snapshot pinned at lease time.
   std::vector<Clustering> Sweep(std::span<const size_t> minpts_list) {
-    Lease lease(*this);
-    lease.slot->context.EvictStaleCountsCache(lease.index);
-    return lease.slot->context.Sweep(lease.index, minpts_list);
+    return AcquireLease().Sweep(minpts_list);
   }
 
   // Brace-list convenience for the overload above: pool.Sweep({5, 10, 50}).
@@ -119,17 +264,19 @@ class EnginePool {
         std::span<const size_t>(minpts_list.begin(), minpts_list.size()));
   }
 
-  // Thread-safe: atomically swaps the served snapshot. In-flight queries
-  // finish against the snapshot they pinned; subsequent leases see the new
-  // one. This is the streaming hand-over point — StreamingClusterer calls
-  // it after every published update batch. Free contexts' over-cap recount
-  // caches are evicted here (they are quiescent while mu_ is held), and
-  // busy ones evict at their next lease, so retired snapshots are never
-  // kept alive indefinitely by context caches — only by in-flight queries.
+  // Thread-safe: atomically swaps the served snapshot and bumps the
+  // generation. In-flight queries finish against the snapshot they pinned;
+  // subsequent leases see the new one. This is the streaming hand-over
+  // point — StreamingClusterer calls it after every published update
+  // batch. Free contexts' over-cap recount caches are evicted here (they
+  // are quiescent while mu_ is held), and busy ones evict at their next
+  // lease, so retired snapshots are never kept alive indefinitely by
+  // context caches — only by in-flight queries.
   void ReplaceIndex(std::shared_ptr<const dbscan::CellIndex<D>> index) {
     if (!index) throw std::invalid_argument("EnginePool needs an index");
     std::lock_guard<std::mutex> lock(mu_);
     index_ = std::move(index);
+    ++generation_;
     for (Slot* slot : free_) slot->context.EvictStaleCountsCache(index_);
   }
 
@@ -140,9 +287,54 @@ class EnginePool {
     return index_;
   }
 
+  // The currently served (snapshot, generation) pair, read atomically —
+  // the lookup key producers of generation-aware caches need (see
+  // serving_scheduler.h).
+  std::pair<std::shared_ptr<const dbscan::CellIndex<D>>, uint64_t>
+  SnapshotAndGeneration() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return {index_, generation_};
+  }
+
+  // The generation of the currently served snapshot. Starts at 1 for the
+  // adopted/built index and increments on every ReplaceIndex.
+  uint64_t generation() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return generation_;
+  }
+
+  // Bounds the number of QueryContexts (0 = unbounded, the default). With
+  // a bound in place, acquisitions beyond it wait — see the class comment.
+  // Existing contexts above a new lower bound are not destroyed; the pool
+  // simply stops creating more.
+  void SetMaxContexts(size_t max_contexts) {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_contexts_ = max_contexts;
+    lease_cv_.notify_all();
+  }
+
+  // Deadline the blocking surfaces (Run/Sweep/AcquireLease) wait for a free
+  // context on a bounded pool before throwing LeaseTimeout. Default: 30s.
+  // kNeverNanos restores the pre-bounding behavior (wait forever).
+  void SetDefaultLeaseDeadline(uint64_t nanos) {
+    default_lease_deadline_nanos_.store(nanos, std::memory_order_relaxed);
+  }
+
+  // Injects the time source lease waits run on (tests: FakeClock). Must be
+  // called while no acquisition is waiting; the clock must outlive the
+  // pool. nullptr restores the real clock.
+  void SetClock(Clock* clock) {
+    std::lock_guard<std::mutex> lock(mu_);
+    clock_ = clock;
+  }
+
   // Counters of the index build, when this pool built its index (zero when
   // an externally built index was adopted).
   const dbscan::PipelineStats& build_stats() const { return build_stats_; }
+
+  // The pool's own admission counters (currently: requests_timed_out from
+  // lease-deadline expiry on the blocking surfaces).
+  const dbscan::PipelineStats& pool_stats() const { return pool_stats_; }
 
   // Number of contexts ever created == peak query concurrency observed.
   size_t contexts_created() const {
@@ -150,12 +342,14 @@ class EnginePool {
     return slots_.size();
   }
 
-  // Sums build stats and every context's counters/timings into `out`
-  // (which the caller typically Reset()s first). Exact when no query is in
-  // flight; during traffic individual counters are still atomically read
-  // but the sum is not a point-in-time snapshot.
+  // Sums build stats, the pool's admission counters, and every context's
+  // counters/timings into `out` (which the caller typically Reset()s
+  // first). Exact when no query is in flight; during traffic individual
+  // counters are still atomically read but the sum is not a point-in-time
+  // snapshot.
   void AggregateStats(dbscan::PipelineStats& out) const {
     out.MergeFrom(build_stats_);
+    out.MergeFrom(pool_stats_);
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& slot : slots_) out.MergeFrom(slot->stats);
   }
@@ -168,35 +362,17 @@ class EnginePool {
     dbscan::QueryContext<D> context{&stats};
   };
 
-  // RAII lease of a free slot (or a freshly created one) plus the snapshot
-  // to serve the query from, both taken under one lock acquisition.
-  struct Lease {
-    explicit Lease(EnginePool& pool) : pool_(pool) {
-      std::lock_guard<std::mutex> lock(pool.mu_);
-      index = pool.index_;
-      if (!pool.free_.empty()) {
-        slot = pool.free_.back();
-        pool.free_.pop_back();
-      } else {
-        pool.slots_.push_back(std::make_unique<Slot>());
-        slot = pool.slots_.back().get();
-      }
-    }
-    ~Lease() {
-      std::lock_guard<std::mutex> lock(pool_.mu_);
-      pool_.free_.push_back(slot);
-    }
-    Lease(const Lease&) = delete;
-    Lease& operator=(const Lease&) = delete;
-
-    EnginePool& pool_;
-    Slot* slot = nullptr;
-    std::shared_ptr<const dbscan::CellIndex<D>> index;
-  };
+  Clock* clock() const { return clock_ != nullptr ? clock_ : &Clock::Real(); }
 
   dbscan::PipelineStats build_stats_;
+  dbscan::PipelineStats pool_stats_;
   std::shared_ptr<const dbscan::CellIndex<D>> index_;
+  uint64_t generation_ = 1;
+  size_t max_contexts_ = 0;
+  std::atomic<uint64_t> default_lease_deadline_nanos_{SecondsToNanos(30)};
+  Clock* clock_ = nullptr;
   mutable std::mutex mu_;
+  std::condition_variable lease_cv_;
   std::vector<std::unique_ptr<Slot>> slots_;
   std::vector<Slot*> free_;
 };

@@ -1,0 +1,597 @@
+// ServingScheduler — the admission / batching / caching layer between many
+// clients and one EnginePool.
+//
+// EnginePool made concurrent queries safe; this layer makes them CHEAP and
+// BOUNDED under real traffic. Four mechanisms, one scheduler:
+//
+//   * Bounded admission with deadlines. Every request enters a bounded
+//     queue with an absolute deadline (default from ServingOptions,
+//     per-request override). A full queue applies the configured overload
+//     policy — refuse the newcomer (kRejectNew) or evict the oldest
+//     waiter (kDropOldest) — instead of letting the backlog grow without
+//     limit; a request whose deadline passes while queued (or whose
+//     execution finishes after it) resolves as kTimedOut instead of
+//     occupying an executor. Rejections and timeouts are counted, never
+//     silent (requests_rejected / requests_timed_out).
+//
+//   * In-flight coalescing. The admission queue doubles as the coalescing
+//     window: when an executor claims work it takes EVERY queued request
+//     at once, pins one (snapshot, generation) lease for the whole batch,
+//     and answers all distinct min_pts values with a single batched
+//     Sweep — the saturated-counts pass that already answers a whole
+//     min_pts list in one MarkCore evaluation now amortizes across
+//     CLIENTS, not just within one call. Each waiter receives its own
+//     Clustering, bit-identical to what a solo EnginePool::Run at the same
+//     generation returns (same RunQueryFromCounts pipeline, same counts).
+//
+//   * Generation-keyed result cache. Results are cached under
+//     (snapshot generation, epsilon, min_pts) with LRU eviction. Because
+//     ReplaceIndex bumps the pool generation, a streaming update
+//     invalidates precisely the stale entries — lookups from the new
+//     generation can never alias an old dataset state, and retired
+//     generations age out of the LRU (the query-answering-under-updates
+//     discipline of Berkholz et al., applied to a cache key).
+//
+//   * Async submission. SubmitAsync returns a std::future<ServeResult>
+//     and SubmitCallback invokes a completion callback from the executor,
+//     so one OS thread can keep an arbitrary number of requests in
+//     flight; Submit is the blocking convenience over the same path.
+//
+// Determinism-by-construction: all time handling goes through the
+// injectable Clock (serving_clock.h) and ServingOptions.num_executors == 0
+// selects MANUAL PUMP mode — no executor threads; the test drives the
+// scheduler by calling Pump(), which performs exactly one
+// expire-claim-execute round on the calling thread. Together with a
+// FakeClock this makes every scheduling race — queue overflow, deadline
+// expiry before/mid execution, coalescing windows — an exact, replayable
+// sequence of calls (see tests/test_serving.cpp). With num_executors >= 1
+// the same loop runs on internal threads against the real clock.
+//
+//   pdbscan::parallel::EnginePool<2> pool(index);
+//   pdbscan::parallel::ServingScheduler<2> server(pool);   // 1 executor
+//   auto f = server.SubmitAsync(/*min_pts=*/10);
+//   pdbscan::parallel::ServeResult r = f.get();
+//   if (r.status == pdbscan::parallel::ServeStatus::kOk) use(r.clustering);
+//
+// Threading contract: Submit*/Pump/Shutdown from any thread. The pool must
+// outlive the scheduler. Stats land in the scheduler's own PipelineStats
+// sink (serving_stats()); AggregateStats() adds the pool's counters.
+#ifndef PDBSCAN_PARALLEL_SERVING_SCHEDULER_H_
+#define PDBSCAN_PARALLEL_SERVING_SCHEDULER_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dbscan/stats.h"
+#include "dbscan/types.h"
+#include "parallel/engine_pool.h"
+#include "parallel/serving_clock.h"
+
+namespace pdbscan::parallel {
+
+// What to do with a Submit that finds the admission queue full.
+enum class OverloadPolicy {
+  kRejectNew,   // Refuse the new request (callers see kRejected).
+  kDropOldest,  // Evict the longest-waiting request, admit the new one.
+};
+
+enum class ServeStatus {
+  kOk,        // clustering/generation are valid.
+  kRejected,  // Refused at admission (queue full) or evicted by kDropOldest.
+  kTimedOut,  // Deadline passed while queued or before delivery.
+  kShutdown,  // Scheduler stopped before the request executed.
+};
+
+// One resolved request. Every waiter gets its OWN Clustering (a private
+// copy even when the result came from a coalesced batch or the cache), so
+// callers may move/mutate it freely.
+struct ServeResult {
+  ServeStatus status = ServeStatus::kShutdown;
+  Clustering clustering;        // Valid iff status == kOk.
+  uint64_t generation = 0;      // Snapshot generation served from (kOk only).
+  size_t min_pts = 0;           // Echo of the request parameter.
+  bool from_cache = false;      // Answered at admission from the LRU cache.
+  bool coalesced = false;       // Shared a batched execution with others.
+
+  bool ok() const { return status == ServeStatus::kOk; }
+};
+
+struct ServingOptions {
+  // Admission-queue bound; a Submit beyond it triggers overload_policy.
+  size_t queue_limit = 256;
+
+  // Relative deadline applied to requests that do not pass their own
+  // (kNeverNanos: no deadline). Absolute deadlines are stamped at
+  // admission from the scheduler's clock.
+  uint64_t default_timeout_nanos = SecondsToNanos(5);
+
+  OverloadPolicy overload_policy = OverloadPolicy::kRejectNew;
+
+  // Result-cache entries kept, LRU-evicted; 0 disables the cache (and the
+  // cache_hits/cache_misses counters stay 0).
+  size_t cache_capacity = 64;
+
+  // When true an executor claims the whole queue per round and answers it
+  // with one batched Sweep; when false it claims one request per round
+  // (every request pays its own pipeline pass — the bench's control arm).
+  bool coalescing = true;
+
+  // Executor threads. 0 = manual pump mode: no threads, the caller drives
+  // execution via Pump() (the deterministic-test configuration; sync
+  // Submit would deadlock, use SubmitAsync + Pump).
+  size_t num_executors = 1;
+
+  // Time source for deadlines and idle waits (nullptr: the real steady
+  // clock). Tests inject a FakeClock; must outlive the scheduler.
+  Clock* clock = nullptr;
+
+  // Test seam: invoked on the executing thread after a batch is claimed
+  // and before it executes, with the batch size. Lets a fake-clock test
+  // advance time "mid-execution" deterministically. Leave unset in
+  // production.
+  std::function<void(size_t)> on_batch_claimed;
+};
+
+template <int D>
+class ServingScheduler {
+ public:
+  // `pool` must outlive the scheduler. `stats` is the sink for the
+  // scheduler's admission/cache counters (nullptr: a private internal
+  // sink, readable via serving_stats()).
+  explicit ServingScheduler(EnginePool<D>& pool,
+                            ServingOptions options = ServingOptions(),
+                            dbscan::PipelineStats* stats = nullptr)
+      : pool_(pool),
+        options_(std::move(options)),
+        clock_(options_.clock != nullptr ? options_.clock : &Clock::Real()),
+        stats_(stats != nullptr ? stats : &own_stats_) {
+    executors_.reserve(options_.num_executors);
+    for (size_t i = 0; i < options_.num_executors; ++i) {
+      executors_.emplace_back([this]() { ExecutorLoop(); });
+    }
+  }
+
+  ServingScheduler(const ServingScheduler&) = delete;
+  ServingScheduler& operator=(const ServingScheduler&) = delete;
+
+  ~ServingScheduler() { Shutdown(); }
+
+  // Asynchronous submission with the default timeout; the future resolves
+  // with a ServeResult (never a broken promise). Throws std::invalid_argument
+  // for min_pts == 0 — parameter validation is a caller bug, not overload.
+  std::future<ServeResult> SubmitAsync(size_t min_pts) {
+    return SubmitAsync(min_pts, options_.default_timeout_nanos);
+  }
+
+  // Per-request relative timeout override (kNeverNanos: no deadline).
+  std::future<ServeResult> SubmitAsync(size_t min_pts,
+                                       uint64_t timeout_nanos) {
+    Request req;
+    req.min_pts = min_pts;
+    std::future<ServeResult> future = req.promise.get_future();
+    Admit(std::move(req), min_pts, timeout_nanos);
+    return future;
+  }
+
+  // Callback flavor: `done` runs exactly once — on the executor for
+  // executed/expired requests, on the submitting thread for cache hits,
+  // rejections, and shutdown. Keep callbacks cheap; they run on the
+  // serving path.
+  void SubmitCallback(size_t min_pts, std::function<void(ServeResult)> done) {
+    SubmitCallback(min_pts, options_.default_timeout_nanos, std::move(done));
+  }
+
+  void SubmitCallback(size_t min_pts, uint64_t timeout_nanos,
+                      std::function<void(ServeResult)> done) {
+    Request req;
+    req.min_pts = min_pts;
+    req.callback = std::move(done);
+    Admit(std::move(req), min_pts, timeout_nanos);
+  }
+
+  // Blocking submission (requires num_executors >= 1; in manual pump mode
+  // this would wait for a Pump that never comes).
+  ServeResult Submit(size_t min_pts) { return SubmitAsync(min_pts).get(); }
+  ServeResult Submit(size_t min_pts, uint64_t timeout_nanos) {
+    return SubmitAsync(min_pts, timeout_nanos).get();
+  }
+
+  // Convenience that unwraps kOk or throws (LeaseTimeout for kTimedOut,
+  // std::runtime_error otherwise) — the drop-in replacement for
+  // EnginePool::Run in serving code.
+  Clustering Run(size_t min_pts) {
+    ServeResult r = Submit(min_pts);
+    switch (r.status) {
+      case ServeStatus::kOk:
+        return std::move(r.clustering);
+      case ServeStatus::kTimedOut:
+        throw LeaseTimeout("serving request timed out");
+      case ServeStatus::kRejected:
+        throw std::runtime_error("serving request rejected (queue full)");
+      case ServeStatus::kShutdown:
+        throw std::runtime_error("serving scheduler is shut down");
+    }
+    throw std::logic_error("unreachable");
+  }
+
+  // Manual pump (num_executors == 0): performs one expire-claim-execute
+  // round on the calling thread — resolves every queued request whose
+  // deadline has passed, then executes one batch (the whole queue under
+  // coalescing, else one request). Returns the number of requests
+  // resolved; 0 means the queue was empty. Safe to call with executors
+  // running (it simply competes for the same queue).
+  size_t Pump() {
+    std::vector<Request> expired;
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ExtractExpiredLocked(expired);
+      if (!stopped_) ClaimBatchLocked(batch);
+    }
+    ResolveExpired(expired);
+    if (!batch.empty()) ExecuteBatch(batch);
+    return expired.size() + batch.size();
+  }
+
+  // Stops admission, fails queued requests with kShutdown, joins the
+  // executors. Idempotent; the destructor calls it.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : executors_) t.join();
+    executors_.clear();
+    std::vector<Request> orphans;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (Request& r : queue_) orphans.push_back(std::move(r));
+      queue_.clear();
+    }
+    for (Request& r : orphans) {
+      ServeResult result;
+      result.status = ServeStatus::kShutdown;
+      result.min_pts = r.min_pts;
+      Deliver(r, std::move(result));
+    }
+  }
+
+  // Requests currently queued (not yet claimed by an executor).
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  // The scheduler's admission/cache counters (the internal sink when no
+  // external one was given at construction).
+  const dbscan::PipelineStats& serving_stats() const { return *stats_; }
+
+  // Scheduler counters plus everything the pool aggregates (build, pool
+  // admission, per-context query counters). Exact when quiescent.
+  void AggregateStats(dbscan::PipelineStats& out) const {
+    out.MergeFrom(*stats_);
+    pool_.AggregateStats(out);
+  }
+
+  const ServingOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    size_t min_pts = 0;
+    uint64_t deadline_nanos = kNeverNanos;
+    std::promise<ServeResult> promise;
+    std::function<void(ServeResult)> callback;
+  };
+
+  // (generation, epsilon, min_pts) — the full serving identity of a
+  // result. Generation alone already pins the snapshot (and with it
+  // epsilon); epsilon is kept in the key so an entry is self-describing
+  // and can never alias across pools or future multi-eps serving.
+  struct CacheKey {
+    uint64_t generation;
+    uint64_t eps_bits;
+    uint64_t min_pts;
+    bool operator==(const CacheKey& o) const {
+      return generation == o.generation && eps_bits == o.eps_bits &&
+             min_pts == o.min_pts;
+    }
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& k) const {
+      uint64_t h = k.generation * 0x9e3779b97f4a7c15ull;
+      h ^= k.eps_bits + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h ^= k.min_pts + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+  struct CacheEntry {
+    std::shared_ptr<const Clustering> result;
+    std::list<CacheKey>::iterator lru_pos;
+  };
+
+  static uint64_t EpsBits(double eps) {
+    uint64_t bits;
+    std::memcpy(&bits, &eps, sizeof(bits));
+    return bits;
+  }
+
+  // Admission: validate, try the cache, then queue under the bound. Every
+  // submit resolves as exactly one of {admitted, rejected}; admitted cache
+  // hits complete on the spot.
+  void Admit(Request&& req, size_t min_pts, uint64_t timeout_nanos) {
+    if (min_pts == 0) throw std::invalid_argument("min_pts must be positive");
+    const uint64_t now = clock_->NowNanos();
+    req.deadline_nanos =
+        timeout_nanos == kNeverNanos ? kNeverNanos : now + timeout_nanos;
+
+    ServeResult immediate;
+    bool resolve_now = false;
+    Request victim;
+    bool have_victim = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) {
+        immediate.status = ServeStatus::kShutdown;
+        immediate.min_pts = min_pts;
+        resolve_now = true;
+      } else if (options_.cache_capacity > 0 &&
+                 LookupCacheLocked(min_pts, immediate)) {
+        stats_->requests_admitted.fetch_add(1, std::memory_order_relaxed);
+        stats_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+        resolve_now = true;
+      } else {
+        if (options_.cache_capacity > 0) {
+          stats_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (queue_.size() >= options_.queue_limit) {
+          if (options_.overload_policy == OverloadPolicy::kRejectNew) {
+            stats_->requests_rejected.fetch_add(1, std::memory_order_relaxed);
+            immediate.status = ServeStatus::kRejected;
+            immediate.min_pts = min_pts;
+            resolve_now = true;
+          } else {
+            victim = std::move(queue_.front());
+            queue_.pop_front();
+            have_victim = true;
+            stats_->requests_rejected.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        if (!resolve_now) {
+          queue_.push_back(std::move(req));
+          stats_->requests_admitted.fetch_add(1, std::memory_order_relaxed);
+          UpdateQueuePeakLocked();
+        }
+      }
+    }
+    if (have_victim) {
+      ServeResult dropped;
+      dropped.status = ServeStatus::kRejected;
+      dropped.min_pts = victim.min_pts;
+      Deliver(victim, std::move(dropped));
+    }
+    if (resolve_now) {
+      Deliver(req, std::move(immediate));
+    } else {
+      work_cv_.notify_one();
+    }
+  }
+
+  // mu_ held. Fills `out` (status kOk, from_cache) on a hit at the pool's
+  // CURRENT generation and refreshes the entry's LRU position.
+  bool LookupCacheLocked(size_t min_pts, ServeResult& out) {
+    const auto [index, generation] = pool_.SnapshotAndGeneration();
+    const CacheKey key{generation, EpsBits(index->epsilon()), min_pts};
+    auto it = cache_.find(key);
+    if (it == cache_.end()) return false;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    out.status = ServeStatus::kOk;
+    out.clustering = *it->second.result;  // The waiter's own copy.
+    out.generation = generation;
+    out.min_pts = min_pts;
+    out.from_cache = true;
+    return true;
+  }
+
+  // mu_ held. Inserts/refreshes one entry and LRU-evicts past capacity.
+  void InsertCacheLocked(uint64_t generation, uint64_t eps_bits,
+                         size_t min_pts,
+                         std::shared_ptr<const Clustering> result) {
+    if (options_.cache_capacity == 0) return;
+    const CacheKey key{generation, eps_bits, min_pts};
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      it->second.result = std::move(result);
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return;
+    }
+    lru_.push_front(key);
+    cache_.emplace(key, CacheEntry{std::move(result), lru_.begin()});
+    while (cache_.size() > options_.cache_capacity) {
+      cache_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+
+  void UpdateQueuePeakLocked() {
+    const size_t depth = queue_.size();
+    size_t peak = stats_->queue_depth_peak.load(std::memory_order_relaxed);
+    while (depth > peak && !stats_->queue_depth_peak.compare_exchange_weak(
+                               peak, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  // mu_ held: moves every queued request whose deadline has passed into
+  // `out`, preserving arrival order among survivors.
+  void ExtractExpiredLocked(std::vector<Request>& out) {
+    const uint64_t now = clock_->NowNanos();
+    for (size_t i = 0; i < queue_.size();) {
+      if (queue_[i].deadline_nanos != kNeverNanos &&
+          queue_[i].deadline_nanos <= now) {
+        out.push_back(std::move(queue_[i]));
+        queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // mu_ held: claims the coalescing window — the whole queue, or just the
+  // front request with coalescing off.
+  void ClaimBatchLocked(std::vector<Request>& batch) {
+    if (queue_.empty()) return;
+    const size_t take = options_.coalescing ? queue_.size() : 1;
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+
+  void ResolveExpired(std::vector<Request>& expired) {
+    for (Request& r : expired) {
+      stats_->requests_timed_out.fetch_add(1, std::memory_order_relaxed);
+      ServeResult result;
+      result.status = ServeStatus::kTimedOut;
+      result.min_pts = r.min_pts;
+      Deliver(r, std::move(result));
+    }
+  }
+
+  // Executes one claimed batch: pin one lease (one snapshot, one
+  // generation) for everyone, answer all distinct min_pts with a single
+  // Sweep, publish to the cache, deliver per-waiter copies. Deadlines are
+  // re-checked at delivery — an execution that outlives a request's
+  // deadline resolves it kTimedOut even though the work ran.
+  void ExecuteBatch(std::vector<Request>& batch) {
+    if (options_.on_batch_claimed) options_.on_batch_claimed(batch.size());
+
+    // Wait for a context no longer than the batch's latest deadline —
+    // if the pool stays exhausted past it, nobody in the batch is still
+    // servable anyway.
+    uint64_t latest = 0;
+    for (const Request& r : batch) {
+      latest = r.deadline_nanos == kNeverNanos
+                   ? kNeverNanos
+                   : std::max(latest, r.deadline_nanos);
+      if (latest == kNeverNanos) break;
+    }
+    typename EnginePool<D>::Lease lease = pool_.TryAcquireLeaseUntil(latest);
+    if (!lease) {
+      ResolveExpired(batch);
+      return;
+    }
+    const uint64_t generation = lease.generation();
+    const uint64_t eps_bits = EpsBits(lease.index()->epsilon());
+
+    std::vector<size_t> distinct;
+    distinct.reserve(batch.size());
+    for (const Request& r : batch) distinct.push_back(r.min_pts);
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+
+    std::vector<Clustering> swept = lease.Sweep(distinct);
+    lease = typename EnginePool<D>::Lease();  // Free the context promptly.
+
+    std::unordered_map<size_t, std::shared_ptr<const Clustering>> by_minpts;
+    by_minpts.reserve(distinct.size());
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      by_minpts.emplace(distinct[i], std::make_shared<const Clustering>(
+                                         std::move(swept[i])));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [m, result] : by_minpts) {
+        InsertCacheLocked(generation, eps_bits, m, result);
+      }
+    }
+    if (batch.size() > 1) {
+      stats_->requests_coalesced.fetch_add(batch.size() - 1,
+                                           std::memory_order_relaxed);
+    }
+
+    const uint64_t now = clock_->NowNanos();
+    for (Request& r : batch) {
+      ServeResult result;
+      result.min_pts = r.min_pts;
+      if (r.deadline_nanos != kNeverNanos && r.deadline_nanos <= now) {
+        stats_->requests_timed_out.fetch_add(1, std::memory_order_relaxed);
+        result.status = ServeStatus::kTimedOut;
+      } else {
+        result.status = ServeStatus::kOk;
+        result.clustering = *by_minpts.at(r.min_pts);  // Waiter's own copy.
+        result.generation = generation;
+        result.coalesced = batch.size() > 1;
+      }
+      Deliver(r, std::move(result));
+    }
+  }
+
+  // Resolves one request exactly once: future first, then the callback
+  // (callbacks run without scheduler locks held).
+  void Deliver(Request& req, ServeResult&& result) {
+    if (req.callback) {
+      ServeResult copy = result;
+      req.promise.set_value(std::move(result));
+      req.callback(std::move(copy));
+    } else {
+      req.promise.set_value(std::move(result));
+    }
+  }
+
+  void ExecutorLoop() {
+    for (;;) {
+      std::vector<Request> expired;
+      std::vector<Request> batch;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        for (;;) {
+          ExtractExpiredLocked(expired);
+          if (!expired.empty() || stopped_) break;
+          if (!queue_.empty()) {
+            ClaimBatchLocked(batch);
+            break;
+          }
+          // Idle executors park without a deadline: queued work always
+          // either has an executor awake (claimed immediately) or will be
+          // deadline-checked when one returns here — and Submit notifies.
+          clock_->WaitUntil(lock, work_cv_, kNeverNanos);
+        }
+        if (stopped_ && expired.empty() && batch.empty()) return;
+      }
+      ResolveExpired(expired);
+      if (!batch.empty()) ExecuteBatch(batch);
+    }
+  }
+
+  EnginePool<D>& pool_;
+  const ServingOptions options_;
+  Clock* clock_;
+  dbscan::PipelineStats own_stats_;
+  dbscan::PipelineStats* stats_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  bool stopped_ = false;
+  std::deque<Request> queue_;
+  std::list<CacheKey> lru_;  // Front = most recently used.
+  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace pdbscan::parallel
+
+#endif  // PDBSCAN_PARALLEL_SERVING_SCHEDULER_H_

@@ -45,6 +45,31 @@
 // aggregate via EnginePool::AggregateStats(). See dbscan/cell_index.h and
 // parallel/engine_pool.h.
 //
+// Quickstart (production serving — bounded queues, deadlines, coalescing):
+//
+//   // Put a ServingScheduler in front of the pool when clients are
+//   // untrusted or bursty: admission is bounded, every request carries a
+//   // deadline, concurrent requests against the same snapshot share one
+//   // batched execution, and repeated (generation, eps, min_pts) queries
+//   // are answered from an LRU cache that snapshot replacement
+//   // invalidates.
+//   pdbscan::ServingScheduler<2> server(pool);        // defaults: 1
+//                                                     // executor, 5s
+//                                                     // deadline, 256 queue
+//   std::future<pdbscan::ServeResult> f = server.SubmitAsync(10);
+//   pdbscan::ServeResult r = f.get();
+//   if (r.ok()) use(r.clustering);                    // else r.status says
+//                                                     // kRejected/kTimedOut
+//   // Blocking flavor with per-request timeout, callback flavor:
+//   auto r2 = server.Submit(10, pdbscan::parallel::MillisToNanos(50));
+//   server.SubmitCallback(10, [](pdbscan::ServeResult r) { ... });
+//
+// Every kOk response is bit-identical to a solo EnginePool::Run at the
+// generation it reports (coalesced and cached responses included — the
+// bench enforces this by exit code). Tests drive the scheduler
+// deterministically with pdbscan::FakeClock + manual Pump() — see
+// parallel/serving_scheduler.h and parallel/serving_clock.h.
+//
 // Quickstart (streaming updates — serve a LIVE dataset):
 //
 //   // Grid cells + kScan counting, any dimension; starts empty.
@@ -142,6 +167,8 @@
 #include "geometry/point.h"
 #include "parallel/engine_pool.h"
 #include "parallel/scheduler.h"
+#include "parallel/serving_clock.h"
+#include "parallel/serving_scheduler.h"
 #include "persist/journal.h"
 #include "persist/persistent_clusterer.h"
 #include "persist/snapshot.h"
@@ -181,6 +208,36 @@ using QueryContext = dbscan::QueryContext<D>;
 // parallel/engine_pool.h).
 template <int D>
 using EnginePool = parallel::EnginePool<D>;
+
+// --- Serving surface (see parallel/serving_scheduler.h). -------------------
+
+// The admission/batching/caching layer over an EnginePool: bounded queue
+// with per-request deadlines and an overload policy, cross-client query
+// coalescing into single batched sweeps, a generation-keyed LRU result
+// cache, and an async submission API.
+template <int D>
+using ServingScheduler = parallel::ServingScheduler<D>;
+
+// Scheduler knobs: queue_limit, default_timeout_nanos, overload_policy,
+// cache_capacity, coalescing, num_executors (0 = manual Pump mode), clock.
+using ServingOptions = parallel::ServingOptions;
+
+// One resolved request: status, the waiter's own Clustering, the snapshot
+// generation it was served from, and cache/coalescing provenance flags.
+using ServeResult = parallel::ServeResult;
+using ServeStatus = parallel::ServeStatus;
+
+// Full-queue behavior: refuse the newcomer or evict the oldest waiter.
+using OverloadPolicy = parallel::OverloadPolicy;
+
+// The serving stack's injectable time source; FakeClock makes deadline /
+// overflow / coalescing races deterministic in tests (no real sleeps).
+using Clock = parallel::Clock;
+using FakeClock = parallel::FakeClock;
+
+// Thrown by EnginePool::Run/Sweep (and ServingScheduler::Run) when no
+// query context frees up before the deadline.
+using LeaseTimeout = parallel::LeaseTimeout;
 
 // Streaming writer: applies batched inserts/erases of stable point ids
 // incrementally, publishing each state as an immutable CellIndex snapshot

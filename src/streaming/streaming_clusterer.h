@@ -94,6 +94,14 @@ class StreamingClusterer {
     return index_.snapshot();
   }
 
+  // Thread-safe: the pool generation of the latest published snapshot.
+  // Starts at 1 for the empty dataset and increments on every
+  // ApplyUpdates/Insert/Erase — the value a ServingScheduler layered on
+  // pool() keys its result cache on, and the value ServeResult::generation
+  // reports back, so clients can tell exactly which dataset state answered
+  // them.
+  uint64_t generation() const { return pool_.generation(); }
+
   // Writer-thread accessors (see dynamic_cell_index.h).
   size_t num_points() const { return index_.num_points(); }
   size_t num_cells() const { return index_.num_cells(); }

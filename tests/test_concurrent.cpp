@@ -148,6 +148,58 @@ TEST(ConcurrentPool, StatsSumExactlyAcrossContexts) {
   EXPECT_EQ(agg.counts_reused.load(), 2 * kClients * kRoundsPerClient);
 }
 
+// The serving scheduler's admission counters obey their stated invariants
+// EXACTLY once traffic quiesces — not approximately, not "eventually":
+// admitted + rejected == submits, cache lookups cover every admission
+// decision, and every admitted request resolved kOk here (no deadlines, no
+// overload). Runs under TSan in CI like the rest of this suite.
+TEST(ConcurrentPool, ServingStatsSumExactly) {
+  const auto pts = BlobPoints<2>(1200, 3, 20.0, 1.0, 19);
+  EnginePool<2> pool(std::span<const Point2>(pts), /*epsilon=*/1.0,
+                     /*counts_cap=*/30);
+  parallel::ServingOptions opts;
+  opts.queue_limit = 10000;
+  opts.default_timeout_nanos = parallel::kNeverNanos;
+  opts.cache_capacity = 16;
+  opts.num_executors = 2;
+  ServingScheduler<2> scheduler(pool, opts);
+
+  std::atomic<size_t> ok{0};
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t]() {
+      for (size_t r = 0; r < kRoundsPerClient; ++r) {
+        if (scheduler.Submit(5 + (t + r) % 3).status == ServeStatus::kOk) {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  scheduler.Shutdown();
+
+  const auto& s = scheduler.serving_stats();
+  const size_t submits = kClients * kRoundsPerClient;
+  EXPECT_EQ(ok.load(), submits);
+  EXPECT_EQ(s.requests_admitted.load() + s.requests_rejected.load(), submits);
+  EXPECT_EQ(s.requests_rejected.load(), 0u);
+  EXPECT_EQ(s.requests_timed_out.load(), 0u);
+  EXPECT_EQ(s.cache_hits.load() + s.cache_misses.load(), submits);
+  EXPECT_LE(s.requests_coalesced.load(), submits);
+  EXPECT_LE(s.queue_depth_peak.load(), kClients);
+
+  // AggregateStats stacks the scheduler's counters on the pool's (build +
+  // per-context): the serving sums survive aggregation unchanged.
+  dbscan::PipelineStats agg;
+  scheduler.AggregateStats(agg);
+  EXPECT_EQ(agg.requests_admitted.load(), s.requests_admitted.load());
+  EXPECT_EQ(agg.cells_built.load(), 1u);
+  // Executions = cache misses that reached a sweep; with coalescing each
+  // batch pays exactly one counts load, so the pool-side counter can never
+  // exceed the miss count.
+  EXPECT_LE(agg.counts_reused.load(), s.cache_misses.load());
+}
+
 TEST(ConcurrentPool, OverCapQueriesRecountPrivatelyAndStayIdentical) {
   const auto pts = BlobPoints<2>(1000, 3, 18.0, 1.0, 23);
   const double eps = 1.0;

@@ -14,9 +14,13 @@
 #include <cstddef>
 #include <cstdio>
 #include <filesystem>
+#include <future>
+#include <map>
+#include <memory>
 #include <random>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -398,6 +402,108 @@ TEST_P(KernelPropertySweep, AllLevelsBitIdentical5d) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KernelPropertySweep,
+                         ::testing::Values(1, 2, 3));
+
+// --- Serving scheduler: every response vs a fresh run at its generation -----
+
+// Randomized request streams through a manual-pump ServingScheduler with
+// randomized toggles (cache on/off, coalescing on/off), interleaved with
+// snapshot swaps that change both the dataset and epsilon. The property:
+// every response is bit-identical to a fresh query against the snapshot of
+// the GENERATION it reports having been served from — regardless of how
+// requests were batched, cached, or raced with ReplaceIndex. Runs at 1
+// worker and the ambient worker count (inner parallelism must not leak
+// into served results any more than into direct runs).
+template <int D>
+void ServingMatchesGenerationFreshRuns(uint64_t seed, size_t rounds) {
+  std::mt19937_64 rng(seed);
+  const double eps_choices[] = {0.9, 1.4, 2.2, 3.6};
+  auto build = [&](uint64_t point_seed, double epsilon) {
+    const auto pts = GenerateShape<D>(
+        pdbscan::testing::kAllShapes[rng() % 5], 60 + rng() % 140, point_seed);
+    const size_t cap = 1 + rng() % 24;
+    return CellIndex<D>::Build(pts, epsilon, cap);
+  };
+
+  for (const int workers : {1, parallel::num_workers()}) {
+    parallel::ScopedNumWorkers scoped(workers);
+    auto index = build(rng(), eps_choices[rng() % 4]);
+    EnginePool<D> pool(index);
+    parallel::FakeClock clock;
+    pool.SetClock(&clock);
+
+    parallel::ServingOptions opts;
+    opts.num_executors = 0;  // The sweep pumps deterministically.
+    opts.clock = &clock;
+    opts.queue_limit = 1024;  // Never overloads: every response must be kOk.
+    opts.default_timeout_nanos = parallel::kNeverNanos;
+    opts.cache_capacity = rng() % 2 == 0 ? 16 : 0;
+    opts.coalescing = rng() % 2 == 0;
+    ServingScheduler<D> scheduler(pool, opts);
+
+    // The generation -> snapshot history the responses are audited against.
+    std::map<uint64_t, std::shared_ptr<const CellIndex<D>>> by_gen;
+    by_gen[pool.generation()] = index;
+
+    std::vector<std::pair<size_t, std::future<ServeResult>>> pending;
+    for (size_t round = 0; round < rounds; ++round) {
+      switch (rng() % 4) {
+        case 0:
+        case 1: {  // Submit (more often than the other actions).
+          const size_t m = 1 + rng() % 12;
+          pending.emplace_back(m, scheduler.SubmitAsync(m));
+          break;
+        }
+        case 2:  // Execute whatever queued.
+          scheduler.Pump();
+          break;
+        case 3: {  // Swap the snapshot mid-stream.
+          auto next = build(rng(), eps_choices[rng() % 4]);
+          pool.ReplaceIndex(next);
+          by_gen[pool.generation()] = next;
+          break;
+        }
+      }
+    }
+    while (scheduler.Pump() > 0) {
+    }
+
+    for (auto& [m, future] : pending) {
+      ServeResult r = future.get();
+      ASSERT_EQ(r.status, ServeStatus::kOk)
+          << "D=" << D << " seed=" << seed << " minpts=" << m;
+      ASSERT_TRUE(by_gen.count(r.generation) > 0);
+      dbscan::PipelineStats sink;
+      QueryContext<D> fresh(&sink);
+      ASSERT_TRUE(pdbscan::testing::Identical(
+          fresh.Run(by_gen.at(r.generation), m), r.clustering))
+          << "served response diverges from a fresh run: D=" << D
+          << " seed=" << seed << " gen=" << r.generation << " minpts=" << m
+          << " workers=" << workers << " cache=" << opts.cache_capacity
+          << " coalescing=" << opts.coalescing
+          << " from_cache=" << r.from_cache << " coalesced=" << r.coalesced;
+    }
+  }
+}
+
+class ServingPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ServingPropertySweep, ResponsesMatchFreshRuns2d) {
+  ServingMatchesGenerationFreshRuns<2>(GetParam() * 211 + 7,
+                                       24 * SweepBudget());
+}
+
+TEST_P(ServingPropertySweep, ResponsesMatchFreshRuns3d) {
+  ServingMatchesGenerationFreshRuns<3>(GetParam() * 431 + 11,
+                                       16 * SweepBudget());
+}
+
+TEST_P(ServingPropertySweep, ResponsesMatchFreshRuns5d) {
+  ServingMatchesGenerationFreshRuns<5>(GetParam() * 877 + 13,
+                                       10 * SweepBudget());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServingPropertySweep,
                          ::testing::Values(1, 2, 3));
 
 }  // namespace
