@@ -1,0 +1,241 @@
+// Distributed serving throughput: real pdbscan_server processes (1 writer +
+// N snapshot-shipping replicas over a shared directory), hammered by client
+// threads over TCP, reported as QPS and p50/p99 per (replicas, clients) arm
+// (aligned table + #csv rows).
+//
+// Mid-arm, the writer keeps applying update batches, so responses land on a
+// MOVING generation — replicas legitimately answer one or two generations
+// behind the writer while they tail.
+//
+// Acceptance gate, enforced by exit code: EVERY response, from every
+// replica in every arm, is bit-identical (labels, core flags, cluster
+// count) to a fresh local EnginePool::Run on the point set of the
+// generation the response reports. The local mirror applies the same
+// batches the writer received, so the reference is computed entirely in
+// this process — if a replica served anything but the exact dataset state
+// its generation names, the gate trips.
+//
+// The server binary is found via PDBSCAN_SERVER_BIN (env) or the compiled
+// PDBSCAN_SERVER_BINARY default.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "parallel/engine_pool.h"
+#include "util/subprocess.h"
+
+namespace {
+
+using namespace pdbscan;
+
+double Percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0;
+  const size_t idx = std::min(
+      sorted_ms.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_ms.size() - 1)));
+  return sorted_ms[idx];
+}
+
+std::string ServerBinary() {
+  if (const char* env = std::getenv("PDBSCAN_SERVER_BIN")) return env;
+#ifdef PDBSCAN_SERVER_BINARY
+  return PDBSCAN_SERVER_BINARY;
+#else
+  return std::string();
+#endif
+}
+
+// One response retained for the post-run audit.
+struct Served {
+  uint64_t generation;
+  size_t min_pts;
+  net::QueryResponse resp;
+};
+
+}  // namespace
+
+int main() {
+  using namespace pdbscan::bench;
+
+  const std::string binary = ServerBinary();
+  if (binary.empty() || !std::filesystem::exists(binary)) {
+    std::fprintf(stderr,
+                 "throughput_remote: pdbscan_server binary not found "
+                 "(set PDBSCAN_SERVER_BIN)\n");
+    return 1;
+  }
+
+  const double eps = 300;  // The 2D-SS-varden scale of the fig11 suite.
+  const size_t counts_cap = 100;
+  const size_t batch_points = ScaledN(2000);
+  const size_t warm_batches = 4;
+  const size_t requests_per_client = 16;
+  const std::vector<size_t> minpts_rotation = {10, 20, 50};
+  const std::vector<size_t> replica_counts = {1, 2, 4};
+  const std::vector<size_t> client_counts = {2, 8};
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("pdbscan_remote_bench_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+
+  std::printf("=== Distributed serving: QPS/p50/p99 across processes ===\n");
+  std::printf("dataset=2D-SS-varden batches of n=%zu eps=%g counts_cap=%zu "
+              "requests/client=%zu\n\n",
+              batch_points, eps, counts_cap, requests_per_client);
+
+  // --- Writer process + the in-process mirror it is audited against.
+  util::ChildProcess writer = util::SpawnProcess(
+      {binary, "--mode", "writer", "--dir", dir, "--dim", "2", "--eps",
+       std::to_string(eps), "--counts-cap", std::to_string(counts_cap),
+       "--port", "0", "--port-file", dir + "/wport", "--checkpoint-every",
+       "2", "--rotate-bytes", "262144", "--poll-ms", "5"});
+  const uint16_t wport = util::ReadPortFile(dir + "/wport");
+
+  StreamingClusterer<2> mirror(eps, counts_cap);
+  std::map<uint64_t, std::vector<geometry::Point<2>>> points_by_gen;
+  points_by_gen[mirror.generation()] = {};
+  net::Client writer_client(wport);
+  uint64_t batch_seed = 1;
+  auto apply_batch = [&]() {
+    net::UpdateRequest<2> req;
+    req.inserts = data::SsVarden<2>(batch_points, /*seed=*/batch_seed++);
+    const net::UpdateResponse up = writer_client.Update<2>(req);
+    mirror.ApplyUpdates(std::span<const geometry::Point<2>>(req.inserts), {});
+    if (up.generation != mirror.generation()) {
+      std::fprintf(stderr, "writer generation %llu != mirror %llu\n",
+                   static_cast<unsigned long long>(up.generation),
+                   static_cast<unsigned long long>(mirror.generation()));
+      std::exit(1);
+    }
+    points_by_gen[mirror.generation()] = mirror.LivePoints();
+  };
+  for (size_t b = 0; b < warm_batches; ++b) apply_batch();
+
+  // Fresh local EnginePool::Run at (generation, min_pts) — the reference
+  // every remote response must reproduce bit for bit. Cached per pair.
+  std::map<std::pair<uint64_t, size_t>, Clustering> reference;
+  std::mutex reference_mu;
+  auto reference_for = [&](uint64_t gen, size_t min_pts) -> const Clustering& {
+    std::lock_guard<std::mutex> lock(reference_mu);
+    const auto key = std::make_pair(gen, min_pts);
+    auto it = reference.find(key);
+    if (it == reference.end()) {
+      const auto& pts = points_by_gen.at(gen);
+      EnginePool<2> pool(CellIndex<2>::Build(
+          std::span<const geometry::Point<2>>(pts), eps, counts_cap));
+      it = reference.emplace(key, pool.Run(min_pts)).first;
+    }
+    return it->second;
+  };
+  auto matches = [&](const Served& s) {
+    const Clustering& expect = reference_for(s.generation, s.min_pts);
+    return s.resp.num_clusters == expect.num_clusters &&
+           s.resp.cluster == expect.cluster && s.resp.is_core == expect.is_core;
+  };
+
+  util::BenchTable table({"replicas", "clients", "requests", "ok", "p50_ms",
+                          "p99_ms", "qps", "identical"});
+  bool all_identical = true;
+
+  for (const size_t replicas : replica_counts) {
+    // Spawn the replica fleet for this block and wait for catch-up.
+    std::vector<util::ChildProcess> fleet;
+    std::vector<uint16_t> ports;
+    for (size_t r = 0; r < replicas; ++r) {
+      const std::string port_file =
+          dir + "/rport_" + std::to_string(replicas) + "_" + std::to_string(r);
+      fleet.push_back(util::SpawnProcess(
+          {binary, "--mode", "replica", "--dir", dir, "--dim", "2", "--eps",
+           std::to_string(eps), "--counts-cap", std::to_string(counts_cap),
+           "--port", "0", "--port-file", port_file, "--poll-ms", "5"}));
+      ports.push_back(util::ReadPortFile(port_file));
+    }
+    for (const uint16_t port : ports) {
+      net::Client probe(port);
+      while (probe.Info().generation < mirror.generation()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+
+    for (const size_t clients : client_counts) {
+      std::atomic<size_t> ok{0};
+      std::mutex results_mu;
+      std::vector<double> latencies_ms;
+      std::vector<Served> served;
+
+      util::Timer timer;
+      std::vector<std::thread> threads;
+      for (size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c]() {
+          // Clients spread round-robin over the replica fleet.
+          net::Client client(ports[c % ports.size()]);
+          std::vector<double> my_lat;
+          std::vector<Served> my_served;
+          for (size_t q = 0; q < requests_per_client; ++q) {
+            const size_t min_pts =
+                minpts_rotation[(c + q) % minpts_rotation.size()];
+            util::Timer lat;
+            net::QueryResponse resp = client.Query(min_pts);
+            my_lat.push_back(lat.Seconds() * 1000.0);
+            ok.fetch_add(1, std::memory_order_relaxed);
+            my_served.push_back(
+                Served{resp.generation, min_pts, std::move(resp)});
+          }
+          std::lock_guard<std::mutex> lock(results_mu);
+          latencies_ms.insert(latencies_ms.end(), my_lat.begin(),
+                              my_lat.end());
+          for (auto& s : my_served) served.push_back(std::move(s));
+        });
+      }
+      // The writer keeps moving while the fleet serves: replicas answer
+      // whatever generation they have tailed to.
+      apply_batch();
+      for (auto& t : threads) t.join();
+      const double seconds = timer.Seconds();
+
+      size_t mismatches = 0;
+      for (const Served& s : served) {
+        if (!matches(s)) ++mismatches;
+      }
+      if (mismatches != 0) all_identical = false;
+
+      std::sort(latencies_ms.begin(), latencies_ms.end());
+      const size_t total = clients * requests_per_client;
+      table.AddRow(
+          {std::to_string(replicas), std::to_string(clients),
+           std::to_string(total), std::to_string(ok.load()),
+           util::BenchTable::Num(Percentile(latencies_ms, 0.50), 3),
+           util::BenchTable::Num(Percentile(latencies_ms, 0.99), 3),
+           util::BenchTable::Num(static_cast<double>(ok.load()) / seconds, 4),
+           mismatches == 0 ? "yes" : "NO"});
+    }
+    // Replicas hold no durable state: SIGKILL teardown is safe by design.
+    for (auto& replica : fleet) replica.KillAndWait(SIGKILL);
+  }
+
+  table.Print();
+  table.PrintCsv();
+
+  // Clean writer shutdown through the protocol.
+  writer_client.Shutdown();
+  const int status = writer.Wait();
+  const bool clean_exit = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  std::filesystem::remove_all(dir);
+
+  std::printf("\nidentical=%s (every replica response vs a fresh local "
+              "EnginePool::Run at its reported generation) writer_exit=%s\n",
+              all_identical ? "yes" : "NO", clean_exit ? "clean" : "DIRTY");
+  return all_identical && clean_exit ? 0 : 1;
+}

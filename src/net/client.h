@@ -1,0 +1,199 @@
+// Client for the pdbscan serving protocol: a sync convenience surface
+// (Query/Info/Update/Shutdown) over an explicitly pipelined core
+// (SendX → request_id, Receive → next response). Pipelining is just
+// writing several frames before reading: the server answers in order per
+// connection, and request_ids let the caller re-associate. One Client per
+// thread — the object is not internally synchronized.
+//
+// Server-reported errors surface as RemoteError (carrying the wire
+// ErrorCode); transport failures as NetError. SendRaw/ShutdownWrite are
+// the fuzzing escape hatches: inject arbitrary bytes, half-close, and
+// still read the server's verdict.
+#ifndef PDBSCAN_NET_CLIENT_H_
+#define PDBSCAN_NET_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace pdbscan::net {
+
+// The server answered with an ErrorResponse.
+class RemoteError : public std::runtime_error {
+ public:
+  RemoteError(ErrorCode code, const std::string& message)
+      : std::runtime_error("remote error " +
+                           std::to_string(static_cast<int>(code)) + ": " +
+                           message),
+        code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+// One decoded response of any type; `type` says which member is valid.
+struct ClientResponse {
+  uint64_t request_id = 0;
+  MessageType type = MessageType::kErrorResponse;
+  QueryResponse query;
+  InfoResponse info;
+  UpdateResponse update;
+  ErrorResponse error;
+};
+
+class Client {
+ public:
+  explicit Client(uint16_t port, uint64_t connect_timeout_millis = 5000,
+                  ProtocolLimits limits = ProtocolLimits())
+      : conn_(ConnectLoopback(port, connect_timeout_millis)),
+        decoder_(limits) {}
+
+  // --- Pipelined core -------------------------------------------------------
+
+  uint64_t SendQuery(uint64_t min_pts) {
+    QueryRequest req;
+    req.min_pts = min_pts;
+    return Send(MessageType::kQueryRequest, EncodeQueryRequest(req));
+  }
+
+  uint64_t SendInfo() { return Send(MessageType::kInfoRequest, {}); }
+
+  template <int D>
+  uint64_t SendUpdate(const UpdateRequest<D>& req) {
+    return Send(MessageType::kUpdateRequest, EncodeUpdateRequest<D>(req));
+  }
+
+  uint64_t SendShutdown() { return Send(MessageType::kShutdownRequest, {}); }
+
+  // Blocks for the next response frame. Throws NetError when the
+  // connection closes first (e.g. after a framing error the server could
+  // not even answer, or a mid-response kill).
+  ClientResponse Receive() {
+    for (;;) {
+      if (auto frame = decoder_.Next()) {
+        ClientResponse resp;
+        resp.request_id = frame->request_id;
+        resp.type = frame->type;
+        bool ok = true;
+        switch (frame->type) {
+          case MessageType::kQueryResponse:
+            ok = DecodeQueryResponse(frame->payload, &resp.query);
+            break;
+          case MessageType::kInfoResponse:
+            ok = DecodeInfoResponse(frame->payload, &resp.info);
+            break;
+          case MessageType::kUpdateResponse:
+            ok = DecodeUpdateResponse(frame->payload, &resp.update);
+            break;
+          case MessageType::kShutdownResponse:
+            break;
+          case MessageType::kErrorResponse:
+            ok = DecodeErrorResponse(frame->payload, &resp.error);
+            break;
+          default:
+            ok = false;
+        }
+        if (!ok) throw NetError("malformed response payload from server");
+        return resp;
+      }
+      if (decoder_.error() != ErrorCode::kNone) {
+        throw NetError("response stream framing error");
+      }
+      const size_t n = conn_.RecvSome(buf_);
+      if (n == 0) throw NetError("connection closed by server");
+      decoder_.Feed(std::span<const uint8_t>(buf_.data(), n));
+    }
+  }
+
+  // --- Sync conveniences ----------------------------------------------------
+
+  QueryResponse Query(uint64_t min_pts) {
+    const uint64_t id = SendQuery(min_pts);
+    ClientResponse resp = ReceiveFor(id);
+    if (resp.type == MessageType::kErrorResponse) {
+      throw RemoteError(resp.error.code, resp.error.message);
+    }
+    if (resp.type != MessageType::kQueryResponse) {
+      throw NetError("unexpected response type to query");
+    }
+    return std::move(resp.query);
+  }
+
+  InfoResponse Info() {
+    const uint64_t id = SendInfo();
+    ClientResponse resp = ReceiveFor(id);
+    if (resp.type == MessageType::kErrorResponse) {
+      throw RemoteError(resp.error.code, resp.error.message);
+    }
+    if (resp.type != MessageType::kInfoResponse) {
+      throw NetError("unexpected response type to info");
+    }
+    return resp.info;
+  }
+
+  template <int D>
+  UpdateResponse Update(const UpdateRequest<D>& req) {
+    const uint64_t id = SendUpdate<D>(req);
+    ClientResponse resp = ReceiveFor(id);
+    if (resp.type == MessageType::kErrorResponse) {
+      throw RemoteError(resp.error.code, resp.error.message);
+    }
+    if (resp.type != MessageType::kUpdateResponse) {
+      throw NetError("unexpected response type to update");
+    }
+    return resp.update;
+  }
+
+  // Clean remote shutdown (the server finishes in-flight work and exits).
+  void Shutdown() {
+    const uint64_t id = SendShutdown();
+    ClientResponse resp = ReceiveFor(id);
+    if (resp.type == MessageType::kErrorResponse) {
+      throw RemoteError(resp.error.code, resp.error.message);
+    }
+  }
+
+  // --- Fuzzing escape hatches -----------------------------------------------
+
+  // Writes arbitrary bytes as-is (no framing added).
+  void SendRaw(std::span<const uint8_t> bytes) { conn_.SendAll(bytes); }
+
+  // Half-close: tells the server "no more bytes are coming" while keeping
+  // the read side open — how a truncated-frame test still reads the
+  // server's reaction.
+  void ShutdownWrite() { conn_.ShutdownWrite(); }
+
+  TcpConn& conn() { return conn_; }
+
+ private:
+  uint64_t Send(MessageType type, std::span<const uint8_t> payload) {
+    const uint64_t id = next_request_id_++;
+    conn_.SendAll(EncodeFrame(type, id, payload));
+    return id;
+  }
+
+  // Receives until the response for `id` arrives (responses are in order
+  // per connection, so for sync use this is the very next frame).
+  ClientResponse ReceiveFor(uint64_t id) {
+    for (;;) {
+      ClientResponse resp = Receive();
+      if (resp.request_id == id) return resp;
+    }
+  }
+
+  TcpConn conn_;
+  FrameDecoder decoder_;
+  std::vector<uint8_t> buf_ = std::vector<uint8_t>(64 * 1024);
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace pdbscan::net
+
+#endif  // PDBSCAN_NET_CLIENT_H_

@@ -1,0 +1,191 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+namespace pdbscan::net {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw NetError(what + ": " + strerror(errno));
+}
+
+}  // namespace
+
+// --- TcpConn ----------------------------------------------------------------
+
+TcpConn::TcpConn(int fd) : fd_(fd) {
+  if (fd_ >= 0) {
+    // The protocol is request/response with small frames; Nagle only adds
+    // latency here.
+    int one = 1;
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+}
+
+TcpConn::TcpConn(TcpConn&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpConn::~TcpConn() { Close(); }
+
+void TcpConn::SendAll(std::span<const uint8_t> bytes) {
+  if (fd_ < 0) throw NetError("SendAll on closed connection");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a hung-up peer must surface as EPIPE, not SIGPIPE —
+    // the server's connection threads handle the error and move on.
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+size_t TcpConn::RecvSome(std::span<uint8_t> out) {
+  if (fd_ < 0) throw NetError("RecvSome on closed connection");
+  for (;;) {
+    const ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("recv");
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
+void TcpConn::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void TcpConn::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// --- TcpListener ------------------------------------------------------------
+
+TcpListener::TcpListener(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) ThrowErrno("socket");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    ThrowErrno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    ThrowErrno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    ThrowErrno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::pipe(wake_pipe_) < 0) ThrowErrno("pipe");
+}
+
+TcpListener::~TcpListener() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+TcpConn TcpListener::Accept() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[1].fd = wake_pipe_[0];
+    fds[1].events = POLLIN;
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("poll");
+    }
+    // Wake bytes stay in the pipe: once interrupted, every later Accept
+    // (from any thread) also returns empty — the shutdown latch.
+    if (fds[1].revents != 0) return TcpConn();
+    if (fds[0].revents != 0) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        ThrowErrno("accept");
+      }
+      return TcpConn(fd);
+    }
+  }
+}
+
+void TcpListener::Interrupt() {
+  const uint8_t byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+// --- ConnectLoopback --------------------------------------------------------
+
+TcpConn ConnectLoopback(uint16_t port, uint64_t timeout_millis) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_millis);
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) ThrowErrno("socket");
+    sockaddr_in addr;
+    memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      return TcpConn(fd);
+    }
+    const int saved = errno;
+    ::close(fd);
+    if (saved != ECONNREFUSED ||
+        std::chrono::steady_clock::now() >= deadline) {
+      errno = saved;
+      ThrowErrno("connect 127.0.0.1:" + std::to_string(port));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace pdbscan::net

@@ -1,0 +1,90 @@
+// Thin RAII wrappers over POSIX TCP sockets — just enough transport for
+// the pdbscan serving protocol (net/protocol.h): a listener with an
+// interruptible Accept, a connection with full-write/partial-read
+// semantics, and a blocking loopback connect with retry (servers that are
+// still binding). No external dependencies; implementation in socket.cpp.
+#ifndef PDBSCAN_NET_SOCKET_H_
+#define PDBSCAN_NET_SOCKET_H_
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pdbscan::net {
+
+// Transport-level failure (bind/listen/connect/send errors). Protocol
+// errors never throw this — they travel as ErrorResponse frames.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// One connected TCP stream. Movable, closes on destruction.
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd);
+  TcpConn(TcpConn&& other) noexcept;
+  TcpConn& operator=(TcpConn&& other) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+  ~TcpConn();
+
+  explicit operator bool() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Writes all of `bytes` (loops over partial sends). Throws NetError on
+  // failure (including EPIPE — the peer hung up).
+  void SendAll(std::span<const uint8_t> bytes);
+
+  // Reads up to out.size() bytes; returns the count, 0 on orderly EOF.
+  // Throws NetError on failure.
+  size_t RecvSome(std::span<uint8_t> out);
+
+  // Half-close the write side (the peer sees EOF but can still respond) —
+  // how a fuzzing client says "that truncated frame was all I had" while
+  // keeping the read side open for the server's error frame.
+  void ShutdownWrite();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Listening socket bound to 127.0.0.1. Port 0 binds an ephemeral port;
+// port() reports the actual one. Accept blocks until a connection arrives
+// or Interrupt() is called from another thread (returns an empty TcpConn).
+class TcpListener {
+ public:
+  explicit TcpListener(uint16_t port);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  // Blocks for the next connection; empty TcpConn after Interrupt().
+  TcpConn Accept();
+
+  // Wakes a Accept() blocked in another thread (idempotent, one-shot per
+  // wakeup needed — subsequent Accepts return empty immediately once
+  // interrupted).
+  void Interrupt();
+
+ private:
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  uint16_t port_ = 0;
+};
+
+// Connects to 127.0.0.1:port, retrying ECONNREFUSED until
+// `timeout_millis` elapses (a just-spawned server may not be listening
+// yet). Throws NetError on timeout or other failure.
+TcpConn ConnectLoopback(uint16_t port, uint64_t timeout_millis = 5000);
+
+}  // namespace pdbscan::net
+
+#endif  // PDBSCAN_NET_SOCKET_H_

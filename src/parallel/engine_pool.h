@@ -67,6 +67,7 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -99,6 +100,22 @@ class EnginePool {
   explicit EnginePool(std::shared_ptr<const dbscan::CellIndex<D>> index)
       : index_(std::move(index)) {
     if (!index_) throw std::invalid_argument("EnginePool needs an index");
+  }
+
+  // Adopts an index at an explicit starting generation. Generation numbers
+  // are per-pool by default (start at 1, bump on ReplaceIndex); a process
+  // that recovers a dataset mid-history — a replica cold-starting from a
+  // shipped checkpoint (net/replication.h) — instead needs its pool to
+  // report the DATASET's generation, so that "generation G" names the same
+  // point set on every node. `generation` must be >= 1 (0 is reserved as
+  // the Lease-was-moved-from sentinel).
+  EnginePool(std::shared_ptr<const dbscan::CellIndex<D>> index,
+             uint64_t generation)
+      : index_(std::move(index)), generation_(generation) {
+    if (!index_) throw std::invalid_argument("EnginePool needs an index");
+    if (generation == 0) {
+      throw std::invalid_argument("EnginePool generation must be >= 1");
+    }
   }
 
   // Serves the merged frozen index of a spatially sharded build — sharded
@@ -277,6 +294,26 @@ class EnginePool {
     std::lock_guard<std::mutex> lock(mu_);
     index_ = std::move(index);
     ++generation_;
+    for (Slot* slot : free_) slot->context.EvictStaleCountsCache(index_);
+  }
+
+  // ReplaceIndex at an explicit generation, for pools whose generation
+  // numbers track a shared dataset history rather than local swap counts
+  // (see the explicit-generation constructor). The new generation must be
+  // strictly greater than the current one — generations order snapshots,
+  // and generation-keyed caches (serving_scheduler.h) rely on a key never
+  // naming two different datasets.
+  void ReplaceIndex(std::shared_ptr<const dbscan::CellIndex<D>> index,
+                    uint64_t generation) {
+    if (!index) throw std::invalid_argument("EnginePool needs an index");
+    std::lock_guard<std::mutex> lock(mu_);
+    if (generation <= generation_) {
+      throw std::invalid_argument(
+          "ReplaceIndex generation " + std::to_string(generation) +
+          " must exceed current " + std::to_string(generation_));
+    }
+    index_ = std::move(index);
+    generation_ = generation;
     for (Slot* slot : free_) slot->context.EvictStaleCountsCache(index_);
   }
 

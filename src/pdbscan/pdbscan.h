@@ -165,6 +165,10 @@
 #include "dbscan/pipeline.h"
 #include "dbscan/types.h"
 #include "geometry/point.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/replication.h"
+#include "net/server.h"
 #include "parallel/engine_pool.h"
 #include "parallel/scheduler.h"
 #include "parallel/serving_clock.h"
@@ -310,6 +314,54 @@ using UpdateJournal = persist::UpdateJournal<D>;
 template <int D>
 using PersistentClusterer = persist::PersistentClusterer<D>;
 using PersistOptions = persist::PersistOptions;
+
+// --- Distributed serving surface (see net/). --------------------------------
+//
+// Quickstart (one writer, N snapshot-shipping replicas over TCP):
+//
+//   // Writer process: owns the dataset, journals every batch to rotating
+//   // segments under /shared/ds, checkpoints snapshots there on a cadence.
+//   pdbscan::WriterNode<2> writer("/shared/ds", /*epsilon=*/1.0,
+//                                 /*counts_cap=*/100);
+//   pdbscan::ServingScheduler<2> sched(writer.pool());
+//   pdbscan::NetServer<2> server(sched, writer.pool(), 1.0, 100);
+//   server.Start();                       // TCP front-end on 127.0.0.1
+//
+//   // Replica processes: cold-start from the newest shipped checkpoint
+//   // (mmap) and tail the journal segments — each applied batch is
+//   // republished at the writer's generation numbering.
+//   pdbscan::ReplicaNode<2> replica("/shared/ds", 1.0, 100);
+//   replica.StartTailing();
+//
+//   // Any client, against ANY node:
+//   pdbscan::NetClient client(server.port());
+//   auto resp = client.Query(/*min_pts=*/10);   // resp.generation,
+//                                               // resp.cluster, resp.is_core
+//
+// The cross-replica identity contract: labels for the same (generation,
+// eps, min_pts) are bit-identical no matter which node answered —
+// generation numbers name dataset states (batches applied + 1), shared by
+// every node through the checkpoint/journal pairing. tools/
+// pdbscan_server.cpp is the ready-made node binary; bench/
+// throughput_remote.cpp enforces the contract by exit code across real
+// processes. See net/replication.h, net/server.h, net/protocol.h.
+
+template <int D>
+using WriterNode = net::WriterNode<D>;
+template <int D>
+using ReplicaNode = net::ReplicaNode<D>;
+using WriterOptions = net::WriterOptions;
+using ReplicaOptions = net::ReplicaOptions;
+
+template <int D>
+using NetServer = net::NetServer<D>;
+using NetServerOptions = net::ServerOptions;
+using NetClient = net::Client;
+
+// Transport failure (connect/send/recv) vs. server-reported protocol
+// error (carries the wire ErrorCode).
+using NetError = net::NetError;
+using RemoteError = net::RemoteError;
 
 // Serializes a frozen index (crash-safe temp-then-rename write).
 template <int D>

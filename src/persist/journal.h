@@ -30,11 +30,25 @@
 // most recent batches but never corrupts the replayable prefix).
 //
 // Threading contract: one writer, like the DynamicCellIndex it logs for.
+//
+// Segment rotation: a single growing file is the right shape for the
+// checkpoint-reset lifecycle of PersistentClusterer, but a REPLICATION log
+// must stay tailable — a replica that is `k` batches behind should read the
+// records after `k`, not the whole history. SegmentedJournal below keeps a
+// directory of UpdateJournal files named journal-<start_seq>.pdbjnl, where
+// start_seq is the number of batches applied before the segment's first
+// record (the segment's UpdateJournal generation field carries the same
+// number, so every existing framing/torn-tail/config check applies per
+// segment). Once the active segment exceeds rotate_bytes it is closed and a
+// new one opens at the current sequence; ListSegmentsSince(dir, seq)
+// returns exactly the segments a reader at sequence `seq` still needs.
 #ifndef PDBSCAN_PERSIST_JOURNAL_H_
 #define PDBSCAN_PERSIST_JOURNAL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <span>
@@ -339,6 +353,156 @@ class UpdateJournal {
   dbscan::PipelineStats* stats_;
   std::unique_ptr<AppendFile> file_;
   std::vector<uint8_t> buffer_;  // Reused record encoding scratch.
+};
+
+// --- Journal segments (the tailable, rotating flavor) -----------------------
+
+// One segment file of a segmented journal. Record i of the segment is the
+// update batch that advances the dataset from sequence start_seq + i to
+// start_seq + i + 1.
+struct JournalSegment {
+  std::string path;
+  uint64_t start_seq = 0;
+};
+
+inline std::string JournalSegmentName(uint64_t start_seq) {
+  return "journal-" + std::to_string(start_seq) + ".pdbjnl";
+}
+
+// All journal segments in `dir`, sorted by start sequence. Non-segment
+// files (checkpoints, temp files) are ignored; a missing directory yields
+// an empty list.
+inline std::vector<JournalSegment> ListJournalSegments(
+    const std::string& dir) {
+  std::vector<JournalSegment> segments;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= 15 || name.compare(0, 8, "journal-") != 0 ||
+        name.compare(name.size() - 7, 7, ".pdbjnl") != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(8, name.size() - 15);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    segments.push_back(
+        JournalSegment{entry.path().string(), std::stoull(digits)});
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const JournalSegment& a, const JournalSegment& b) {
+              return a.start_seq < b.start_seq;
+            });
+  return segments;
+}
+
+// The segments a reader that has applied `seq` batches still needs: the
+// last segment starting at or before `seq` (it may hold records past the
+// reader's position) plus every later one. An empty result means no
+// segments exist; a result whose FIRST start_seq is greater than `seq`
+// means the records in (seq, first) were pruned away — the reader must
+// re-cold-start from a newer checkpoint (see net/replication.h).
+inline std::vector<JournalSegment> ListSegmentsSince(const std::string& dir,
+                                                     uint64_t seq) {
+  std::vector<JournalSegment> segments = ListJournalSegments(dir);
+  size_t first = 0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].start_seq <= seq) first = i;
+  }
+  segments.erase(segments.begin(), segments.begin() + first);
+  return segments;
+}
+
+// Unlinks every segment whose records are ALL at sequences <= `seq` (i.e.
+// whose successor segment starts at or before `seq`) — they are fully
+// covered by a checkpoint at `seq`. The newest segment is never pruned
+// (it is the active tail). Returns the number of files removed.
+inline size_t PruneSegmentsBefore(const std::string& dir, uint64_t seq) {
+  const std::vector<JournalSegment> segments = ListJournalSegments(dir);
+  size_t removed = 0;
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    if (segments[i + 1].start_seq <= seq) {
+      std::error_code ec;
+      if (std::filesystem::remove(segments[i].path, ec)) ++removed;
+    }
+  }
+  return removed;
+}
+
+// A rotating directory of UpdateJournal segments — the replication log of
+// net/replication.h. The writer attaches current() to its DynamicCellIndex
+// (WAL-before-mutate discipline unchanged) and calls OnBatchApplied() after
+// every applied batch; the segmented journal counts sequences and rotates
+// the active segment once it crosses rotate_bytes. Reopening an existing
+// directory resumes at the given sequence: the active segment is the last
+// one on disk (its torn tail, if any, is truncated by the UpdateJournal
+// constructor), so appends continue exactly where the previous process
+// stopped.
+//
+// Threading contract: one writer, like the UpdateJournal segments it owns.
+template <int D>
+class SegmentedJournal {
+ public:
+  // `seq` is the number of batches already applied (and already covered by
+  // the segments on disk / the checkpoint the caller recovered from).
+  // `active_start` names the segment appends go to: the start sequence of
+  // the last on-disk segment when resuming, or `seq` for a fresh one.
+  SegmentedJournal(const std::string& dir, double epsilon, size_t counts_cap,
+                   const Options& options, uint64_t seq,
+                   uint64_t active_start, uint64_t rotate_bytes,
+                   FsyncPolicy fsync = FsyncPolicy::kNone,
+                   dbscan::PipelineStats* stats = nullptr)
+      : dir_(dir),
+        epsilon_(epsilon),
+        counts_cap_(counts_cap),
+        options_(options),
+        seq_(seq),
+        rotate_bytes_(rotate_bytes),
+        fsync_(fsync),
+        stats_(stats) {
+    if (active_start > seq) {
+      throw PersistError(dir + ": active segment start " +
+                         std::to_string(active_start) +
+                         " is ahead of sequence " + std::to_string(seq));
+    }
+    current_ = std::make_unique<UpdateJournal<D>>(
+        dir_ + "/" + JournalSegmentName(active_start), epsilon_, counts_cap_,
+        options_, active_start, fsync_, stats_);
+  }
+
+  SegmentedJournal(const SegmentedJournal&) = delete;
+  SegmentedJournal& operator=(const SegmentedJournal&) = delete;
+
+  // The active segment — attach to DynamicCellIndex::set_journal. Invalid
+  // after the next OnBatchApplied() that rotates; re-attach then (see
+  // rotated_since() or simply re-read current() every batch).
+  UpdateJournal<D>* current() { return current_.get(); }
+
+  // Sequence accounting + rotation, called once after every applied batch.
+  // Returns true when the active segment changed (the caller re-attaches).
+  bool OnBatchApplied() {
+    ++seq_;
+    if (current_->size_bytes() < rotate_bytes_) return false;
+    current_ = std::make_unique<UpdateJournal<D>>(
+        dir_ + "/" + JournalSegmentName(seq_), epsilon_, counts_cap_,
+        options_, seq_, fsync_, stats_);
+    return true;
+  }
+
+  uint64_t seq() const { return seq_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  double epsilon_;
+  size_t counts_cap_;
+  Options options_;
+  uint64_t seq_;
+  uint64_t rotate_bytes_;
+  FsyncPolicy fsync_;
+  dbscan::PipelineStats* stats_;
+  std::unique_ptr<UpdateJournal<D>> current_;
 };
 
 }  // namespace pdbscan::persist

@@ -42,6 +42,7 @@ class TempDir {
   std::string File(const std::string& name) const {
     return (path_ / name).string();
   }
+  std::string str() const { return path_.string(); }
   const fs::path& path() const { return path_; }
 
  private:
@@ -592,6 +593,167 @@ TEST(PersistStats, BytesAndLoadSecondsAreCounted) {
   (void)LoadIndex<2>(path, LoadMode::kMapped, &stats);
   EXPECT_EQ(stats.snapshot_bytes_read.load(), file_bytes);
   EXPECT_GT(stats.snapshot_load_seconds.load(), 0.0);
+}
+
+// --- Journal segments (the replication log of net/replication.h). -----------
+
+TEST(JournalSegments, ListingFiltersForeignFilesAndSorts) {
+  TempDir dir("seglist");
+  for (const char* name :
+       {"journal-10.pdbjnl", "journal-2.pdbjnl", "journal-0.pdbjnl"}) {
+    Dump(dir.File(name), {});
+  }
+  // Foreign and malformed names must be ignored.
+  for (const char* name :
+       {"checkpoint-3.pdbsnap", "journal-.pdbjnl", "journal-x7.pdbjnl",
+        "journal-5.pdbjnl.tmp", "notes.txt"}) {
+    Dump(dir.File(name), {});
+  }
+  const auto segments = persist::ListJournalSegments(dir.str());
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[0].start_seq, 0u);
+  EXPECT_EQ(segments[1].start_seq, 2u);
+  EXPECT_EQ(segments[2].start_seq, 10u);
+  EXPECT_TRUE(persist::ListJournalSegments(dir.File("missing")).empty());
+}
+
+TEST(JournalSegments, ListSegmentsSinceKeepsTheCoveringSegment) {
+  TempDir dir("segsince");
+  for (const char* name :
+       {"journal-0.pdbjnl", "journal-5.pdbjnl", "journal-9.pdbjnl"}) {
+    Dump(dir.File(name), {});
+  }
+  auto starts = [&](uint64_t seq) {
+    std::vector<uint64_t> out;
+    for (const auto& s : persist::ListSegmentsSince(dir.str(), seq)) {
+      out.push_back(s.start_seq);
+    }
+    return out;
+  };
+  // A reader at seq 4 still needs journal-0 (it holds records 1..5).
+  EXPECT_EQ(starts(4), (std::vector<uint64_t>{0, 5, 9}));
+  // At seq 5 the covering segment is journal-5.
+  EXPECT_EQ(starts(5), (std::vector<uint64_t>{5, 9}));
+  EXPECT_EQ(starts(7), (std::vector<uint64_t>{5, 9}));
+  // Far ahead: only the newest segment remains relevant.
+  EXPECT_EQ(starts(100), (std::vector<uint64_t>{9}));
+}
+
+TEST(JournalSegments, PruneCoversOldSegmentsNeverTheNewest) {
+  TempDir dir("segprune");
+  for (const char* name :
+       {"journal-0.pdbjnl", "journal-3.pdbjnl", "journal-6.pdbjnl"}) {
+    Dump(dir.File(name), {});
+  }
+  // A checkpoint at seq 3 fully covers journal-0 (records 1..3) only.
+  EXPECT_EQ(persist::PruneSegmentsBefore(dir.str(), 3), 1u);
+  auto segments = persist::ListJournalSegments(dir.str());
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments.front().start_seq, 3u);
+  // Even a checkpoint past everything keeps the active tail.
+  EXPECT_EQ(persist::PruneSegmentsBefore(dir.str(), 100), 1u);
+  segments = persist::ListJournalSegments(dir.str());
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments.front().start_seq, 6u);
+}
+
+TEST(JournalSegments, RotationProducesAReplayableChain) {
+  TempDir dir("segrotate");
+  Options options;
+  persist::SegmentedJournal<2> journal(dir.str(), 0.8, 16, options,
+                                       /*seq=*/0, /*active_start=*/0,
+                                       /*rotate_bytes=*/512);
+  DynamicCellIndex<2> live(0.8, 16, options);
+  live.set_journal(journal.current());
+  for (int b = 0; b < 6; ++b) {
+    live.ApplyUpdates(Batch<2>(60, 700 + b), {});
+    if (journal.OnBatchApplied()) live.set_journal(journal.current());
+  }
+  EXPECT_EQ(journal.seq(), 6u);
+
+  // Several segments, each whose header generation matches its file name.
+  const auto segments = persist::ListJournalSegments(dir.str());
+  ASSERT_GT(segments.size(), 1u);
+  size_t total_records = 0;
+  for (const auto& seg : segments) {
+    const auto scan = UpdateJournal<2>::Scan(seg.path);
+    EXPECT_EQ(scan.generation, seg.start_seq) << seg.path;
+    EXPECT_FALSE(scan.truncated_tail) << seg.path;
+    total_records += scan.records.size();
+  }
+  EXPECT_EQ(total_records, 6u);
+
+  // Replaying the chain in order reproduces the writer's state exactly.
+  DynamicCellIndex<2> recovered(0.8, 16, options);
+  for (const auto& seg : segments) {
+    const auto scan = UpdateJournal<2>::Scan(seg.path);
+    UpdateJournal<2>::RequireMatch(seg.path, scan, 0.8, 16, options);
+    for (const auto& rec : scan.records) {
+      EXPECT_EQ(recovered.ApplyUpdates(
+                    std::span<const Point<2>>(rec.inserts),
+                    std::span<const uint64_t>(rec.erases)),
+                rec.first_id);
+    }
+  }
+  EXPECT_EQ(recovered.LiveIds(), live.LiveIds());
+  QueryContext<2> ca, cb;
+  ExpectIdentical(ca.Run(live.snapshot(), 4), cb.Run(recovered.snapshot(), 4),
+                  "segment chain replay");
+}
+
+TEST(JournalSegments, ReopenResumesTheActiveSegment) {
+  TempDir dir("segreopen");
+  Options options;
+  std::vector<uint64_t> live_ids;
+  {
+    persist::SegmentedJournal<2> journal(dir.str(), 0.8, 16, options, 0, 0,
+                                         /*rotate_bytes=*/512);
+    DynamicCellIndex<2> live(0.8, 16, options);
+    live.set_journal(journal.current());
+    for (int b = 0; b < 3; ++b) {
+      live.ApplyUpdates(Batch<2>(60, 800 + b), {});
+      if (journal.OnBatchApplied()) live.set_journal(journal.current());
+    }
+    live_ids = live.LiveIds();
+  }
+  // A new process resumes: seq from its recovery, active segment = last on
+  // disk. Appends continue the same chain.
+  const auto before = persist::ListJournalSegments(dir.str());
+  ASSERT_FALSE(before.empty());
+  persist::SegmentedJournal<2> journal(dir.str(), 0.8, 16, options,
+                                       /*seq=*/3,
+                                       before.back().start_seq,
+                                       /*rotate_bytes=*/512);
+  DynamicCellIndex<2> live(0.8, 16, options);
+  // Rebuild the writer state by replay, then keep appending.
+  for (const auto& seg : persist::ListJournalSegments(dir.str())) {
+    const auto scan = UpdateJournal<2>::Scan(seg.path);
+    for (const auto& rec : scan.records) {
+      live.ApplyUpdates(std::span<const Point<2>>(rec.inserts),
+                        std::span<const uint64_t>(rec.erases));
+    }
+  }
+  ASSERT_EQ(live.LiveIds(), live_ids);
+  live.set_journal(journal.current());
+  live.ApplyUpdates(Batch<2>(60, 803), {});
+  journal.OnBatchApplied();
+  EXPECT_EQ(journal.seq(), 4u);
+  size_t total_records = 0;
+  for (const auto& seg : persist::ListJournalSegments(dir.str())) {
+    total_records += UpdateJournal<2>::Scan(seg.path).records.size();
+  }
+  EXPECT_EQ(total_records, 4u);
+}
+
+// SegmentedJournal refuses an active segment ahead of the sequence — that
+// would fabricate history.
+TEST(JournalSegments, ActiveStartAheadOfSequenceRejected) {
+  TempDir dir("segbad");
+  Options options;
+  EXPECT_THROW(persist::SegmentedJournal<2>(dir.str(), 0.8, 16, options,
+                                            /*seq=*/2, /*active_start=*/5,
+                                            512),
+               persist::PersistError);
 }
 
 }  // namespace

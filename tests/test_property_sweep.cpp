@@ -506,5 +506,126 @@ TEST_P(ServingPropertySweep, ResponsesMatchFreshRuns5d) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ServingPropertySweep,
                          ::testing::Values(1, 2, 3));
 
+// --- Cross-replica determinism: writer + N replicas over a shared dir -------
+
+// One writer and two snapshot-shipping replicas (net/replication.h) in a
+// temp directory, randomized interleaving of update batches, replica tail
+// passes, and queries against randomly chosen nodes. Replicas tail lazily,
+// so queries legitimately serve OLDER generations than the writer's — the
+// audited property is the distributed identity contract: every response,
+// from ANY node, is bit-identical to a fresh from-scratch run on the point
+// set of the generation it reports. The generation -> points history is
+// maintained independently from the writer's own bookkeeping.
+template <int D>
+void CrossReplicaResponsesMatchFreshRuns(uint64_t seed, size_t rounds) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("pdbscan_prop_replica_" + std::to_string(::getpid()) + "_" +
+        std::to_string(seed) + "_" + std::to_string(D) + "d"))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::mt19937_64 rng(seed);
+  const double epsilon = 1.3;
+  const size_t counts_cap = 1 + rng() % 24;
+
+  net::WriterOptions wopts;
+  wopts.rotate_bytes = 1 + rng() % 4096;  // Exercise many rotation cadences.
+  wopts.checkpoint_every = 1 + rng() % 4;
+  wopts.keep_checkpoints = 1 + rng() % 2;
+  net::WriterNode<D> writer(dir, epsilon, counts_cap, Options(), wopts);
+  net::ReplicaNode<D> replica_a(dir, epsilon, counts_cap);
+  net::ReplicaNode<D> replica_b(dir, epsilon, counts_cap);
+
+  // gen -> live points at that generation (gen 1 = empty dataset).
+  std::map<uint64_t, std::vector<Point<D>>> by_gen;
+  by_gen[1] = {};
+  std::vector<uint64_t> live;
+
+  auto audit = [&](parallel::EnginePool<D>& pool, const char* node) {
+    const auto [snapshot, generation] = pool.SnapshotAndGeneration();
+    const size_t min_pts = 1 + rng() % 12;
+    dbscan::PipelineStats sink;
+    QueryContext<D> served(&sink), fresh(&sink);
+    const Clustering got = served.Run(snapshot, min_pts);
+    ASSERT_TRUE(by_gen.count(generation) > 0) << node << " gen=" << generation;
+    const auto& pts = by_gen.at(generation);
+    auto reference = CellIndex<D>::Build(
+        std::span<const Point<D>>(pts), epsilon, counts_cap);
+    ASSERT_TRUE(pdbscan::testing::Identical(fresh.Run(*reference, min_pts),
+                                            got))
+        << "response diverges from fresh run at its generation: " << node
+        << " D=" << D << " gen=" << generation << " n=" << pts.size()
+        << " minpts=" << min_pts << " cap=" << counts_cap << " seed=" << seed;
+  };
+
+  for (size_t round = 0; round < rounds; ++round) {
+    switch (rng() % 6) {
+      case 0:
+      case 1: {  // Writer applies a randomized batch.
+        const auto ins = GenerateShape<D>(
+            pdbscan::testing::kAllShapes[rng() % 5], 20 + rng() % 50, rng());
+        std::shuffle(live.begin(), live.end(), rng);
+        const size_t erase_n =
+            live.empty() ? 0 : rng() % (live.size() / 2 + 1);
+        std::vector<uint64_t> del(
+            live.begin(), live.begin() + static_cast<ptrdiff_t>(erase_n));
+        live.erase(live.begin(),
+                   live.begin() + static_cast<ptrdiff_t>(erase_n));
+        const uint64_t first = writer.ApplyUpdates(ins, del);
+        for (size_t i = 0; i < ins.size(); ++i) live.push_back(first + i);
+        by_gen[writer.generation()] = writer.index().LivePoints();
+        break;
+      }
+      case 2:  // A replica makes tailing progress.
+        (rng() % 2 == 0 ? replica_a : replica_b).TailOnce();
+        break;
+      case 3:  // Query the writer.
+        audit(writer.pool(), "writer");
+        break;
+      case 4:  // Query replica A (possibly behind the writer).
+        audit(replica_a.pool(), "replica_a");
+        break;
+      case 5:
+        audit(replica_b.pool(), "replica_b");
+        break;
+    }
+  }
+
+  // Drain both replicas to the writer's generation and audit once more:
+  // caught-up replicas must agree with the writer bit for bit.
+  for (int spins = 0;
+       (replica_a.applied_seq() < writer.seq() ||
+        replica_b.applied_seq() < writer.seq()) &&
+       spins < 10000;
+       ++spins) {
+    replica_a.TailOnce();
+    replica_b.TailOnce();
+  }
+  ASSERT_EQ(replica_a.generation(), writer.generation());
+  ASSERT_EQ(replica_b.generation(), writer.generation());
+  const size_t min_pts = 1 + rng() % 12;
+  const Clustering from_writer = writer.pool().Run(min_pts);
+  ASSERT_TRUE(pdbscan::testing::Identical(from_writer,
+                                          replica_a.pool().Run(min_pts)));
+  ASSERT_TRUE(pdbscan::testing::Identical(from_writer,
+                                          replica_b.pool().Run(min_pts)));
+  std::filesystem::remove_all(dir);
+}
+
+class ReplicaPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReplicaPropertySweep, ResponsesMatchFreshRuns2d) {
+  CrossReplicaResponsesMatchFreshRuns<2>(GetParam() * 307 + 3,
+                                         30 * SweepBudget());
+}
+
+TEST_P(ReplicaPropertySweep, ResponsesMatchFreshRuns3d) {
+  CrossReplicaResponsesMatchFreshRuns<3>(GetParam() * 509 + 5,
+                                         18 * SweepBudget());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplicaPropertySweep,
+                         ::testing::Values(1, 2, 3));
+
 }  // namespace
 }  // namespace pdbscan

@@ -1,0 +1,153 @@
+// pdbscan_client: command-line client for pdbscan_server, used by the CI
+// smoke job and handy for poking a running deployment.
+//
+//   pdbscan_client --port 7777 info
+//   pdbscan_client --port 7777 query 10          # labels checksum + stats
+//   pdbscan_client --port 7777 update-random 500 42   # writer only
+//   pdbscan_client --port 7777 corrupt           # framing-error probe
+//   pdbscan_client --port 7777 shutdown
+//
+// `corrupt` sends a deliberately damaged frame, verifies the server
+// answers with a framing-error response and closes THAT connection, then
+// proves a fresh connection still serves queries — the protocol-fuzz
+// contract, exercised across real processes. Exits nonzero if the server
+// misbehaves at any step.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "pdbscan/pdbscan.h"
+#include "persist/format.h"
+
+namespace {
+
+using namespace pdbscan;
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: pdbscan_client --port N [--dim D] "
+               "info|query M|update-random N SEED|corrupt|shutdown\n");
+  std::exit(2);
+}
+
+uint64_t LabelsChecksum(const net::QueryResponse& resp) {
+  uint64_t h = persist::Checksum64(resp.cluster.data(),
+                                   resp.cluster.size() * sizeof(int64_t));
+  h ^= persist::Checksum64(resp.is_core.data(), resp.is_core.size());
+  return h;
+}
+
+int RunQuery(net::Client& client, uint64_t min_pts) {
+  const net::QueryResponse resp = client.Query(min_pts);
+  std::printf("generation=%llu num_points=%llu num_clusters=%llu "
+              "labels_checksum=%016llx\n",
+              static_cast<unsigned long long>(resp.generation),
+              static_cast<unsigned long long>(resp.num_points),
+              static_cast<unsigned long long>(resp.num_clusters),
+              static_cast<unsigned long long>(LabelsChecksum(resp)));
+  return 0;
+}
+
+int RunCorrupt(uint16_t port) {
+  // A valid query frame with one payload bit flipped: magic and length are
+  // intact, so the server must detect it by CHECKSUM, answer with a
+  // framing error and close this connection.
+  {
+    net::Client client(port);
+    net::QueryRequest req;
+    req.min_pts = 10;
+    std::vector<uint8_t> frame = net::EncodeFrame(
+        net::MessageType::kQueryRequest, 7, net::EncodeQueryRequest(req));
+    frame[sizeof(net::FrameHeader)] ^= 0x01;
+    client.SendRaw(frame);
+    client.ShutdownWrite();
+    const net::ClientResponse resp = client.Receive();
+    if (resp.type != net::MessageType::kErrorResponse ||
+        !net::IsFramingError(resp.error.code)) {
+      std::fprintf(stderr, "corrupt: expected a framing-error response\n");
+      return 1;
+    }
+    // The poisoned connection must be closed, not left half-serving.
+    try {
+      while (true) client.Receive();
+    } catch (const net::NetError&) {
+    }
+    std::printf("corrupt: framing error answered and connection closed\n");
+  }
+  // A fresh connection must serve as if nothing happened.
+  net::Client client(port);
+  const net::InfoResponse info = client.Info();
+  std::printf("corrupt: fresh connection OK (generation=%llu)\n",
+              static_cast<unsigned long long>(info.generation));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  int dim = 2;
+  std::vector<std::string> rest;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--port" && i + 1 < argc) port = std::atoi(argv[++i]);
+    else if (flag == "--dim" && i + 1 < argc) dim = std::atoi(argv[++i]);
+    else rest.push_back(flag);
+  }
+  if (port <= 0 || rest.empty()) Usage();
+
+  try {
+    const std::string& cmd = rest[0];
+    if (cmd == "info") {
+      net::Client client(static_cast<uint16_t>(port));
+      const net::InfoResponse info = client.Info();
+      std::printf("generation=%llu num_points=%llu eps=%g counts_cap=%llu "
+                  "dim=%u role=%s\n",
+                  static_cast<unsigned long long>(info.generation),
+                  static_cast<unsigned long long>(info.num_points),
+                  info.epsilon,
+                  static_cast<unsigned long long>(info.counts_cap), info.dim,
+                  info.is_writer ? "writer" : "replica");
+      return 0;
+    }
+    if (cmd == "query" && rest.size() == 2) {
+      net::Client client(static_cast<uint16_t>(port));
+      return RunQuery(client, std::strtoull(rest[1].c_str(), nullptr, 10));
+    }
+    if (cmd == "update-random" && rest.size() == 3) {
+      const size_t n = std::strtoull(rest[1].c_str(), nullptr, 10);
+      const uint64_t seed = std::strtoull(rest[2].c_str(), nullptr, 10);
+      return DispatchDim(dim, [&]<int D>() {
+        net::Client client(static_cast<uint16_t>(port));
+        net::UpdateRequest<D> req;
+        std::mt19937_64 rng(seed);
+        std::uniform_real_distribution<double> coord(0.0, 1000.0);
+        req.inserts.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          for (int d = 0; d < D; ++d) req.inserts[i].x[d] = coord(rng);
+        }
+        const net::UpdateResponse resp = client.Update<D>(req);
+        std::printf("generation=%llu first_id=%llu\n",
+                    static_cast<unsigned long long>(resp.generation),
+                    static_cast<unsigned long long>(resp.first_id));
+        return 0;
+      });
+    }
+    if (cmd == "corrupt") return RunCorrupt(static_cast<uint16_t>(port));
+    if (cmd == "shutdown") {
+      net::Client client(static_cast<uint16_t>(port));
+      client.Shutdown();
+      std::printf("shutdown acknowledged\n");
+      return 0;
+    }
+    Usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pdbscan_client: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
