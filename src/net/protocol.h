@@ -331,7 +331,11 @@ inline bool DecodeQueryResponse(std::span<const uint8_t> payload,
     return false;
   }
   const uint64_t n = out->num_points;
-  if (r.remaining() != n * (sizeof(int64_t) + 1)) return false;
+  // Bound the count BEFORE multiplying: a hostile num_points can make
+  // n * stride wrap mod 2^64 and match remaining(), then blow up resize.
+  constexpr uint64_t kStride = sizeof(int64_t) + 1;
+  if (n > r.remaining() / kStride) return false;
+  if (r.remaining() != n * kStride) return false;
   out->cluster.resize(n);
   out->is_core.resize(n);
   return r.Raw(out->cluster.data(), n * sizeof(int64_t)) &&
@@ -380,8 +384,14 @@ bool DecodeUpdateRequest(std::span<const uint8_t> payload,
     return false;
   }
   if (dim != static_cast<uint32_t>(D)) return false;
+  // Counts are attacker-controlled: bound each against the bytes actually
+  // present BEFORE multiplying, so the exact-size check below cannot wrap
+  // mod 2^64 and admit a resize() that throws past the payload cap.
+  constexpr uint64_t kInsertStride = static_cast<uint64_t>(D) * sizeof(double);
+  if (num_inserts > r.remaining() / kInsertStride) return false;
+  if (num_erases > r.remaining() / sizeof(uint64_t)) return false;
   if (r.remaining() !=
-      num_inserts * D * sizeof(double) + num_erases * sizeof(uint64_t)) {
+      num_inserts * kInsertStride + num_erases * sizeof(uint64_t)) {
     return false;
   }
   out->inserts.resize(num_inserts);

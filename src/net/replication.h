@@ -328,10 +328,19 @@ class ReplicaNode {
     try {
       applied = TailPass();
       failures_ = 0;
-    } catch (const persist::PersistError&) {
+    } catch (const std::exception&) {
+      // PersistError (torn/missing files under the writer's feet) plus
+      // anything else the filesystem can surface — the tailing thread
+      // must survive every failure and just try again.
       if (++failures_ >= replica_options_.max_transient_failures) {
         failures_ = 0;
-        Restart();
+        try {
+          Restart();
+        } catch (const std::exception&) {
+          // The newest checkpoint was itself unreadable (writer mid-ship,
+          // persistent disk fault). Keep serving the current snapshot and
+          // retry on the next poll.
+        }
       }
     }
     return applied;
@@ -401,13 +410,26 @@ class ReplicaNode {
     }
   }
 
-  // Re-base on the newest checkpoint and republish. Only reached past a
-  // gap or repeated failures, both of which imply a newer checkpoint (so
-  // the generation strictly advances, as ReplaceIndex requires).
+  // Re-base on the newest checkpoint and republish. Reached past a gap or
+  // repeated failures; the counter only ticks once the cold start
+  // actually succeeded.
   void Restart() {
-    gap_restarts_.fetch_add(1, std::memory_order_relaxed);
     ColdStart();
-    pool_->ReplaceIndex(index_->snapshot(), seq_.load() + 1);
+    gap_restarts_.fetch_add(1, std::memory_order_relaxed);
+    PublishIfNewer();
+  }
+
+  // Publishes the current index at seq_+1 unless the pool already serves
+  // at least that generation: a re-cold-start is NOT guaranteed to move
+  // forward (repeated transient failures can force a re-base onto a
+  // checkpoint at or before the generation already served), and
+  // ReplaceIndex rejects non-advancing generations. All publishes happen
+  // on the tailing thread, so the check-then-swap cannot race.
+  void PublishIfNewer() {
+    const uint64_t generation = seq_.load(std::memory_order_relaxed) + 1;
+    if (generation > pool_->generation()) {
+      pool_->ReplaceIndex(index_->snapshot(), generation);
+    }
   }
 
   size_t TailPass() {
@@ -448,7 +470,7 @@ class ReplicaNode {
         }
         seq = record_seq;
         seq_.store(seq, std::memory_order_release);
-        pool_->ReplaceIndex(index_->snapshot(), seq + 1);
+        PublishIfNewer();
         ++applied;
       }
     }

@@ -21,7 +21,6 @@
 
 #include <sys/socket.h>
 
-#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -31,6 +30,7 @@
 #include <span>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "net/protocol.h"
@@ -93,15 +93,16 @@ class NetServer {
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       stopping_ = true;
-      for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+      for (const auto& [id, fd] : conn_fds_) ::shutdown(fd, SHUT_RDWR);
     }
     if (acceptor_.joinable()) acceptor_.join();
-    std::vector<std::thread> workers;
+    std::unordered_map<uint64_t, std::thread> workers;
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       workers.swap(conn_threads_);
+      finished_.clear();
     }
-    for (std::thread& t : workers) t.join();
+    for (auto& [id, t] : workers) t.join();
   }
 
   // Blocks until a client sent kShutdownRequest (the clean remote
@@ -124,28 +125,54 @@ class NetServer {
       TcpConn conn = listener_.Accept();
       if (!conn) return;  // Interrupted — shutting down.
       stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      if (stopping_) return;
-      const int fd = conn.fd();
-      conn_fds_.push_back(fd);
-      conn_threads_.emplace_back(
-          [this, fd](TcpConn c) {
-            ServeConnection(std::move(c));
-            std::lock_guard<std::mutex> l(conns_mu_);
-            conn_fds_.erase(
-                std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
-                conn_fds_.end());
-          },
-          std::move(conn));
+      std::vector<std::thread> done;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        if (stopping_) return;
+        ReapFinishedLocked(&done);
+        const uint64_t id = next_conn_id_++;
+        conn_fds_.emplace(id, conn.fd());
+        conn_threads_.emplace(
+            id, std::thread(
+                    [this, id](TcpConn c) {
+                      ServeConnection(c);
+                      // Unregister the fd BEFORE c's destructor closes it,
+                      // so Stop() can never shutdown() a recycled
+                      // descriptor, then queue this thread for reaping.
+                      std::lock_guard<std::mutex> l(conns_mu_);
+                      conn_fds_.erase(id);
+                      finished_.push_back(id);
+                    },
+                    std::move(conn)));
+      }
+      // Joined OUTSIDE conns_mu_: an exiting worker's last act takes that
+      // lock, so joining under it would deadlock.
+      for (std::thread& t : done) t.join();
     }
   }
 
-  void ServeConnection(TcpConn conn) {
+  // Moves threads whose connections have finished out of conn_threads_ so
+  // a long-running server does not accumulate joinable handles forever.
+  // Caller joins them after releasing conns_mu_.
+  void ReapFinishedLocked(std::vector<std::thread>* done) {
+    for (const uint64_t id : finished_) {
+      auto it = conn_threads_.find(id);
+      if (it != conn_threads_.end()) {
+        done->push_back(std::move(it->second));
+        conn_threads_.erase(it);
+      }
+    }
+    finished_.clear();
+  }
+
+  void ServeConnection(TcpConn& conn) {
     FrameDecoder decoder(options_.limits);
     std::vector<uint8_t> buf(64 * 1024);
+    uint64_t last_request_id = 0;
     try {
       for (;;) {
         while (auto frame = decoder.Next()) {
+          last_request_id = frame->request_id;
           if (!HandleFrame(conn, *frame)) return;  // Semantic close paths.
         }
         if (decoder.error() != ErrorCode::kNone) {
@@ -171,6 +198,24 @@ class NetServer {
       }
     } catch (const NetError&) {
       // Peer went away (or Stop() shut the socket down) — nothing to do.
+    } catch (const std::exception& e) {
+      // A handler failure — persist IO in an update, an allocation, a
+      // scheduler fault — must not escape the thread body and terminate
+      // the whole server. Answer best-effort and drop this connection.
+      SendInternalError(conn, last_request_id, e.what());
+    } catch (...) {
+      SendInternalError(conn, last_request_id, "internal error");
+    }
+  }
+
+  // Best-effort kInternal error frame; swallows transport failures (the
+  // peer may already be gone).
+  void SendInternalError(TcpConn& conn, uint64_t request_id,
+                         const char* what) noexcept {
+    stats_.semantic_errors.fetch_add(1, std::memory_order_relaxed);
+    try {
+      conn.SendAll(EncodeErrorFrame(request_id, ErrorCode::kInternal, what));
+    } catch (...) {
     }
   }
 
@@ -292,10 +337,16 @@ class NetServer {
   std::thread acceptor_;
   std::mutex update_mu_;
 
+  // Connections are tracked by a unique id, not by fd: an fd is erased
+  // from conn_fds_ before the worker closes it, so Stop() never touches a
+  // recycled descriptor, and duplicate fd values across a connection's
+  // lifetime cannot alias.
   std::mutex conns_mu_;
   bool stopping_ = false;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  uint64_t next_conn_id_ = 0;
+  std::unordered_map<uint64_t, int> conn_fds_;
+  std::unordered_map<uint64_t, std::thread> conn_threads_;
+  std::vector<uint64_t> finished_;
 
   mutable std::mutex shutdown_mu_;
   std::condition_variable shutdown_cv_;

@@ -224,6 +224,45 @@ TEST(DecoderFuzz, EverySingleBitFlipIsRejected) {
   }
 }
 
+// Counts whose product wraps mod 2^64 must be rejected by the size
+// checks, not survive into a resize() that throws (and used to take the
+// whole server down — the catch in ServeConnection only expected
+// NetError at the time).
+TEST(DecoderFuzz, UpdateCountOverflowRejectedWithoutAllocation) {
+  std::vector<uint8_t> payload(4 + 8 + 8, 0);
+  const uint32_t dim = 2;
+  // 2^60 inserts * 2 dims * 8 bytes == 2^64 == 0 mod 2^64: the naive
+  // exact-size check sees remaining() == 0 and passes.
+  uint64_t num_inserts = 1ull << 60;
+  uint64_t num_erases = 0;
+  std::memcpy(payload.data(), &dim, 4);
+  std::memcpy(payload.data() + 4, &num_inserts, 8);
+  std::memcpy(payload.data() + 12, &num_erases, 8);
+  net::UpdateRequest<2> out;
+  EXPECT_FALSE(net::DecodeUpdateRequest<2>(payload, &out));
+  // Same trick through the erase count: 2^61 * 8 == 0 mod 2^64.
+  num_inserts = 0;
+  num_erases = 1ull << 61;
+  std::memcpy(payload.data() + 4, &num_inserts, 8);
+  std::memcpy(payload.data() + 12, &num_erases, 8);
+  EXPECT_FALSE(net::DecodeUpdateRequest<2>(payload, &out));
+}
+
+TEST(DecoderFuzz, QueryResponseCountOverflowRejectedWithoutAllocation) {
+  // The per-point stride is 9 (int64 label + core byte). 9 is invertible
+  // mod 2^64, so for ONE trailing byte there is exactly one num_points
+  // whose product wraps to 1: 9^-1 mod 2^64. The naive exact-size check
+  // accepts it; the client must reject before resizing.
+  std::vector<uint8_t> payload(8 * 3 + 1, 0);
+  const uint64_t generation = 1, num_clusters = 0;
+  const uint64_t num_points = 0x8e38e38e38e38e39ull;  // 9^-1 mod 2^64.
+  std::memcpy(payload.data(), &generation, 8);
+  std::memcpy(payload.data() + 8, &num_points, 8);
+  std::memcpy(payload.data() + 16, &num_clusters, 8);
+  net::QueryResponse out;
+  EXPECT_FALSE(net::DecodeQueryResponse(payload, &out));
+}
+
 TEST(DecoderFuzz, RandomMutationLoopNeverYieldsAFrame) {
   std::mt19937_64 rng(7);
   net::QueryRequest req;
@@ -471,6 +510,63 @@ TEST_F(ServerFuzzTest, SemanticErrorsKeepTheConnection) {
   const net::QueryResponse ok = client.Query(4);
   EXPECT_EQ(ok.generation, writer_->generation());
   ExpectResponseMatches(ok, writer_->pool().Run(4), "after semantic errors");
+}
+
+TEST_F(ServerFuzzTest, OverflowingUpdateCountsAnsweredAsBadPayload) {
+  writer_->ApplyUpdates(Batch(13), {});
+  net::Client client(server_->port());
+  // A checksum-valid frame whose update payload claims 2^60 inserts (the
+  // byte count wraps mod 2^64 to match the 0 bytes present). The server
+  // must answer kBadPayload on a live connection — this exact frame used
+  // to throw out of resize() and kill the process.
+  std::vector<uint8_t> payload(4 + 8 + 8, 0);
+  const uint32_t dim = 2;
+  const uint64_t num_inserts = 1ull << 60;
+  std::memcpy(payload.data(), &dim, 4);
+  std::memcpy(payload.data() + 4, &num_inserts, 8);
+  client.SendRaw(net::EncodeFrame(net::MessageType::kUpdateRequest, 6,
+                                  payload));
+  const net::ClientResponse resp = client.Receive();
+  ASSERT_EQ(resp.type, net::MessageType::kErrorResponse);
+  EXPECT_EQ(resp.error.code, net::ErrorCode::kBadPayload);
+  // Semantic error: the SAME connection keeps serving.
+  const net::QueryResponse ok = client.Query(4);
+  EXPECT_EQ(ok.generation, writer_->generation());
+}
+
+// An update handler that throws (e.g. persist IO failure mid-checkpoint)
+// must cost only that connection, never the process.
+TEST(NetServerInternalError, ThrowingHandlerAnsweredAndServerSurvives) {
+  TempDir dir("internal");
+  net::WriterOptions wopts;
+  wopts.checkpoint_every = 0;
+  net::WriterNode<2> writer(dir.str(), kEps, kCountsCap, Options(), wopts);
+  writer.ApplyUpdates(Batch(14), {});
+  parallel::ServingScheduler<2> scheduler(writer.pool(),
+                                          parallel::ServingOptions());
+  net::NetServer<2> server(
+      scheduler, writer.pool(), kEps, kCountsCap, net::ServerOptions(),
+      [](std::span<const Point<2>>,
+         std::span<const uint64_t>) -> net::UpdateResponse {
+        throw std::runtime_error("journal disk failure");
+      });
+  server.Start();
+  {
+    net::Client client(server.port());
+    net::UpdateRequest<2> req;
+    req.inserts = Batch(15);
+    const uint64_t id = client.SendUpdate<2>(req);
+    const net::ClientResponse resp = client.Receive();
+    ASSERT_EQ(resp.type, net::MessageType::kErrorResponse);
+    EXPECT_EQ(resp.request_id, id);
+    EXPECT_EQ(resp.error.code, net::ErrorCode::kInternal);
+    EXPECT_THROW(client.Receive(), net::NetError);  // Connection closed.
+  }
+  // Fresh connections still serve queries.
+  net::Client probe(server.port());
+  EXPECT_EQ(probe.Query(4).generation, writer.generation());
+  scheduler.Shutdown();
+  server.Stop();
 }
 
 TEST_F(ServerFuzzTest, RandomMutationLoopServerStaysHealthy) {
