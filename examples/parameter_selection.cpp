@@ -5,8 +5,14 @@
 // frozen shared CellIndex via an EnginePool (cells built once, MarkCore
 // counted once, one client thread per setting), then explore the density
 // hierarchy with OPTICS.
+//
+// The explorations are graded with the in-library quality metrics
+// (src/quality/): each candidate setting's partition is scored by ARI/NMI
+// against the auto-selected configuration, turning "how sensitive is the
+// result to this knob?" into numbers instead of eyeballed cluster counts.
 #include <algorithm>
 #include <cstdio>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -29,6 +35,16 @@ void ReportClustering(const char* what, double eps, size_t min_pts,
               what, eps, min_pts, clustering.num_clusters,
               100.0 * double(noise) / double(std::max<size_t>(clustering.size(), 1)),
               seconds);
+}
+
+// Grades `got` against the reference partition with the quality metrics:
+// ARI/NMI near 1 mean the knob change barely moved the clustering.
+void ReportAgreement(const pdbscan::Clustering& got,
+                     const pdbscan::Clustering& reference) {
+  const pdbscan::QualityReport q = pdbscan::EvaluateQuality(
+      got, std::span<const int64_t>(reference.cluster));
+  std::printf("      vs chosen: ARI=%.4f NMI=%.4f noise=%.1f%%\n", q.ari,
+              q.nmi, 100.0 * q.predicted_noise_ratio);
 }
 
 }  // namespace
@@ -61,10 +77,15 @@ int main() {
                    candidates.end());
   std::printf("epsilon exploration (one engine, %zu candidates):\n",
               candidates.size());
+  // The run at the auto-selected epsilon is the reference every other
+  // candidate is graded against — ARI/NMI quantify how much the partition
+  // moves as epsilon sweeps through the elbow region.
+  const auto chosen = engine.Run(eps, min_pts);
   for (const double e : candidates) {
     pdbscan::util::Timer timer;
     const auto clustering = engine.Run(e, min_pts);
     ReportClustering("DBSCAN", e, min_pts, clustering, timer.Seconds());
+    ReportAgreement(clustering, chosen);
   }
   std::printf("\n");
 
@@ -92,8 +113,14 @@ int main() {
       "(%.3fs total, cells built %zu time(s), counts built %zu time(s)):\n",
       eps, minpts_sweep.size(), sweep_seconds,
       pool_stats.cells_built.load(), pool_stats.counts_built.load());
+  // Quality-grade the sweep: each min_pts setting served by the pool is
+  // scored against the chosen configuration's engine run. The setting
+  // matching the chosen (eps, min_pts) must agree perfectly (ARI = 1) —
+  // the auto-eps -> EnginePool round trip — while neighbors show how the
+  // partition degrades as min_pts moves.
   for (size_t i = 0; i < sweep.size(); ++i) {
     ReportClustering("DBSCAN", eps, minpts_sweep[i], sweep[i], 0.0);
+    ReportAgreement(sweep[i], chosen);
   }
   std::printf("\n");
 

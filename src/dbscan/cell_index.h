@@ -82,9 +82,10 @@ class CellIndex {
     if (counts_cap == 0) {
       throw std::invalid_argument("counts_cap must be positive");
     }
+    ValidateMetricOptions(options_);
     PipelineStats& sink = stats != nullptr ? *stats : GlobalStats();
     source_.set_stats(stats);
-    source_.Reset(points, options_.cell_method);
+    source_.Reset(points, options_.cell_method, options_.metric);
     // From here on, the exact EnsureCounts sequence of DbscanEngine; after
     // the constructor returns, source_ is never touched again (its caches
     // become the frozen payload; the `points` span it saw is not re-read).
@@ -136,6 +137,11 @@ class CellIndex {
     if (epsilon_ <= 0) throw std::invalid_argument("epsilon must be positive");
     if (counts_cap == 0) {
       throw std::invalid_argument("counts_cap must be positive");
+    }
+    ValidateMetricOptions(options_);
+    if (cells.metric != options_.metric) {
+      throw std::invalid_argument(
+          "adopted cells were built for a different metric than options");
     }
     if (neighbor_counts.size() != cells.num_points()) {
       throw std::invalid_argument(

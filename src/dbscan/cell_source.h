@@ -45,9 +45,13 @@ class CellSource {
   }
 
   // Points the source at a (caller-owned) point set; drops every cache.
-  void Reset(std::span<const geometry::Point<D>> points, CellMethod method) {
+  // `metric` selects the distance the cells are built for (grid method
+  // only; the 2D box method is Euclidean).
+  void Reset(std::span<const geometry::Point<D>> points, CellMethod method,
+             Metric metric = Metric::kL2) {
     points_ = points;
     method_ = method;
+    metric_ = metric;
     bounds_valid_ = false;
     x_order_valid_ = false;
     cells_valid_ = false;
@@ -79,7 +83,7 @@ class CellSource {
         bounds_ = ComputeBounds<D>(points_);
         bounds_valid_ = true;
       }
-      cells_ = BuildGrid<D>(points_, epsilon, &bounds_);
+      cells_ = BuildGrid<D>(points_, epsilon, &bounds_, metric_);
     }
     built_epsilon_ = epsilon;
     cells_valid_ = true;
@@ -146,6 +150,7 @@ class CellSource {
 
   std::span<const geometry::Point<D>> points_;
   CellMethod method_ = CellMethod::kGrid;
+  Metric metric_ = Metric::kL2;
   PipelineStats* stats_ = &GlobalStats();
 
   // Epsilon-independent layout caches.

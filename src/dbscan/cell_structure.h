@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "containers/flat_array.h"
+#include "dbscan/types.h"
 #include "geometry/point.h"
 #include "parallel/scheduler.h"
 
@@ -38,6 +39,13 @@ struct CellStructure {
   using Array = containers::FlatArray<T>;
 
   double epsilon = 0;
+
+  // Distance metric the structure was built for: the cell side, the CSR
+  // neighbor adjacency, and every downstream distance comparison (MarkCore,
+  // BCP, border assignment) depend on it. Builders that hand-assemble a
+  // structure (streaming recompose, sharded merge, snapshot load) must set
+  // it to match the producing Options.
+  Metric metric = Metric::kL2;
 
   // Points reordered so each cell's points are contiguous; orig_index maps a
   // reordered position back to the caller's point index.

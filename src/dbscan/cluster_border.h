@@ -15,6 +15,7 @@
 #include "containers/union_find.h"
 #include "dbscan/cell_structure.h"
 #include "dbscan/cluster_core.h"
+#include "dbscan/metric.h"
 #include "parallel/scheduler.h"
 
 namespace pdbscan::dbscan {
@@ -28,7 +29,8 @@ void ClusterBorderInto(const CellStructure<D>& cells,
                        const CoreIndex& core, size_t min_pts,
                        containers::UnionFind& uf,
                        std::vector<std::vector<uint32_t>>& memberships) {
-  const double eps2 = cells.epsilon * cells.epsilon;
+  const Metric metric = cells.metric;
+  const double threshold = MetricThreshold(cells.epsilon, metric);
   memberships.resize(cells.num_points());
   parallel::parallel_for(0, memberships.size(),
                          [&](size_t i) { memberships[i].clear(); });
@@ -36,9 +38,13 @@ void ClusterBorderInto(const CellStructure<D>& cells,
   // Does `cell` contain a core point within eps of p?
   auto cell_reaches = [&](size_t cell, const geometry::Point<D>& p) {
     if (!core.cell_is_core[cell]) return false;
-    if (cells.cell_boxes[cell].MinSquaredDistance(p) > eps2) return false;
+    if (BoxMinMeasure<D>(cells.cell_boxes[cell], p, metric) > threshold) {
+      return false;
+    }
     for (const uint32_t pos : core.core_of(cell)) {
-      if (cells.points[pos].SquaredDistance(p) <= eps2) return true;
+      if (PointMeasure<D>(cells.points[pos], p, metric) <= threshold) {
+        return true;
+      }
     }
     return false;
   };

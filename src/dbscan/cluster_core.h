@@ -36,6 +36,7 @@
 
 #include "containers/union_find.h"
 #include "dbscan/cell_structure.h"
+#include "dbscan/metric.h"
 #include "dbscan/stats.h"
 #include "dbscan/types.h"
 #include "geometry/delaunay.h"
@@ -114,11 +115,12 @@ class BcpConnector {
       : cells_(cells), core_(core), stats_(stats) {}
 
   bool Connected(size_t g, size_t h) const {
-    const double eps2 = cells_.epsilon * cells_.epsilon;
+    const Metric metric = cells_.metric;
+    const double threshold = MetricThreshold(cells_.epsilon, metric);
     // Filter each side against the other cell's box.
-    std::vector<uint32_t> a = FilterByBox(g, h, eps2);
+    std::vector<uint32_t> a = FilterByBox(g, h, threshold);
     if (a.empty()) return false;
-    std::vector<uint32_t> b = FilterByBox(h, g, eps2);
+    std::vector<uint32_t> b = FilterByBox(h, g, threshold);
     if (b.empty()) return false;
     const std::vector<uint32_t>& target = a.size() <= b.size() ? a : b;
     const std::vector<uint32_t>& probes = a.size() <= b.size() ? b : a;
@@ -132,11 +134,12 @@ class BcpConnector {
       lanes[static_cast<size_t>(d)] = lane;
     }
     kernels::Counters kc;
-    const kernels::DistanceKernelOps& ops = kernels::Ops();
+    const kernels::CountWithinFn count_within =
+        CountWithinForMetric(kernels::Ops(), metric);
     bool connected = false;
     for (const uint32_t pos : probes) {
-      if (ops.count_within(lanes.data(), 1, D, m, cells_.points[pos].x.data(),
-                           eps2, 1, &kc) > 0) {
+      if (count_within(lanes.data(), 1, D, m, cells_.points[pos].x.data(),
+                       threshold, 1, &kc) > 0) {
         connected = true;
         break;
       }
@@ -148,11 +151,11 @@ class BcpConnector {
  private:
   // Core positions of cell `from` within eps of cell `against`'s box.
   std::vector<uint32_t> FilterByBox(size_t from, size_t against,
-                                    double eps2) const {
+                                    double threshold) const {
     std::vector<uint32_t> kept;
     for (const uint32_t pos : core_.core_of(from)) {
-      if (cells_.cell_boxes[against].MinSquaredDistance(cells_.points[pos]) <=
-          eps2) {
+      if (BoxMinMeasure<D>(cells_.cell_boxes[against], cells_.points[pos],
+                           cells_.metric) <= threshold) {
         kept.push_back(pos);
       }
     }

@@ -157,7 +157,7 @@ class DbscanEngine {
  private:
   void AdoptPoints(std::span<const geometry::Point<D>> points) {
     points_ = points;
-    source_.Reset(points, options_.cell_method);
+    source_.Reset(points, options_.cell_method, options_.metric);
     counts_valid_ = false;
   }
 
@@ -167,6 +167,7 @@ class DbscanEngine {
     if (options_.cell_method == CellMethod::kBox && D != 2) {
       throw std::invalid_argument("the box cell method is 2D only");
     }
+    ValidateMetricOptions(options_);
   }
 
   // Makes ws_.neighbor_counts valid for the given epsilon with a cap of at

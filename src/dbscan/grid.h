@@ -16,6 +16,8 @@
 #ifndef PDBSCAN_DBSCAN_GRID_H_
 #define PDBSCAN_DBSCAN_GRID_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <span>
@@ -24,6 +26,7 @@
 
 #include "containers/hash_table.h"
 #include "dbscan/cell_structure.h"
+#include "dbscan/metric.h"
 #include "geometry/kd_tree.h"
 #include "geometry/point.h"
 #include "parallel/scheduler.h"
@@ -35,21 +38,50 @@ namespace pdbscan::dbscan {
 namespace internal {
 
 // True iff cells at integer offset `delta` can contain points within
-// epsilon of each other (side = epsilon / sqrt(D)).
+// epsilon of each other under `metric`. Exact integer criteria, derived
+// from the minimum box-to-box distance between cells at offset delta
+// (gap_i = max(0, |delta_i| - 1) cells of side s along axis i):
+//   L2   (s = eps/sqrt(D)):  sum_i gap_i^2 * s^2 <= eps^2  <=>  sum <= D
+//   L1   (s = eps/D):        sum_i gap_i  * s    <= eps    <=>  sum <= D
+//   Linf (s = eps):          max_i gap_i  * s    <= eps    <=>  all |delta_i| <= 2
 template <int D>
-bool OffsetWithinEpsilon(const geometry::CellCoords<D>& delta) {
-  int64_t sum = 0;
-  for (int i = 0; i < D; ++i) {
-    const int64_t gap = std::abs(static_cast<int64_t>(delta[i])) - 1;
-    if (gap > 0) sum += gap * gap;
+bool OffsetWithinEpsilon(const geometry::CellCoords<D>& delta,
+                         Metric metric = Metric::kL2) {
+  switch (metric) {
+    case Metric::kL2: {
+      int64_t sum = 0;
+      for (int i = 0; i < D; ++i) {
+        const int64_t gap = std::abs(static_cast<int64_t>(delta[i])) - 1;
+        if (gap > 0) sum += gap * gap;
+      }
+      return sum <= D;
+    }
+    case Metric::kL1: {
+      int64_t sum = 0;
+      for (int i = 0; i < D; ++i) {
+        const int64_t gap = std::abs(static_cast<int64_t>(delta[i])) - 1;
+        if (gap > 0) sum += gap;
+      }
+      return sum <= D;
+    }
+    case Metric::kLinf: {
+      for (int i = 0; i < D; ++i) {
+        if (std::abs(static_cast<int64_t>(delta[i])) > 2) return false;
+      }
+      return true;
+    }
   }
-  return sum <= D;
+  return false;
 }
 
 // All non-zero offsets satisfying OffsetWithinEpsilon (used for d <= 3).
+// The enumeration order is deterministic (odometer over [-k, k]^D) and is
+// part of the adjacency contract: every probe strategy (hash table, packed
+// keys) walks the SAME order so the CSR neighbor lists are identical.
 template <int D>
-std::vector<geometry::CellCoords<D>> NeighborOffsets() {
-  const int k = 1 + static_cast<int>(std::floor(std::sqrt(double(D))));
+std::vector<geometry::CellCoords<D>> NeighborOffsets(
+    Metric metric = Metric::kL2) {
+  const int k = static_cast<int>(MetricHalo<D>(metric));
   std::vector<geometry::CellCoords<D>> offsets;
   geometry::CellCoords<D> delta{};
   // Odometer enumeration of [-k, k]^D.
@@ -57,7 +89,9 @@ std::vector<geometry::CellCoords<D>> NeighborOffsets() {
   while (true) {
     bool zero = true;
     for (int i = 0; i < D; ++i) zero = zero && delta[i] == 0;
-    if (!zero && OffsetWithinEpsilon<D>(delta)) offsets.push_back(delta);
+    if (!zero && OffsetWithinEpsilon<D>(delta, metric)) {
+      offsets.push_back(delta);
+    }
     int dim = D - 1;
     while (dim >= 0 && delta[dim] == k) {
       delta[dim] = -k;
@@ -67,6 +101,25 @@ std::vector<geometry::CellCoords<D>> NeighborOffsets() {
     ++delta[dim];
   }
   return offsets;
+}
+
+// The per-metric offset tables, computed once per (D, metric) and never
+// destroyed (function-local static pointers).
+template <int D>
+const std::vector<geometry::CellCoords<D>>& CachedNeighborOffsets(
+    Metric metric) {
+  static const auto* const kL2 =
+      new std::vector<geometry::CellCoords<D>>(NeighborOffsets<D>(Metric::kL2));
+  static const auto* const kL1 =
+      new std::vector<geometry::CellCoords<D>>(NeighborOffsets<D>(Metric::kL1));
+  static const auto* const kLinf = new std::vector<geometry::CellCoords<D>>(
+      NeighborOffsets<D>(Metric::kLinf));
+  switch (metric) {
+    case Metric::kL2: return *kL2;
+    case Metric::kL1: return *kL1;
+    case Metric::kLinf: return *kLinf;
+  }
+  return *kL2;
 }
 
 template <int D>
@@ -105,10 +158,25 @@ geometry::BBox<D> ComputeBounds(std::span<const geometry::Point<D>> input) {
       });
 }
 
-// The epsilon-grid cell side for dimension D (cells of diameter <= epsilon).
+// The epsilon-grid cell side for dimension D: the largest side for which a
+// cell's diameter under the metric is at most epsilon (so any core point's
+// whole cell joins its cluster). L2: eps/sqrt(D); L1: eps/D; Linf: eps.
 template <int D>
-double GridSide(double epsilon) {
+double GridSide(double epsilon, Metric metric = Metric::kL2) {
+  switch (metric) {
+    case Metric::kL2: return epsilon / std::sqrt(double(D));
+    case Metric::kL1: return epsilon / double(D);
+    case Metric::kLinf: return epsilon;
+  }
   return epsilon / std::sqrt(double(D));
+}
+
+// Test knob: forces ForEachNeighborAmong to take the generic hash-probe
+// path even where the packed-cell-key fast path applies, so the property
+// sweep can assert the two produce bit-identical adjacency.
+inline std::atomic<bool>& ForceGenericAdjacencyFlag() {
+  static std::atomic<bool> flag{false};
+  return flag;
 }
 
 // Invokes emit(i, j) for every ordered pair of positions i != j into `ids`
@@ -131,6 +199,66 @@ void ForEachNeighborAmong(const CellStructure<D>& cells,
   using geometry::CellCoords;
   using geometry::Point;
   if (ids.empty()) return;
+  const Metric metric = cells.metric;
+  if constexpr (D == 2) {
+    // Packed-cell-key fast path for the 2-D L1 grid (the bolu-atx
+    // grid2d-L1 idiom): both coordinates biased into uint32 and packed
+    // into one uint64 key, probed by binary search over a sorted key
+    // vector instead of hash probes. Bit-identical to the generic path by
+    // construction — per source cell it walks the SAME deterministic
+    // offset enumeration and emits in the same order; only the membership
+    // probe differs. Falls back to the generic path when the coordinate
+    // range (plus the probe halo) doesn't fit 32 bits, or when the test
+    // knob forces it.
+    if (metric == Metric::kL1 &&
+        !ForceGenericAdjacencyFlag().load(std::memory_order_relaxed)) {
+      const auto& offsets = internal::CachedNeighborOffsets<2>(metric);
+      int64_t lo[2] = {INT64_MAX, INT64_MAX};
+      int64_t hi[2] = {INT64_MIN, INT64_MIN};
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const CellCoords<2>& c = cells.coords[ids[i]];
+        for (int a = 0; a < 2; ++a) {
+          lo[a] = std::min(lo[a], c[static_cast<size_t>(a)]);
+          hi[a] = std::max(hi[a], c[static_cast<size_t>(a)]);
+        }
+      }
+      const int64_t halo = static_cast<int64_t>(MetricHalo<2>(metric));
+      const bool fits = hi[0] - lo[0] <= int64_t{UINT32_MAX} - 2 * halo - 2 &&
+                        hi[1] - lo[1] <= int64_t{UINT32_MAX} - 2 * halo - 2;
+      if (fits) {
+        // bias so every probe (coord +- halo) packs to a positive uint32.
+        const int64_t bias_x = lo[0] - halo - 1;
+        const int64_t bias_y = lo[1] - halo - 1;
+        const auto pack = [&](int64_t cx, int64_t cy) {
+          return (static_cast<uint64_t>(cx - bias_x) << 32) |
+                 static_cast<uint64_t>(cy - bias_y);
+        };
+        // Sorted (key, position-in-ids) pairs; keys are unique because
+        // candidate cells are distinct.
+        std::vector<std::pair<uint64_t, uint32_t>> keyed(ids.size());
+        parallel::parallel_for(0, ids.size(), [&](size_t i) {
+          const CellCoords<2>& c = cells.coords[ids[i]];
+          keyed[i] = {pack(c[0], c[1]), static_cast<uint32_t>(i)};
+        });
+        std::sort(keyed.begin(), keyed.end());
+        parallel::parallel_for(0, ids.size(), [&](size_t i) {
+          const CellCoords<2>& c = cells.coords[ids[i]];
+          for (const CellCoords<2>& delta : offsets) {
+            const uint64_t key = pack(c[0] + delta[0], c[1] + delta[1]);
+            const auto it = std::lower_bound(
+                keyed.begin(), keyed.end(), key,
+                [](const std::pair<uint64_t, uint32_t>& kv, uint64_t k) {
+                  return kv.first < k;
+                });
+            if (it != keyed.end() && it->first == key) {
+              emit(i, static_cast<size_t>(it->second));
+            }
+          }
+        });
+        return;
+      }
+    }
+  }
   if constexpr (D <= 3) {
     // Hash table over the candidate cells: coords -> position in `ids`.
     containers::ConcurrentMap<CellCoords<D>, uint32_t,
@@ -140,11 +268,9 @@ void ForEachNeighborAmong(const CellStructure<D>& cells,
     parallel::parallel_for(0, ids.size(), [&](size_t i) {
       table.Insert(cells.coords[ids[i]], static_cast<uint32_t>(i));
     });
-    // Function-local static pointer: computed once, never destroyed.
-    static const auto* const kOffsets =
-        new std::vector<CellCoords<D>>(internal::NeighborOffsets<D>());
+    const auto& offsets = internal::CachedNeighborOffsets<D>(metric);
     parallel::parallel_for(0, ids.size(), [&](size_t i) {
-      for (const CellCoords<D>& delta : *kOffsets) {
+      for (const CellCoords<D>& delta : offsets) {
         CellCoords<D> probe = cells.coords[ids[i]];
         for (int a = 0; a < D; ++a) probe[a] += delta[a];
         const uint32_t* j = table.Find(probe);
@@ -153,7 +279,7 @@ void ForEachNeighborAmong(const CellStructure<D>& cells,
     });
   } else {
     // k-d tree over the candidate cells' centers (Section 5.1).
-    const int k = 1 + static_cast<int>(std::floor(std::sqrt(double(D))));
+    const int k = static_cast<int>(MetricHalo<D>(metric));
     std::vector<Point<D>> centers(ids.size());
     parallel::parallel_for(0, ids.size(), [&](size_t i) {
       for (int a = 0; a < D; ++a) {
@@ -174,7 +300,7 @@ void ForEachNeighborAmong(const CellStructure<D>& cells,
           delta[a] =
               cells.coords[ids[other]][a] - cells.coords[ids[i]][a];
         }
-        if (internal::OffsetWithinEpsilon<D>(delta)) {
+        if (internal::OffsetWithinEpsilon<D>(delta, metric)) {
           emit(i, static_cast<size_t>(other));
         }
         return true;
@@ -223,20 +349,22 @@ void BuildGridAdjacency(CellStructure<D>& cells,
 template <int D>
 CellStructure<D> BuildGrid(std::span<const geometry::Point<D>> input,
                            double epsilon,
-                           const geometry::BBox<D>* bounds_hint = nullptr) {
+                           const geometry::BBox<D>* bounds_hint = nullptr,
+                           Metric metric = Metric::kL2) {
   using geometry::BBox;
   using geometry::CellCoords;
   using geometry::Point;
 
   CellStructure<D> cells;
   cells.epsilon = epsilon;
+  cells.metric = metric;
   const size_t n = input.size();
   if (n == 0) {
     cells.offsets.push_back(0);
     cells.nbr_offsets.push_back(0);
     return cells;
   }
-  const double side = GridSide<D>(epsilon);
+  const double side = GridSide<D>(epsilon, metric);
 
   const BBox<D> bounds =
       bounds_hint != nullptr ? *bounds_hint : ComputeBounds<D>(input);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "dbscan/cell_structure.h"
+#include "dbscan/metric.h"
 #include "dbscan/stats.h"
 #include "dbscan/types.h"
 #include "geometry/quadtree.h"
@@ -58,11 +59,16 @@ void CountCellPoints(
     const std::vector<std::unique_ptr<geometry::CellQuadtree<D>>>* trees,
     size_t c, std::vector<uint32_t>& counts, PipelineStats& stats) {
   const double eps = cells.epsilon;
-  const double eps2 = eps * eps;
+  const Metric metric = cells.metric;
+  // L2 compares squared distance vs eps^2 (the pre-metric arithmetic,
+  // byte-for-byte); L1/Linf compare the distance itself vs eps.
+  const double threshold = MetricThreshold(eps, metric);
   const size_t begin = cells.offsets[c];
   const size_t end = cells.offsets[c + 1];
   if (end - begin >= cap) {
-    // Dense cell: everything is core (Lines 4-6 of Algorithm 2).
+    // Dense cell: everything is core (Lines 4-6 of Algorithm 2). Valid for
+    // every metric — the cell side is chosen so the cell diameter under the
+    // structure's metric is at most epsilon.
     parallel::parallel_for(
         begin, end,
         [&](size_t i) { counts[i] = static_cast<uint32_t>(cap); });
@@ -70,7 +76,8 @@ void CountCellPoints(
   }
   const auto neighbors = cells.neighbors(c);
   kernels::Counters kc;
-  const kernels::DistanceKernelOps& ops = kernels::Ops();
+  const kernels::CountWithinFn count_within =
+      CountWithinForMetric(kernels::Ops(), metric);
   const bool use_soa = method == RangeCountMethod::kScan && cells.has_soa();
   std::array<const double*, D> lane_base;
   size_t lane_stride = 1;
@@ -90,7 +97,7 @@ void CountCellPoints(
       // methods. For kQuadtree this is not just the root-node test moved
       // up: the tree's root box can only be smaller than the cell box
       // (single-child collapse), so a skip here means the count was 0.
-      if (cells.cell_boxes[h].MinSquaredDistance(p) > eps2) {
+      if (BoxMinMeasure<D>(cells.cell_boxes[h], p, metric) > threshold) {
         kc.points_pruned_box += cells.cell_size(h);
         continue;
       }
@@ -105,12 +112,14 @@ void CountCellPoints(
             lanes[static_cast<size_t>(d)] =
                 lane_base[static_cast<size_t>(d)] + h_begin * lane_stride;
           }
-          count += ops.count_within(lanes.data(), lane_stride, D,
-                                    h_end - h_begin, p.x.data(), eps2,
-                                    cap - count, &kc);
+          count += count_within(lanes.data(), lane_stride, D,
+                                h_end - h_begin, p.x.data(), threshold,
+                                cap - count, &kc);
         } else {
           for (size_t j = h_begin; j < h_end && count < cap; ++j) {
-            if (cells.points[j].SquaredDistance(p) <= eps2) ++count;
+            if (PointMeasure<D>(cells.points[j], p, metric) <= threshold) {
+              ++count;
+            }
           }
         }
       }

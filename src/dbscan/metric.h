@@ -1,0 +1,93 @@
+// Metric-switch helpers: the one place the pipeline translates a Metric
+// enum into concrete arithmetic. Every call site (MarkCore counting, BCP
+// connectivity, border assignment, brute-force verification) funnels its
+// point-vs-point and point-vs-box comparisons through these so the three
+// metrics share a single comparison convention:
+//
+//   PointMeasure(a, b, m)   <=  MetricThreshold(eps, m)
+//
+// For L2 the measure is the SQUARED distance and the threshold eps^2 —
+// exactly the arithmetic the pipeline used before the metric axis existed,
+// so L2 behavior (and its bit-identity goldens) is byte-for-byte unchanged.
+// For L1/Linf the measure is the distance itself and the threshold eps
+// (both are exact comparisons; no squaring is needed or wanted).
+//
+// Grid geometry per metric (cells of side s, D dimensions):
+//   diameter(m) <= eps  requires  s = eps/sqrt(D) (L2), eps/D (L1), eps (Linf)
+// and the largest per-axis cell-coordinate delta two eps-close points can
+// have (the halo / neighbor-offset radius) is
+//   1 + floor(sqrt(D)) (L2),  D + 1 (L1),  2 (Linf).
+// See dbscan/grid.h for the offset criterion per metric.
+#ifndef PDBSCAN_DBSCAN_METRIC_H_
+#define PDBSCAN_DBSCAN_METRIC_H_
+
+#include <cmath>
+#include <cstddef>
+
+#include "dbscan/types.h"
+#include "geometry/point.h"
+#include "kernels/kernel_api.h"
+
+namespace pdbscan::dbscan {
+
+// The threshold the measure is compared against: eps^2 for L2 (computed as
+// eps * eps, matching the pre-metric pipeline exactly), eps otherwise.
+inline double MetricThreshold(double epsilon, Metric m) {
+  return m == Metric::kL2 ? epsilon * epsilon : epsilon;
+}
+
+// Point-vs-point measure under the comparison convention above.
+template <int D>
+double PointMeasure(const geometry::Point<D>& a, const geometry::Point<D>& b,
+                    Metric m) {
+  switch (m) {
+    case Metric::kL2: return a.SquaredDistance(b);
+    case Metric::kL1: return a.L1Distance(b);
+    case Metric::kLinf: return a.LinfDistance(b);
+  }
+  return a.SquaredDistance(b);
+}
+
+// Smallest point-vs-box measure (0 if inside) — the box-prune counterpart
+// of PointMeasure: BoxMinMeasure(box, p, m) > MetricThreshold(eps, m)
+// proves no point of the box is eps-close to p.
+template <int D>
+double BoxMinMeasure(const geometry::BBox<D>& box, const geometry::Point<D>& p,
+                     Metric m) {
+  switch (m) {
+    case Metric::kL2: return box.MinSquaredDistance(p);
+    case Metric::kL1: return box.MinL1Distance(p);
+    case Metric::kLinf: return box.MinLinfDistance(p);
+  }
+  return box.MinSquaredDistance(p);
+}
+
+// Largest per-axis cell-coordinate delta between two cells that can hold
+// eps-close points (the seam-halo width and the neighbor-offset radius).
+template <int D>
+size_t MetricHalo(Metric m) {
+  switch (m) {
+    case Metric::kL2:
+      return 1 + static_cast<size_t>(std::floor(std::sqrt(
+                     static_cast<double>(D))));
+    case Metric::kL1: return static_cast<size_t>(D) + 1;
+    case Metric::kLinf: return 2;
+  }
+  return 1 + static_cast<size_t>(std::floor(std::sqrt(static_cast<double>(D))));
+}
+
+// The count-within kernel for a metric (threshold parameter semantics match
+// MetricThreshold).
+inline kernels::CountWithinFn CountWithinForMetric(
+    const kernels::DistanceKernelOps& ops, Metric m) {
+  switch (m) {
+    case Metric::kL2: return ops.count_within;
+    case Metric::kL1: return ops.count_within_l1;
+    case Metric::kLinf: return ops.count_within_linf;
+  }
+  return ops.count_within;
+}
+
+}  // namespace pdbscan::dbscan
+
+#endif  // PDBSCAN_DBSCAN_METRIC_H_

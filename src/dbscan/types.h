@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,38 @@ enum class RangeCountMethod {
   kQuadtree  // Traverse a per-cell quadtree.
 };
 
+// The distance metric the epsilon-neighborhood is measured in. The paper's
+// algorithms are metric-generic as long as the grid cell diameter is at most
+// epsilon under the metric; only the L2 machinery (quadtrees, USEC, Delaunay,
+// box cells, the approximate counting) is metric-specific, so non-L2 metrics
+// are restricted to the grid + BCP + scan configuration (see
+// ValidateMetricOptions).
+enum class Metric : uint8_t {
+  kL2,   // Euclidean. Compared as squared distance vs epsilon^2.
+  kL1,   // Manhattan. Compared as |dx| + |dy| + ... vs epsilon.
+  kLinf  // Chebyshev. Compared as max_i |dx_i| vs epsilon.
+};
+
+inline const char* MetricName(Metric m) {
+  switch (m) {
+    case Metric::kL2: return "l2";
+    case Metric::kL1: return "l1";
+    case Metric::kLinf: return "linf";
+  }
+  return "?";
+}
+
+// Parses "l2" / "l1" / "linf" into a Metric; returns false on anything else.
+inline bool ParseMetric(const std::string& s, Metric* out) {
+  if (s == "l2") { *out = Metric::kL2; return true; }
+  if (s == "l1") { *out = Metric::kL1; return true; }
+  if (s == "linf" || s == "loo" || s == "chebyshev") {
+    *out = Metric::kLinf;
+    return true;
+  }
+  return false;
+}
+
 struct Options {
   CellMethod cell_method = CellMethod::kGrid;
   ConnectMethod connect_method = ConnectMethod::kBcp;
@@ -55,9 +88,29 @@ struct Options {
   // see geometry/delaunay.h).
   uint64_t delaunay_jitter_seed = 0x9e3779b9u;
 
+  // Distance metric for the epsilon-neighborhood. Non-L2 metrics require the
+  // grid + BCP + scan configuration (ValidateMetricOptions enforces this).
+  Metric metric = Metric::kL2;
+
   // Human-readable configuration name, mirroring the paper's labels.
   std::string Name() const;
 };
+
+// Throws std::invalid_argument if `options` combines a non-L2 metric with
+// machinery that is inherently Euclidean (box cells, quadtree counting, USEC,
+// Delaunay, approximate quadtrees). Called by every build surface.
+inline void ValidateMetricOptions(const Options& options) {
+  if (options.metric == Metric::kL2) return;
+  if (options.cell_method != CellMethod::kGrid ||
+      options.connect_method != ConnectMethod::kBcp ||
+      options.range_count != RangeCountMethod::kScan) {
+    throw std::invalid_argument(
+        std::string(MetricName(options.metric)) +
+        " metric requires the grid + BCP + scan configuration "
+        "(quadtrees, USEC, Delaunay, box cells and approximate counting "
+        "are Euclidean-only)");
+  }
+}
 
 // Named configurations used throughout the paper's evaluation (Section 7.1).
 Options OurExact();
@@ -126,6 +179,10 @@ inline std::string Options::Name() const {
   if (cell_method == CellMethod::kBox) name += "-box";
   if (bucketing) name += "-bucketing";
   if (core_only) name += "-star";
+  if (metric != Metric::kL2) {
+    name += "-";
+    name += MetricName(metric);
+  }
   return name;
 }
 

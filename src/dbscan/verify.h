@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "containers/union_find.h"
+#include "dbscan/metric.h"
 #include "dbscan/types.h"
 #include "geometry/point.h"
 
@@ -23,18 +24,23 @@ namespace pdbscan::dbscan {
 
 // O(n^2) reference DBSCAN (exact, standard definition, multi-membership
 // border points). Labels are normalized by first appearance in input order,
-// the same rule the parallel pipeline uses.
+// the same rule the parallel pipeline uses. `metric` selects the distance
+// the eps-neighborhood is measured in (defaults to L2, the paper's setting).
 template <int D>
 Clustering BruteForceDbscan(std::span<const geometry::Point<D>> pts,
-                            double epsilon, size_t min_pts) {
+                            double epsilon, size_t min_pts,
+                            Metric metric = Metric::kL2) {
   const size_t n = pts.size();
-  const double eps2 = epsilon * epsilon;
+  const double threshold = MetricThreshold(epsilon, metric);
+  const auto within = [&](size_t i, size_t j) {
+    return PointMeasure<D>(pts[i], pts[j], metric) <= threshold;
+  };
   Clustering out;
   out.is_core.assign(n, 0);
   for (size_t i = 0; i < n; ++i) {
     size_t count = 0;
     for (size_t j = 0; j < n; ++j) {
-      if (pts[i].SquaredDistance(pts[j]) <= eps2) ++count;
+      if (within(i, j)) ++count;
     }
     if (count >= min_pts) out.is_core[i] = 1;
   }
@@ -43,7 +49,7 @@ Clustering BruteForceDbscan(std::span<const geometry::Point<D>> pts,
   for (size_t i = 0; i < n; ++i) {
     if (!out.is_core[i]) continue;
     for (size_t j = i + 1; j < n; ++j) {
-      if (out.is_core[j] && pts[i].SquaredDistance(pts[j]) <= eps2) {
+      if (out.is_core[j] && within(i, j)) {
         uf.Link(i, j);
       }
     }
@@ -58,7 +64,7 @@ Clustering BruteForceDbscan(std::span<const geometry::Point<D>> pts,
       continue;
     }
     for (size_t j = 0; j < n; ++j) {
-      if (out.is_core[j] && pts[i].SquaredDistance(pts[j]) <= eps2) {
+      if (out.is_core[j] && within(i, j)) {
         roots[i].push_back(uf.Find(j));
       }
     }

@@ -37,6 +37,27 @@ struct Point {
   }
 
   double Distance(const Point& o) const { return std::sqrt(SquaredDistance(o)); }
+
+  // L1 (Manhattan) distance, accumulated in dimension order — the scalar
+  // reference the SIMD L1 kernels must match bit for bit.
+  double L1Distance(const Point& o) const {
+    double s = 0;
+    for (int i = 0; i < D; ++i) {
+      s += std::abs(x[static_cast<size_t>(i)] - o.x[static_cast<size_t>(i)]);
+    }
+    return s;
+  }
+
+  // L-infinity (Chebyshev) distance: the largest per-axis difference.
+  double LinfDistance(const Point& o) const {
+    double m = 0;
+    for (int i = 0; i < D; ++i) {
+      const double d =
+          std::abs(x[static_cast<size_t>(i)] - o.x[static_cast<size_t>(i)]);
+      if (d > m) m = d;
+    }
+    return m;
+  }
 };
 
 // Integer grid-cell coordinates (the cell a point falls into when space is
@@ -117,6 +138,34 @@ struct BBox {
       d2 += d * d;
     }
     return d2;
+  }
+
+  // Smallest L1 distance from p to any point of the box (0 if inside).
+  double MinL1Distance(const Point<D>& p) const {
+    double s = 0;
+    for (int i = 0; i < D; ++i) {
+      if (p[i] < min[i]) {
+        s += min[i] - p[i];
+      } else if (p[i] > max[i]) {
+        s += p[i] - max[i];
+      }
+    }
+    return s;
+  }
+
+  // Smallest L-infinity distance from p to any point of the box (0 if inside).
+  double MinLinfDistance(const Point<D>& p) const {
+    double m = 0;
+    for (int i = 0; i < D; ++i) {
+      double d = 0;
+      if (p[i] < min[i]) {
+        d = min[i] - p[i];
+      } else if (p[i] > max[i]) {
+        d = p[i] - max[i];
+      }
+      if (d > m) m = d;
+    }
+    return m;
   }
 
   // Smallest squared distance between any point of this box and any point of

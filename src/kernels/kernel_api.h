@@ -86,11 +86,20 @@ using CountWithinFn = size_t (*)(const double* const* lanes, size_t stride,
                                  int dim, size_t n, const double* q,
                                  double eps2, size_t cap, Counters* counters);
 
-// The dispatched kernel table. One entry today; the table (rather than a
-// bare function pointer) keeps room for batched multi-query variants
+// The dispatched kernel table — one CountWithinFn per distance metric. The
+// L1/Linf entries reuse the CountWithinFn signature with the threshold
+// parameter holding eps itself (not eps^2): L1 accumulates fl(sum + |diff|)
+// in dimension order, Linf takes the running max of |diff| — both compared
+// <= eps. The same bit-identity argument applies: per-point accumulation
+// order is fixed, |x| and max are exact in floating point, and the
+// partial-norm prune stays valid because each metric's partial measure is
+// non-decreasing in the number of dimensions accumulated. The table (rather
+// than a bare function pointer) keeps room for batched multi-query variants
 // without touching the dispatch machinery.
 struct DistanceKernelOps {
-  CountWithinFn count_within;
+  CountWithinFn count_within;       // L2: threshold parameter is eps^2.
+  CountWithinFn count_within_l1;    // L1: threshold parameter is eps.
+  CountWithinFn count_within_linf;  // Linf: threshold parameter is eps.
 };
 
 // --- Runtime dispatch (kernels/dispatch.cpp) -------------------------------

@@ -84,12 +84,136 @@ size_t CountWithinAvx2(const double* const* lanes, size_t stride, int dim,
   return count < cap ? count : cap;
 }
 
+// L1 variant: same loop shape with |diff| (bit-clear of the sign via
+// andnot with -0.0 — exact) accumulated by adds, compared against eps. The
+// first-coordinate prune stays exact: every later |diff| term is
+// non-negative, so no partial sum can drop below its prefix.
+size_t CountWithinL1Avx2(const double* const* lanes, size_t stride, int dim,
+                         size_t n, const double* q, double eps, size_t cap,
+                         Counters* counters) {
+  if (stride != 1 || dim < 1 || dim > kMaxLanes) {
+    return internal::CountWithinL1ScalarImpl(lanes, stride, dim, n, q, eps,
+                                             cap, counters);
+  }
+  const __m256d veps = _mm256_set1_pd(eps);
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  uint64_t batches = 0;
+  uint64_t pruned = 0;
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= n && count < cap; i += 8) {
+    ++batches;
+    const __m256d q0 = _mm256_set1_pd(q[0]);
+    __m256d acc_a = _mm256_andnot_pd(
+        sign_mask, _mm256_sub_pd(_mm256_loadu_pd(lanes[0] + i), q0));
+    __m256d acc_b = _mm256_andnot_pd(
+        sign_mask, _mm256_sub_pd(_mm256_loadu_pd(lanes[0] + i + 4), q0));
+    if (dim > 1) {
+      const int alive =
+          _mm256_movemask_pd(_mm256_cmp_pd(acc_a, veps, _CMP_LE_OQ)) |
+          _mm256_movemask_pd(_mm256_cmp_pd(acc_b, veps, _CMP_LE_OQ));
+      if (alive == 0) {
+        pruned += 8;
+        continue;
+      }
+      for (int d = 1; d < dim; ++d) {
+        const __m256d qd = _mm256_set1_pd(q[d]);
+        const __m256d da = _mm256_andnot_pd(
+            sign_mask, _mm256_sub_pd(_mm256_loadu_pd(lanes[d] + i), qd));
+        const __m256d db = _mm256_andnot_pd(
+            sign_mask, _mm256_sub_pd(_mm256_loadu_pd(lanes[d] + i + 4), qd));
+        acc_a = _mm256_add_pd(acc_a, da);
+        acc_b = _mm256_add_pd(acc_b, db);
+      }
+    }
+    const int mask_a =
+        _mm256_movemask_pd(_mm256_cmp_pd(acc_a, veps, _CMP_LE_OQ));
+    const int mask_b =
+        _mm256_movemask_pd(_mm256_cmp_pd(acc_b, veps, _CMP_LE_OQ));
+    count += static_cast<size_t>(__builtin_popcount(mask_a)) +
+             static_cast<size_t>(__builtin_popcount(mask_b));
+  }
+  if (count < cap && i < n) {
+    const double* tail[kMaxLanes];
+    for (int d = 0; d < dim; ++d) tail[d] = lanes[d] + i;
+    count += internal::CountWithinL1ScalarImpl(tail, 1, dim, n - i, q, eps,
+                                               cap - count, nullptr);
+  }
+  if (counters != nullptr) {
+    counters->batches += batches;
+    counters->points_pruned_norm += pruned;
+  }
+  return count < cap ? count : cap;
+}
+
+// Linf variant: running max of |diff| per lane. Max is exact and monotone
+// in the number of dimensions folded in, so the prune argument holds
+// unchanged.
+size_t CountWithinLinfAvx2(const double* const* lanes, size_t stride,
+                           int dim, size_t n, const double* q, double eps,
+                           size_t cap, Counters* counters) {
+  if (stride != 1 || dim < 1 || dim > kMaxLanes) {
+    return internal::CountWithinLinfScalarImpl(lanes, stride, dim, n, q, eps,
+                                               cap, counters);
+  }
+  const __m256d veps = _mm256_set1_pd(eps);
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  uint64_t batches = 0;
+  uint64_t pruned = 0;
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= n && count < cap; i += 8) {
+    ++batches;
+    const __m256d q0 = _mm256_set1_pd(q[0]);
+    __m256d acc_a = _mm256_andnot_pd(
+        sign_mask, _mm256_sub_pd(_mm256_loadu_pd(lanes[0] + i), q0));
+    __m256d acc_b = _mm256_andnot_pd(
+        sign_mask, _mm256_sub_pd(_mm256_loadu_pd(lanes[0] + i + 4), q0));
+    if (dim > 1) {
+      const int alive =
+          _mm256_movemask_pd(_mm256_cmp_pd(acc_a, veps, _CMP_LE_OQ)) |
+          _mm256_movemask_pd(_mm256_cmp_pd(acc_b, veps, _CMP_LE_OQ));
+      if (alive == 0) {
+        pruned += 8;
+        continue;
+      }
+      for (int d = 1; d < dim; ++d) {
+        const __m256d qd = _mm256_set1_pd(q[d]);
+        const __m256d da = _mm256_andnot_pd(
+            sign_mask, _mm256_sub_pd(_mm256_loadu_pd(lanes[d] + i), qd));
+        const __m256d db = _mm256_andnot_pd(
+            sign_mask, _mm256_sub_pd(_mm256_loadu_pd(lanes[d] + i + 4), qd));
+        acc_a = _mm256_max_pd(acc_a, da);
+        acc_b = _mm256_max_pd(acc_b, db);
+      }
+    }
+    const int mask_a =
+        _mm256_movemask_pd(_mm256_cmp_pd(acc_a, veps, _CMP_LE_OQ));
+    const int mask_b =
+        _mm256_movemask_pd(_mm256_cmp_pd(acc_b, veps, _CMP_LE_OQ));
+    count += static_cast<size_t>(__builtin_popcount(mask_a)) +
+             static_cast<size_t>(__builtin_popcount(mask_b));
+  }
+  if (count < cap && i < n) {
+    const double* tail[kMaxLanes];
+    for (int d = 0; d < dim; ++d) tail[d] = lanes[d] + i;
+    count += internal::CountWithinLinfScalarImpl(tail, 1, dim, n - i, q, eps,
+                                                 cap - count, nullptr);
+  }
+  if (counters != nullptr) {
+    counters->batches += batches;
+    counters->points_pruned_norm += pruned;
+  }
+  return count < cap ? count : cap;
+}
+
 #else
 #error "kernel_avx2.cpp must be compiled with -mavx2 (see CMake PDBSCAN_SIMD)"
 #endif  // __AVX2__
 
 }  // namespace
 
-extern const DistanceKernelOps kAvx2Ops = {CountWithinAvx2};
+extern const DistanceKernelOps kAvx2Ops = {CountWithinAvx2, CountWithinL1Avx2,
+                                           CountWithinLinfAvx2};
 
 }  // namespace pdbscan::kernels

@@ -66,6 +66,23 @@ size_t CountWithinAvx512(const double* const* lanes, size_t stride, int dim,
   return count < cap ? count : cap;
 }
 
+// The L1/Linf entries delegate to the scalar reference: only the L2 count
+// dominates the profile enough to justify a 512-bit variant, and the
+// contract makes delegation safe — every level is bit-identical anyway.
+size_t CountWithinL1Avx512(const double* const* lanes, size_t stride,
+                           int dim, size_t n, const double* q, double eps,
+                           size_t cap, Counters* counters) {
+  return internal::CountWithinL1ScalarImpl(lanes, stride, dim, n, q, eps,
+                                           cap, counters);
+}
+
+size_t CountWithinLinfAvx512(const double* const* lanes, size_t stride,
+                             int dim, size_t n, const double* q, double eps,
+                             size_t cap, Counters* counters) {
+  return internal::CountWithinLinfScalarImpl(lanes, stride, dim, n, q, eps,
+                                             cap, counters);
+}
+
 #else
 #error \
     "kernel_avx512.cpp must be compiled with -mavx512f (see CMake PDBSCAN_SIMD)"
@@ -73,6 +90,7 @@ size_t CountWithinAvx512(const double* const* lanes, size_t stride, int dim,
 
 }  // namespace
 
-extern const DistanceKernelOps kAvx512Ops = {CountWithinAvx512};
+extern const DistanceKernelOps kAvx512Ops = {
+    CountWithinAvx512, CountWithinL1Avx512, CountWithinLinfAvx512};
 
 }  // namespace pdbscan::kernels

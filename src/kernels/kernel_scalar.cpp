@@ -13,8 +13,23 @@ size_t CountWithinScalar(const double* const* lanes, size_t stride, int dim,
                                          counters);
 }
 
+size_t CountWithinL1Scalar(const double* const* lanes, size_t stride, int dim,
+                           size_t n, const double* q, double eps, size_t cap,
+                           Counters* counters) {
+  return internal::CountWithinL1ScalarImpl(lanes, stride, dim, n, q, eps, cap,
+                                           counters);
+}
+
+size_t CountWithinLinfScalar(const double* const* lanes, size_t stride,
+                             int dim, size_t n, const double* q, double eps,
+                             size_t cap, Counters* counters) {
+  return internal::CountWithinLinfScalarImpl(lanes, stride, dim, n, q, eps,
+                                             cap, counters);
+}
+
 }  // namespace
 
-extern const DistanceKernelOps kScalarOps = {CountWithinScalar};
+extern const DistanceKernelOps kScalarOps = {
+    CountWithinScalar, CountWithinL1Scalar, CountWithinLinfScalar};
 
 }  // namespace pdbscan::kernels

@@ -6,6 +6,7 @@
 #ifndef PDBSCAN_KERNELS_KERNEL_SCALAR_INLINE_H_
 #define PDBSCAN_KERNELS_KERNEL_SCALAR_INLINE_H_
 
+#include <cmath>
 #include <cstddef>
 
 #include "kernels/kernel_api.h"
@@ -25,6 +26,46 @@ inline size_t CountWithinScalarImpl(const double* const* lanes, size_t stride,
       d2 += diff * diff;
     }
     if (d2 <= eps2) ++count;
+  }
+  return count < cap ? count : cap;
+}
+
+// L1 variant: the threshold parameter is eps (not squared). Accumulates
+// fl(sum + |diff|) in dimension order — the arithmetic of
+// Point<D>::L1Distance — so SIMD variants have an exact reference.
+inline size_t CountWithinL1ScalarImpl(const double* const* lanes,
+                                      size_t stride, int dim, size_t n,
+                                      const double* q, double eps, size_t cap,
+                                      Counters* /*counters*/) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (count >= cap) return cap;
+    double s = 0;
+    for (int d = 0; d < dim; ++d) {
+      s += std::abs(lanes[d][i * stride] - q[d]);
+    }
+    if (s <= eps) ++count;
+  }
+  return count < cap ? count : cap;
+}
+
+// Linf variant: the threshold parameter is eps. Running max of |diff| in
+// dimension order — the arithmetic of Point<D>::LinfDistance (max is exact,
+// so accumulation order cannot matter, but keeping it fixed mirrors the
+// other metrics' contract).
+inline size_t CountWithinLinfScalarImpl(const double* const* lanes,
+                                        size_t stride, int dim, size_t n,
+                                        const double* q, double eps,
+                                        size_t cap, Counters* /*counters*/) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (count >= cap) return cap;
+    double m = 0;
+    for (int d = 0; d < dim; ++d) {
+      const double diff = std::abs(lanes[d][i * stride] - q[d]);
+      if (diff > m) m = diff;
+    }
+    if (m <= eps) ++count;
   }
   return count < cap ? count : cap;
 }

@@ -176,6 +176,7 @@
 #include "persist/journal.h"
 #include "persist/persistent_clusterer.h"
 #include "persist/snapshot.h"
+#include "quality/metrics.h"
 #include "sharding/shard_planner.h"
 #include "sharding/sharded_cell_index.h"
 #include "sharding/sharded_clusterer.h"
@@ -275,6 +276,27 @@ using ShardedCellIndex = sharding::ShardedCellIndex<D>;
 // for exact configurations (see sharding/sharded_clusterer.h).
 template <int D>
 using ShardedClusterer = sharding::ShardedClusterer<D>;
+
+// --- Quality surface (see quality/metrics.h). -------------------------------
+//
+// Grades a clustering against reference labels with the community-standard
+// agreement metrics (noise is one ordinary label, matching sklearn usage):
+//
+//   auto truth = pdbscan::ReadLabelsFile("dataset.labels");
+//   pdbscan::QualityReport q = pdbscan::EvaluateQuality(result, truth);
+//   // q.ari, q.nmi, q.predicted_noise_ratio, q.cluster_size_histogram,
+//   // q.label_checksum (FNV-1a over the labels — what golden tests pin).
+//
+// pdbscan_cli --quality <labels-file> prints the same report, and
+// tools/bench_runner.py embeds it in every benchmark trajectory record.
+using QualityReport = quality::QualityReport;
+using quality::AdjustedRandIndex;
+using quality::ClusterSizeHistogram;
+using quality::EvaluateQuality;
+using quality::LabelChecksum;
+using quality::NoiseRatio;
+using quality::NormalizedMutualInfo;
+using quality::ReadLabelsFile;
 
 // --- Persistence surface (see persist/). -----------------------------------
 

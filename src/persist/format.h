@@ -105,7 +105,10 @@ struct OptionsRecord {
   uint8_t range_count = 0;
   uint8_t bucketing = 0;
   uint8_t core_only = 0;
-  uint8_t pad[3] = {0, 0, 0};
+  // Distance metric (dbscan::Metric). Occupies what used to be a padding
+  // byte, so pre-metric files decode as 0 == kL2 — their actual metric.
+  uint8_t metric = 0;
+  uint8_t pad[2] = {0, 0};
   uint64_t num_buckets = 0;
   double rho = 0;
   uint64_t delaunay_jitter_seed = 0;
@@ -120,6 +123,7 @@ inline OptionsRecord EncodeOptions(const Options& o) {
   r.range_count = static_cast<uint8_t>(o.range_count);
   r.bucketing = o.bucketing ? 1 : 0;
   r.core_only = o.core_only ? 1 : 0;
+  r.metric = static_cast<uint8_t>(o.metric);
   r.num_buckets = o.num_buckets;
   r.rho = o.rho;
   r.delaunay_jitter_seed = o.delaunay_jitter_seed;
@@ -131,7 +135,8 @@ inline Options DecodeOptions(const OptionsRecord& r, const std::string& path) {
       r.connect_method >
           static_cast<uint8_t>(ConnectMethod::kApproxQuadtree) ||
       r.range_count > static_cast<uint8_t>(RangeCountMethod::kQuadtree) ||
-      r.bucketing > 1 || r.core_only > 1) {
+      r.bucketing > 1 || r.core_only > 1 ||
+      r.metric > static_cast<uint8_t>(Metric::kLinf)) {
     throw PersistError(path + ": corrupted options record");
   }
   Options o;
@@ -140,6 +145,7 @@ inline Options DecodeOptions(const OptionsRecord& r, const std::string& path) {
   o.range_count = static_cast<RangeCountMethod>(r.range_count);
   o.bucketing = r.bucketing != 0;
   o.core_only = r.core_only != 0;
+  o.metric = static_cast<Metric>(r.metric);
   o.num_buckets = r.num_buckets;
   o.rho = r.rho;
   o.delaunay_jitter_seed = r.delaunay_jitter_seed;

@@ -393,6 +393,7 @@ class SnapshotReader {
 
     dbscan::CellStructure<D> cells;
     cells.epsilon = h.epsilon;
+    cells.metric = options.metric;
     const size_t n = static_cast<size_t>(h.num_points);
     const size_t m = static_cast<size_t>(h.num_cells);
     AdoptArray<geometry::Point<D>>(cells.points, data, layout.points, n,

@@ -1,0 +1,280 @@
+// In-library clustering-quality metrics: agreement between two label
+// vectors (a clustering under evaluation vs. a reference / ground truth),
+// computed exactly from the pair-counting contingency table.
+//
+// Conventions, chosen so the numbers line up with the scikit-learn
+// implementations the community compares against:
+//
+//   * Labels are arbitrary int64 values; only the induced partition
+//     matters. Noise (Clustering::kNoise == -1) is treated as one ordinary
+//     label — noise points form their own "cluster" for agreement purposes,
+//     so a run that noise-flags half the dataset scores against a truth
+//     that clusters those points. (This matches passing DBSCAN output to
+//     sklearn.metrics.adjusted_rand_score unmodified.)
+//   * AdjustedRandIndex: Hubert-Arabie ARI from the pair-counting
+//     contingency table; 1.0 for identical partitions, ~0 for independent
+//     ones, negative for worse-than-chance. The degenerate case where the
+//     expected index equals the maximum index (both partitions trivial)
+//     returns 1.0, as in scikit-learn.
+//   * NormalizedMutualInfo: MI normalized by the arithmetic mean of the two
+//     entropies (scikit-learn's default average_method="arithmetic");
+//     natural logarithms throughout; 1.0 when both partitions are the same
+//     single cluster, 0.0 when either side carries no information.
+//
+// Everything here is deterministic, single-threaded (metric evaluation is
+// O(n) hashing plus O(#cells) arithmetic — never the bottleneck next to the
+// clustering it grades) and header-only.
+#ifndef PDBSCAN_QUALITY_METRICS_H_
+#define PDBSCAN_QUALITY_METRICS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dbscan/types.h"
+
+namespace pdbscan::quality {
+
+// FNV-1a over the little-endian bytes of the label vector. This is the
+// checksum the golden-label tests pin per mode x metric: any label flip,
+// reorder, or resize changes it.
+inline uint64_t LabelChecksum(std::span<const int64_t> labels) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis.
+  for (const int64_t label : labels) {
+    uint64_t w = static_cast<uint64_t>(label);
+    for (int b = 0; b < 8; ++b) {
+      h = (h ^ (w & 0xffu)) * 1099511628211ull;  // FNV prime.
+      w >>= 8;
+    }
+  }
+  return h;
+}
+
+inline uint64_t LabelChecksum(const std::vector<int64_t>& labels) {
+  return LabelChecksum(std::span<const int64_t>(labels));
+}
+
+// Fraction of points labeled Clustering::kNoise.
+inline double NoiseRatio(std::span<const int64_t> labels) {
+  if (labels.empty()) return 0.0;
+  size_t noise = 0;
+  for (const int64_t label : labels) {
+    if (label == Clustering::kNoise) ++noise;
+  }
+  return static_cast<double>(noise) / static_cast<double>(labels.size());
+}
+
+// Log2-bucketed sizes of the non-noise clusters: histogram[k] counts the
+// clusters whose size lies in [2^k, 2^(k+1)). Compact enough to embed in a
+// bench record yet detailed enough to catch "one giant blob vs. many
+// shards" regressions that ARI alone can miss when the truth is unknown.
+inline std::vector<size_t> ClusterSizeHistogram(
+    std::span<const int64_t> labels) {
+  std::unordered_map<int64_t, size_t> sizes;
+  for (const int64_t label : labels) {
+    if (label != Clustering::kNoise) ++sizes[label];
+  }
+  std::vector<size_t> histogram;
+  for (const auto& [label, size] : sizes) {
+    size_t bucket = 0;
+    while ((size_t{1} << (bucket + 1)) <= size) ++bucket;
+    if (histogram.size() <= bucket) histogram.resize(bucket + 1, 0);
+    ++histogram[bucket];
+  }
+  return histogram;
+}
+
+namespace internal {
+
+// Dense contingency table of two equal-length label vectors: cells[r][c]
+// counts points with (a-label r, b-label c) after remapping each side's
+// distinct labels (noise included) to 0..k-1 in first-appearance order.
+struct Contingency {
+  std::vector<std::vector<size_t>> cells;
+  std::vector<size_t> row_sums;  // Per distinct a-label.
+  std::vector<size_t> col_sums;  // Per distinct b-label.
+  size_t n = 0;
+};
+
+inline Contingency BuildContingency(std::span<const int64_t> a,
+                                    std::span<const int64_t> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(
+        "quality metrics need equal-length label vectors (" +
+        std::to_string(a.size()) + " vs " + std::to_string(b.size()) + ")");
+  }
+  Contingency t;
+  t.n = a.size();
+  std::unordered_map<int64_t, size_t> a_id;
+  std::unordered_map<int64_t, size_t> b_id;
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(t.n);
+  for (size_t i = 0; i < t.n; ++i) {
+    const size_t r = a_id.emplace(a[i], a_id.size()).first->second;
+    const size_t c = b_id.emplace(b[i], b_id.size()).first->second;
+    pairs.emplace_back(r, c);
+  }
+  t.cells.assign(a_id.size(), std::vector<size_t>(b_id.size(), 0));
+  t.row_sums.assign(a_id.size(), 0);
+  t.col_sums.assign(b_id.size(), 0);
+  for (const auto& [r, c] : pairs) {
+    ++t.cells[r][c];
+    ++t.row_sums[r];
+    ++t.col_sums[c];
+  }
+  return t;
+}
+
+// n choose 2 in double precision (exact for n < 2^26, far beyond any
+// label-vector size the harness grades).
+inline double Pairs(size_t n) {
+  return 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+}
+
+}  // namespace internal
+
+// Hubert-Arabie adjusted Rand index of the partitions induced by `a` and
+// `b`. Symmetric; 1.0 iff the partitions are identical.
+inline double AdjustedRandIndex(std::span<const int64_t> a,
+                                std::span<const int64_t> b) {
+  const internal::Contingency t = internal::BuildContingency(a, b);
+  if (t.n <= 1) return 1.0;
+  double sum_cells = 0;
+  for (const auto& row : t.cells) {
+    for (const size_t cell : row) sum_cells += internal::Pairs(cell);
+  }
+  double sum_rows = 0;
+  for (const size_t s : t.row_sums) sum_rows += internal::Pairs(s);
+  double sum_cols = 0;
+  for (const size_t s : t.col_sums) sum_cols += internal::Pairs(s);
+  const double expected = sum_rows * sum_cols / internal::Pairs(t.n);
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  if (max_index == expected) return 1.0;  // Both partitions trivial.
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+// Mutual information of the two partitions, in nats.
+inline double MutualInfo(std::span<const int64_t> a,
+                         std::span<const int64_t> b) {
+  const internal::Contingency t = internal::BuildContingency(a, b);
+  if (t.n == 0) return 0.0;
+  const double n = static_cast<double>(t.n);
+  double mi = 0;
+  for (size_t r = 0; r < t.cells.size(); ++r) {
+    for (size_t c = 0; c < t.cells[r].size(); ++c) {
+      const size_t cell = t.cells[r][c];
+      if (cell == 0) continue;
+      const double p = static_cast<double>(cell) / n;
+      mi += p * std::log(n * static_cast<double>(cell) /
+                         (static_cast<double>(t.row_sums[r]) *
+                          static_cast<double>(t.col_sums[c])));
+    }
+  }
+  return std::max(0.0, mi);  // Clamp float noise on independent partitions.
+}
+
+// Shannon entropy of one partition, in nats.
+inline double LabelEntropy(std::span<const int64_t> labels) {
+  if (labels.empty()) return 0.0;
+  std::unordered_map<int64_t, size_t> sizes;
+  for (const int64_t label : labels) ++sizes[label];
+  const double n = static_cast<double>(labels.size());
+  double h = 0;
+  for (const auto& [label, size] : sizes) {
+    const double p = static_cast<double>(size) / n;
+    h -= p * std::log(p);
+  }
+  return std::max(0.0, h);
+}
+
+// NMI with arithmetic-mean normalization (scikit-learn's default).
+inline double NormalizedMutualInfo(std::span<const int64_t> a,
+                                   std::span<const int64_t> b) {
+  const double ha = LabelEntropy(a);
+  const double hb = LabelEntropy(b);
+  if (ha == 0.0 && hb == 0.0) return 1.0;  // Same single cluster each.
+  const double mi = MutualInfo(a, b);
+  const double normalizer = 0.5 * (ha + hb);
+  if (normalizer <= 0.0) return 0.0;
+  return mi / normalizer;
+}
+
+// One run graded against a reference: everything a bench record or a CLI
+// --quality report needs about label agreement.
+struct QualityReport {
+  size_t n = 0;
+  size_t predicted_clusters = 0;  // Non-noise clusters in `predicted`.
+  size_t truth_clusters = 0;      // Non-noise clusters in `truth`.
+  double ari = 0;
+  double nmi = 0;
+  double predicted_noise_ratio = 0;
+  double truth_noise_ratio = 0;
+  std::vector<size_t> cluster_size_histogram;  // Of `predicted`; log2 buckets.
+  uint64_t label_checksum = 0;                 // Of `predicted`; FNV-1a.
+};
+
+inline size_t CountClusters(std::span<const int64_t> labels) {
+  std::unordered_map<int64_t, size_t> sizes;
+  for (const int64_t label : labels) {
+    if (label != Clustering::kNoise) ++sizes[label];
+  }
+  return sizes.size();
+}
+
+inline QualityReport EvaluateQuality(std::span<const int64_t> predicted,
+                                     std::span<const int64_t> truth) {
+  QualityReport report;
+  report.n = predicted.size();
+  report.predicted_clusters = CountClusters(predicted);
+  report.truth_clusters = CountClusters(truth);
+  report.ari = AdjustedRandIndex(predicted, truth);
+  report.nmi = NormalizedMutualInfo(predicted, truth);
+  report.predicted_noise_ratio = NoiseRatio(predicted);
+  report.truth_noise_ratio = NoiseRatio(truth);
+  report.cluster_size_histogram = ClusterSizeHistogram(predicted);
+  report.label_checksum = LabelChecksum(predicted);
+  return report;
+}
+
+inline QualityReport EvaluateQuality(const Clustering& predicted,
+                                     std::span<const int64_t> truth) {
+  return EvaluateQuality(std::span<const int64_t>(predicted.cluster), truth);
+}
+
+// Ground-truth label file: one integer label per line (blank lines and
+// `#` comments skipped) — the format of tests/data/*.labels and of the
+// files pdbscan_cli --quality takes. Throws std::runtime_error on open
+// failure or a non-integer line.
+inline std::vector<int64_t> ReadLabelsFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open labels file: " + path);
+  std::vector<int64_t> labels;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    size_t used = 0;
+    int64_t value = 0;
+    try {
+      value = std::stoll(line.substr(start), &used);
+    } catch (const std::exception&) {
+      throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                               ": not an integer label: " + line);
+    }
+    labels.push_back(value);
+  }
+  return labels;
+}
+
+}  // namespace pdbscan::quality
+
+#endif  // PDBSCAN_QUALITY_METRICS_H_

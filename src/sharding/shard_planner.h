@@ -64,8 +64,10 @@ struct ShardPlan {
   std::vector<int64_t> cuts;
 
   // Seam half-width in lattice columns: cells within `halo` columns of an
-  // interior cut can have eps-neighbors across it (1 + floor(sqrt(D)), the
-  // maximum per-axis coordinate delta of eps-reachable cells).
+  // interior cut can have eps-neighbors across it (the maximum per-axis
+  // coordinate delta of eps-reachable cells under the planned metric —
+  // dbscan::MetricHalo: 1 + floor(sqrt(D)) for L2, D + 1 for L1, 2 for
+  // Linf).
   int64_t halo = 0;
 
   size_t num_shards() const { return cuts.empty() ? 0 : cuts.size() - 1; }
@@ -107,14 +109,15 @@ class ShardPlanner {
  public:
   template <int D>
   static ShardPlan<D> Plan(std::span<const geometry::Point<D>> points,
-                           double epsilon, size_t requested_shards) {
+                           double epsilon, size_t requested_shards,
+                           Metric metric = Metric::kL2) {
     if (epsilon <= 0) throw std::invalid_argument("epsilon must be positive");
     if (requested_shards == 0) {
       throw std::invalid_argument("shard count must be positive");
     }
     ShardPlan<D> plan;
-    plan.side = dbscan::GridSide<D>(epsilon);
-    plan.halo = 1 + static_cast<int64_t>(std::floor(std::sqrt(double(D))));
+    plan.side = dbscan::GridSide<D>(epsilon, metric);
+    plan.halo = static_cast<int64_t>(dbscan::MetricHalo<D>(metric));
     if (points.empty()) {
       // Degenerate plan: one shard owning a single (pointless) column.
       for (int i = 0; i < D; ++i) plan.origin[i] = 0;

@@ -141,7 +141,8 @@ class ShardedCellIndex {
     ValidateConfig(epsilon, counts_cap);
     dbscan::PipelineStats& sink =
         stats != nullptr ? *stats : dbscan::GlobalStats();
-    plan_ = ShardPlanner::Plan<D>(points, epsilon, num_shards);
+    plan_ = ShardPlanner::Plan<D>(points, epsilon, num_shards,
+                                  options_.metric);
     BuildMerged(points, epsilon, counts_cap, stats, sink);
   }
 
@@ -191,6 +192,7 @@ class ShardedCellIndex {
           "sharded builds support the kScan range-count method only "
           "(per-cell quadtrees pin each shard's exact point layout)");
     }
+    ValidateMetricOptions(options_);
   }
 
   void BuildMerged(std::span<const geometry::Point<D>> points, double epsilon,
@@ -233,7 +235,8 @@ class ShardedCellIndex {
         0, num_shards,
         [&](size_t s) {
           shards[s] = dbscan::BuildGrid<D>(
-              std::span<const Point<D>>(shard_pts[s]), epsilon, &plan_.bounds);
+              std::span<const Point<D>>(shard_pts[s]), epsilon, &plan_.bounds,
+              options_.metric);
         },
         1);
     info_.shard_build_seconds = timer.Seconds();
@@ -304,6 +307,7 @@ class ShardedCellIndex {
     const size_t m = cell_base[num_shards];
     CellStructure<D> merged;
     merged.epsilon = epsilon;
+    merged.metric = options_.metric;
     merged.ResizeForCells(m, n);
     std::vector<uint32_t> merged_counts(n, 0);
     std::vector<uint32_t> shard_of_cell(m);

@@ -108,7 +108,7 @@ class DynamicCellIndex {
   DynamicCellIndex(double epsilon, size_t counts_cap,
                    Options options = Options(), dbscan::PipelineStats* stats = nullptr)
       : epsilon_(epsilon),
-        side_(dbscan::GridSide<D>(epsilon)),
+        side_(dbscan::GridSide<D>(epsilon, options.metric)),
         counts_cap_(counts_cap),
         options_(std::move(options)),
         stats_(stats != nullptr ? stats : &dbscan::GlobalStats()) {
@@ -126,6 +126,7 @@ class DynamicCellIndex {
           "streaming updates support the kScan range-count method only "
           "(per-cell quadtrees pin a snapshot's exact point layout)");
     }
+    ValidateMetricOptions(options_);
     for (int i = 0; i < D; ++i) origin_[i] = 0.0;
     Publish(Recompose(/*dirty=*/{}, /*vanished=*/{}));
   }
@@ -148,7 +149,9 @@ class DynamicCellIndex {
                    std::span<const uint64_t> live_ids, uint64_t next_id,
                    dbscan::PipelineStats* stats = nullptr)
       : epsilon_(snapshot != nullptr ? snapshot->epsilon() : 0),
-        side_(dbscan::GridSide<D>(epsilon_)),
+        side_(snapshot != nullptr
+                  ? dbscan::GridSide<D>(epsilon_, snapshot->options().metric)
+                  : 0),
         counts_cap_(snapshot != nullptr ? snapshot->counts_cap() : 0),
         options_(snapshot != nullptr ? snapshot->options() : Options()),
         stats_(stats != nullptr ? stats : &dbscan::GlobalStats()) {
@@ -161,6 +164,7 @@ class DynamicCellIndex {
           "streaming restore supports grid cells with kScan range counting "
           "only (the configurations DynamicCellIndex itself produces)");
     }
+    ValidateMetricOptions(options_);
     for (int i = 0; i < D; ++i) origin_[i] = 0.0;
 
     const dbscan::CellStructure<D>& cells = snapshot->cells();
@@ -402,6 +406,7 @@ class DynamicCellIndex {
     util::Timer timer;
     dbscan::CellStructure<D> cells;
     cells.epsilon = epsilon_;
+    cells.metric = options_.metric;
     cells.ResizeForCells(m, n);
     std::vector<const Bucket*> bucket_of(m);
     for (size_t c = 0; c < m; ++c) {

@@ -1,6 +1,7 @@
 // Tests for the extension modules: OPTICS (hierarchical DBSCAN, the paper's
 // stated future work) and k-distance parameter selection.
 #include <algorithm>
+#include <cmath>
 #include <random>
 #include <vector>
 
@@ -154,6 +155,93 @@ TEST(KDistances, SortedCurveIsMonotone) {
   for (size_t i = 1; i < curve.size(); ++i) {
     ASSERT_LE(curve[i], curve[i - 1]);
   }
+}
+
+// --- Edge cases: degenerate inputs ------------------------------------------
+
+TEST(KDistances, EmptyInputAndZeroK) {
+  std::vector<Point<2>> empty;
+  EXPECT_TRUE(KDistances<2>(empty, 3).empty());
+  EXPECT_TRUE(extensions::SortedKDistanceCurve<2>(empty, 3).empty());
+  // k = 0 is a no-op query: defined as all-zero, not a crash.
+  auto pts = BlobPoints<2>(50, 2, 10.0, 0.5, 9);
+  for (const double d : KDistances<2>(pts, 0)) EXPECT_EQ(d, 0.0);
+}
+
+TEST(KDistances, KLargerThanNCapsAtFarthestPoint) {
+  // With fewer than k points in total, the k-dist of each point degrades to
+  // the distance to its farthest neighbor (the radius search saturates).
+  std::vector<Point<2>> pts = {Point<2>{{0, 0}}, Point<2>{{3, 4}},
+                               Point<2>{{0, 1}}};
+  const auto kdist = KDistances<2>(pts, 10);
+  ASSERT_EQ(kdist.size(), 3u);
+  EXPECT_NEAR(kdist[0], 5.0, 1e-12);   // (0,0) -> (3,4).
+  EXPECT_NEAR(kdist[1], 5.0, 1e-12);   // (3,4) -> (0,0).
+  EXPECT_NEAR(kdist[2], std::sqrt(18.0), 1e-12);  // (0,1) -> (3,4).
+}
+
+TEST(KDistances, AllDuplicatePoints) {
+  std::vector<Point<3>> pts(64, Point<3>{{1.5, -2.5, 3.5}});
+  for (const size_t k : {1u, 8u, 64u}) {
+    for (const double d : KDistances<3>(pts, k)) EXPECT_EQ(d, 0.0);
+  }
+  const double eps = extensions::SuggestEpsilon<3>(pts, 4);
+  EXPECT_GE(eps, 0.0);  // Degenerate curve: defined, not a crash.
+}
+
+TEST(Optics, AllDuplicatePoints) {
+  // Every point sees every other at distance 0: all core (for any
+  // min_pts <= n), one cluster at every extraction epsilon.
+  std::vector<Point<2>> pts(32, Point<2>{{7.0, 7.0}});
+  const auto optics = Optics<2>(pts, 1.0, 5);
+  ASSERT_EQ(optics.order.size(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(optics.core_distance[i], 0.0) << i;
+  }
+  const auto labels = ExtractDbscanClustering(optics, 0.5);
+  for (size_t i = 0; i < pts.size(); ++i) EXPECT_EQ(labels[i], 0) << i;
+}
+
+TEST(Optics, MinPtsLargerThanNIsAllNoise) {
+  auto pts = BlobPoints<2>(20, 1, 5.0, 0.5, 10);
+  const auto optics = Optics<2>(pts, 100.0, pts.size() + 1);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(optics.core_distance[i], OpticsResult::kUndefined) << i;
+  }
+  const auto labels = ExtractDbscanClustering(optics, 100.0);
+  for (size_t i = 0; i < pts.size(); ++i) EXPECT_EQ(labels[i], -1) << i;
+  // The main pipeline agrees: no core points, everything noise.
+  const auto dbscan = Dbscan<2>(pts, 100.0, pts.size() + 1, OurExact());
+  EXPECT_EQ(dbscan.num_clusters, 0u);
+  for (size_t i = 0; i < pts.size(); ++i) EXPECT_EQ(dbscan.cluster[i], -1);
+}
+
+TEST(KDistances, CandidateEpsilonsDegenerateCurves) {
+  EXPECT_TRUE(extensions::CandidateEpsilons({}, 5).empty());
+  EXPECT_TRUE(extensions::CandidateEpsilons({1.0, 0.5}, 0).empty());
+  // All-zero curve (duplicate points): nothing positive survives.
+  EXPECT_TRUE(extensions::CandidateEpsilons({0.0, 0.0, 0.0, 0.0}, 3).empty());
+  // A constant positive curve dedups to a single candidate.
+  const auto one = extensions::CandidateEpsilons({2.0, 2.0, 2.0, 2.0}, 4);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 2.0);
+}
+
+// The auto-eps round trip: SuggestEpsilon feeds a CellIndex/EnginePool build
+// whose result is bit-identical to a solo run at the same epsilon.
+TEST(KDistances, AutoEpsilonRoundTripThroughEnginePool) {
+  auto pts = BlobPoints<2>(800, 3, 40.0, 0.5, 11);
+  const size_t min_pts = 5;
+  const double eps = extensions::SuggestEpsilon<2>(pts, min_pts);
+  ASSERT_GT(eps, 0.0);
+  const auto solo = Dbscan<2>(pts, eps, min_pts, OurExact());
+  auto index = CellIndex<2>::Build(pts, eps, 64, OurExact());
+  parallel::EnginePool<2> pool(index);
+  const auto served = pool.Run(min_pts);
+  EXPECT_EQ(solo.num_clusters, served.num_clusters);
+  EXPECT_EQ(solo.cluster, served.cluster);
+  EXPECT_EQ(solo.is_core, served.is_core);
+  EXPECT_GE(solo.num_clusters, 2u);  // The suggestion recovers the blobs.
 }
 
 TEST(KDistances, SuggestedEpsilonRecoversPlantedScale) {

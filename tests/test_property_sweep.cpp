@@ -58,7 +58,7 @@ TEST_P(PropertySweep2d, AllExactVariantsMatchOracle) {
       ASSERT_TRUE(SameClustering(expected, got))
           << options.Name() << " shape=" << static_cast<int>(c.shape)
           << " n=" << c.n << " eps=" << c.epsilon << " minpts=" << c.min_pts
-          << " seed=" << c.seed;
+          << " seed=" << c.seed << pdbscan::testing::SeedNote();
     }
   }
 }
@@ -74,7 +74,7 @@ TEST_P(PropertySweep2d, ApproxVariantsSatisfyDefinition) {
       ASSERT_TRUE(
           IsValidApproxClustering<2>(pts, c.epsilon, c.min_pts, rho, got))
           << options.Name() << " rho=" << rho << " n=" << c.n
-          << " eps=" << c.epsilon << " seed=" << c.seed;
+          << " eps=" << c.epsilon << " seed=" << c.seed << pdbscan::testing::SeedNote();
     }
   }
 }
@@ -93,7 +93,7 @@ TEST_P(PropertySweep3d, ExactAndApproxAgainstOracle) {
       const auto got = Dbscan<3>(pts, c.epsilon, c.min_pts, options);
       ASSERT_TRUE(SameClustering(expected, got))
           << options.Name() << " n=" << c.n << " eps=" << c.epsilon
-          << " seed=" << c.seed;
+          << " seed=" << c.seed << pdbscan::testing::SeedNote();
     }
     const auto approx = Dbscan<3>(pts, c.epsilon, c.min_pts, OurApproxQt(0.05));
     ASSERT_TRUE(
@@ -114,7 +114,7 @@ TEST_P(PropertySweepHighDim, FiveAndSevenDimensions) {
     for (const auto& options : {OurExact(), OurExactQt()}) {
       ASSERT_TRUE(SameClustering(
           expected, Dbscan<5>(pts, c.epsilon * 2, c.min_pts, options)))
-          << options.Name() << " seed=" << c.seed;
+          << options.Name() << " seed=" << c.seed << pdbscan::testing::SeedNote();
     }
   }
   {
@@ -124,7 +124,7 @@ TEST_P(PropertySweepHighDim, FiveAndSevenDimensions) {
     for (const auto& options : {OurExact(), OurExactQt()}) {
       ASSERT_TRUE(SameClustering(
           expected, Dbscan<7>(pts, c.epsilon * 3, c.min_pts, options)))
-          << options.Name() << " seed=" << c.seed;
+          << options.Name() << " seed=" << c.seed << pdbscan::testing::SeedNote();
     }
   }
 }
@@ -163,13 +163,13 @@ void StreamingMatchesRebuild(Shape shape, double epsilon, size_t rounds,
     ASSERT_TRUE(SameClustering(rebuilt, got))
         << "streaming vs rebuild: shape=" << static_cast<int>(shape)
         << " D=" << D << " round=" << round << " n=" << pts.size()
-        << " minpts=" << min_pts << " seed=" << seed;
+        << " minpts=" << min_pts << " seed=" << seed << pdbscan::testing::SeedNote();
     const auto oracle = BruteForceDbscan<D>(
         std::span<const Point<D>>(pts), epsilon, min_pts);
     ASSERT_TRUE(SameClustering(oracle, got))
         << "streaming vs oracle: shape=" << static_cast<int>(shape)
         << " D=" << D << " round=" << round << " n=" << pts.size()
-        << " minpts=" << min_pts << " seed=" << seed;
+        << " minpts=" << min_pts << " seed=" << seed << pdbscan::testing::SeedNote();
   }
 }
 
@@ -225,7 +225,7 @@ void ShardedMatchesUnsharded(uint64_t base_seed, size_t cases,
           << " shape=" << static_cast<int>(c.shape) << " n=" << c.n
           << " eps=" << epsilon << " minpts=" << c.min_pts
           << " shards=" << shards << " cap=" << cap
-          << " workers=" << workers << " seed=" << c.seed;
+          << " workers=" << workers << " seed=" << c.seed << pdbscan::testing::SeedNote();
     }
   }
 }
@@ -262,7 +262,7 @@ TEST_P(ShardedPropertySweep, ExactConnectorsOverShardedIndex2d) {
           expected, ctx.Run(sharded.index(), c.min_pts)))
           << options.Name() << " shape=" << static_cast<int>(c.shape)
           << " n=" << c.n << " eps=" << c.epsilon << " minpts=" << c.min_pts
-          << " shards=" << shards << " seed=" << c.seed;
+          << " shards=" << shards << " seed=" << c.seed << pdbscan::testing::SeedNote();
     }
   }
 }
@@ -302,7 +302,7 @@ void PersistCase(uint64_t base_seed, size_t cases,
               << (mode == LoadMode::kMapped ? " mapped" : " owned")
               << " shape=" << static_cast<int>(c.shape) << " n=" << c.n
               << " eps=" << c.epsilon << " cap=" << cap
-              << " minpts=" << sweep[i] << " seed=" << c.seed;
+              << " minpts=" << sweep[i] << " seed=" << c.seed << pdbscan::testing::SeedNote();
         }
       }
     }
@@ -374,13 +374,13 @@ void KernelLevelsBitIdentical(uint64_t base_seed, size_t cases,
               << " D=" << D << " shape=" << static_cast<int>(c.shape)
               << " n=" << c.n << " eps=" << epsilon
               << " minpts=" << c.min_pts << " workers=" << workers
-              << " seed=" << c.seed;
+              << " seed=" << c.seed << pdbscan::testing::SeedNote();
           const auto index = CellIndex<D>::Build(pts, epsilon, cap, options);
           ASSERT_TRUE(ref_index->neighbor_counts() == index->neighbor_counts())
               << kernels::LevelName(level)
               << " MarkCore counts diverge: " << options.Name() << " D=" << D
               << " n=" << c.n << " eps=" << epsilon << " cap=" << cap
-              << " workers=" << workers << " seed=" << c.seed;
+              << " workers=" << workers << " seed=" << c.seed << pdbscan::testing::SeedNote();
         }
       }
     }
@@ -555,7 +555,7 @@ void CrossReplicaResponsesMatchFreshRuns(uint64_t seed, size_t rounds) {
                                             got))
         << "response diverges from fresh run at its generation: " << node
         << " D=" << D << " gen=" << generation << " n=" << pts.size()
-        << " minpts=" << min_pts << " cap=" << counts_cap << " seed=" << seed;
+        << " minpts=" << min_pts << " cap=" << counts_cap << " seed=" << seed << pdbscan::testing::SeedNote();
   };
 
   for (size_t round = 0; round < rounds; ++round) {
@@ -611,6 +611,207 @@ void CrossReplicaResponsesMatchFreshRuns(uint64_t seed, size_t rounds) {
                                           replica_b.pool().Run(min_pts)));
   std::filesystem::remove_all(dir);
 }
+
+// --- Metric axis: L1 / Linf correctness and bit-identity --------------------
+
+// The non-Euclidean metrics run the same pipeline with metric-derived cell
+// geometry (side, offset criterion, halo) and metric kernels. The sweep
+// checks each against the brute-force oracle under the SAME metric, and the
+// 1-vs-N-worker determinism contract on top.
+template <int D>
+void MetricMatchesOracle(uint64_t base_seed, size_t cases, double eps_scale) {
+  for (const auto& c : MakeCases(base_seed + 61000, cases)) {
+    auto pts = GenerateShape<D>(c.shape, c.n, c.seed);
+    const double epsilon = c.epsilon * eps_scale;
+    for (const Metric metric : {Metric::kL1, Metric::kLinf}) {
+      Options options = OurExact();
+      options.metric = metric;
+      const auto expected = BruteForceDbscan<D>(
+          std::span<const Point<D>>(pts), epsilon, c.min_pts, metric);
+      Clustering solo;
+      for (const int workers : {1, parallel::num_workers()}) {
+        parallel::ScopedNumWorkers scoped(workers);
+        const auto got = Dbscan<D>(pts, epsilon, c.min_pts, options);
+        ASSERT_TRUE(SameClustering(expected, got))
+            << MetricName(metric) << " vs oracle: D=" << D
+            << " shape=" << static_cast<int>(c.shape) << " n=" << c.n
+            << " eps=" << epsilon << " minpts=" << c.min_pts
+            << " workers=" << workers << " seed=" << c.seed
+            << pdbscan::testing::SeedNote();
+        if (workers == 1) {
+          solo = got;
+        } else {
+          ASSERT_TRUE(pdbscan::testing::Identical(solo, got))
+              << MetricName(metric) << " 1-vs-N workers: D=" << D
+              << " n=" << c.n << " eps=" << epsilon
+              << " minpts=" << c.min_pts << " seed=" << c.seed
+              << pdbscan::testing::SeedNote();
+        }
+      }
+    }
+  }
+}
+
+class MetricPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricPropertySweep, OracleMatch2d) {
+  MetricMatchesOracle<2>(GetParam(), 4 * SweepBudget(), 1.0);
+}
+
+TEST_P(MetricPropertySweep, OracleMatch3d) {
+  MetricMatchesOracle<3>(GetParam() + 70, 2 * SweepBudget(), 2.0);
+}
+
+TEST_P(MetricPropertySweep, OracleMatch5d) {
+  MetricMatchesOracle<5>(GetParam() + 140, SweepBudget(), 3.0);
+}
+
+// Sharded-vs-unsharded bit-identity under L1/Linf: the metric-derived halo
+// (D+1 columns for L1, 2 for Linf) must make seam merges exact.
+template <int D>
+void MetricShardedMatchesUnsharded(uint64_t base_seed, size_t cases,
+                                   double eps_scale) {
+  std::mt19937_64 rng(base_seed * 409 + D);
+  for (const auto& c : MakeCases(base_seed + 63000, cases)) {
+    auto pts = GenerateShape<D>(c.shape, c.n, c.seed);
+    const double epsilon = c.epsilon * eps_scale;
+    const size_t shards = 1 + rng() % 7;
+    const size_t cap = 1 + rng() % 24;
+    for (const Metric metric : {Metric::kL1, Metric::kLinf}) {
+      Options options = OurExact();
+      options.metric = metric;
+      const auto expected = Dbscan<D>(pts, epsilon, c.min_pts, options);
+      for (const int workers : {1, parallel::num_workers()}) {
+        parallel::ScopedNumWorkers scoped(workers);
+        sharding::ShardedCellIndex<D> sharded(
+            std::span<const Point<D>>(pts), epsilon, cap, shards, options);
+        dbscan::QueryContext<D> ctx;
+        ASSERT_TRUE(pdbscan::testing::Identical(
+            expected, ctx.Run(sharded.index(), c.min_pts)))
+            << MetricName(metric) << " sharded vs unsharded: D=" << D
+            << " shape=" << static_cast<int>(c.shape) << " n=" << c.n
+            << " eps=" << epsilon << " minpts=" << c.min_pts
+            << " shards=" << shards << " cap=" << cap
+            << " workers=" << workers << " seed=" << c.seed
+            << pdbscan::testing::SeedNote();
+      }
+    }
+  }
+}
+
+TEST_P(MetricPropertySweep, ShardedBitIdentical2d) {
+  MetricShardedMatchesUnsharded<2>(GetParam(), 3 * SweepBudget(), 1.0);
+}
+
+TEST_P(MetricPropertySweep, ShardedBitIdentical3d) {
+  MetricShardedMatchesUnsharded<3>(GetParam() + 210, 2 * SweepBudget(), 2.0);
+}
+
+// Forced-scalar vs every SIMD dispatch level under L1/Linf: same clustering
+// contract AND the same raw saturated MarkCore counts.
+template <int D>
+void MetricKernelLevelsBitIdentical(uint64_t base_seed, size_t cases,
+                                    double eps_scale) {
+  ScopedKernelLevel restore;
+  const std::vector<kernels::Level> levels = kernels::SupportedLevels();
+  std::mt19937_64 rng(base_seed * 919 + D);
+  for (const auto& c : MakeCases(base_seed + 65000, cases)) {
+    auto pts = GenerateShape<D>(c.shape, c.n, c.seed);
+    const double epsilon = c.epsilon * eps_scale;
+    const size_t cap = 1 + rng() % 24;
+    for (const Metric metric : {Metric::kL1, Metric::kLinf}) {
+      Options options = OurExact();
+      options.metric = metric;
+      kernels::ForceLevel(kernels::Level::kScalar);
+      const auto expected = Dbscan<D>(pts, epsilon, c.min_pts, options);
+      const auto ref_index = CellIndex<D>::Build(pts, epsilon, cap, options);
+      for (const kernels::Level level : levels) {
+        if (level == kernels::Level::kScalar) continue;
+        kernels::ForceLevel(level);
+        const auto got = Dbscan<D>(pts, epsilon, c.min_pts, options);
+        ASSERT_TRUE(pdbscan::testing::Identical(expected, got))
+            << kernels::LevelName(level) << " vs scalar under "
+            << MetricName(metric) << ": D=" << D << " n=" << c.n
+            << " eps=" << epsilon << " minpts=" << c.min_pts
+            << " seed=" << c.seed << pdbscan::testing::SeedNote();
+        const auto index = CellIndex<D>::Build(pts, epsilon, cap, options);
+        ASSERT_TRUE(ref_index->neighbor_counts() == index->neighbor_counts())
+            << kernels::LevelName(level) << " MarkCore counts diverge under "
+            << MetricName(metric) << ": D=" << D << " n=" << c.n
+            << " eps=" << epsilon << " cap=" << cap << " seed=" << c.seed
+            << pdbscan::testing::SeedNote();
+      }
+    }
+  }
+}
+
+TEST_P(MetricPropertySweep, KernelLevelsBitIdentical2d) {
+  MetricKernelLevelsBitIdentical<2>(GetParam(), 3 * SweepBudget(), 1.0);
+}
+
+TEST_P(MetricPropertySweep, KernelLevelsBitIdentical3d) {
+  MetricKernelLevelsBitIdentical<3>(GetParam() + 350, 2 * SweepBudget(), 2.0);
+}
+
+// The packed-cell-key 2D L1 adjacency fast path vs the generic hash-grid
+// dispatch: bit-identical clustering AND identical MarkCore counts (the
+// fast path probes the same deterministic offset enumeration, so the CSR —
+// and everything derived from it — must not change).
+TEST_P(MetricPropertySweep, L1Grid2dFastPathMatchesGeneric) {
+  std::mt19937_64 rng(GetParam() * 757 + 29);
+  for (const auto& c : MakeCases(GetParam() + 67000, 4 * SweepBudget())) {
+    auto pts = GenerateShape<2>(c.shape, c.n, c.seed);
+    const size_t cap = 1 + rng() % 24;
+    Options options = OurExact();
+    options.metric = Metric::kL1;
+
+    dbscan::ForceGenericAdjacencyFlag().store(true,
+                                              std::memory_order_relaxed);
+    const auto expected = Dbscan<2>(pts, c.epsilon, c.min_pts, options);
+    const auto generic_index =
+        CellIndex<2>::Build(pts, c.epsilon, cap, options);
+    dbscan::ForceGenericAdjacencyFlag().store(false,
+                                              std::memory_order_relaxed);
+    const auto got = Dbscan<2>(pts, c.epsilon, c.min_pts, options);
+    const auto fast_index = CellIndex<2>::Build(pts, c.epsilon, cap, options);
+
+    ASSERT_TRUE(pdbscan::testing::Identical(expected, got))
+        << "L1 2d fast path vs generic adjacency: shape="
+        << static_cast<int>(c.shape) << " n=" << c.n << " eps=" << c.epsilon
+        << " minpts=" << c.min_pts << " seed=" << c.seed
+        << pdbscan::testing::SeedNote();
+    ASSERT_TRUE(generic_index->neighbor_counts() ==
+                fast_index->neighbor_counts())
+        << "L1 2d fast path MarkCore counts diverge: n=" << c.n
+        << " eps=" << c.epsilon << " cap=" << cap << " seed=" << c.seed
+        << pdbscan::testing::SeedNote();
+  }
+}
+
+// Served-vs-solo under the new metrics: a ServingScheduler response is
+// bit-identical to a direct run with the same metric options.
+TEST_P(MetricPropertySweep, ServedMatchesSolo2d) {
+  for (const auto& c : MakeCases(GetParam() + 69000, 2 * SweepBudget())) {
+    auto pts = GenerateShape<2>(c.shape, c.n, c.seed);
+    for (const Metric metric : {Metric::kL1, Metric::kLinf}) {
+      Options options = OurExact();
+      options.metric = metric;
+      const auto solo = Dbscan<2>(pts, c.epsilon, c.min_pts, options);
+      auto index = CellIndex<2>::Build(pts, c.epsilon, 24, options);
+      EnginePool<2> pool(index);
+      ServingScheduler<2> scheduler(pool);
+      ServeResult r = scheduler.Submit(c.min_pts);
+      ASSERT_EQ(r.status, ServeStatus::kOk);
+      ASSERT_TRUE(pdbscan::testing::Identical(solo, r.clustering))
+          << MetricName(metric) << " served vs solo: n=" << c.n
+          << " eps=" << c.epsilon << " minpts=" << c.min_pts
+          << " seed=" << c.seed << pdbscan::testing::SeedNote();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricPropertySweep,
+                         ::testing::Values(1, 2, 3));
 
 class ReplicaPropertySweep : public ::testing::TestWithParam<uint64_t> {};
 

@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <random>
 #include <string>
 #include <vector>
@@ -28,6 +29,28 @@ namespace pdbscan::testing {
 inline size_t SweepBudget() {
   const int budget = util::GetEnvInt("PDBSCAN_SWEEP_BUDGET", 1);
   return budget < 1 ? 1 : static_cast<size_t>(budget);
+}
+
+// Seed override for every randomized generator: PDBSCAN_TEST_SEED (uint64,
+// default 0 = the historical fixed sequences) is mixed into MakeCases'
+// base seed, so repeated CI runs can explore different case sets while any
+// single failure stays reproducible — re-export the printed value. Parsed
+// as a string to keep the full 64-bit range.
+inline uint64_t TestSeed() {
+  static const uint64_t seed = [] {
+    const std::string raw = util::GetEnvString("PDBSCAN_TEST_SEED", "0");
+    return std::strtoull(raw.c_str(), nullptr, 10);
+  }();
+  return seed;
+}
+
+// Appended to property-sweep failure messages: names the environment seed
+// a failing run was generated under (empty for the default sequences, so
+// existing messages are unchanged).
+inline std::string SeedNote() {
+  return TestSeed() == 0
+             ? std::string()
+             : " PDBSCAN_TEST_SEED=" + std::to_string(TestSeed());
 }
 
 // Data shapes that stress different pipeline paths: uniform noise, Gaussian
@@ -109,7 +132,8 @@ struct SweepCase {
 };
 
 inline std::vector<SweepCase> MakeCases(uint64_t base_seed, size_t count) {
-  std::mt19937_64 rng(base_seed);
+  // TestSeed() == 0 leaves the historical sequences untouched (x * k == 0).
+  std::mt19937_64 rng(base_seed ^ (TestSeed() * 0x9e3779b97f4a7c15ull));
   std::vector<SweepCase> cases;
   for (size_t i = 0; i < count; ++i) {
     SweepCase c;

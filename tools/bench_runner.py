@@ -1,0 +1,297 @@
+#!/usr/bin/env python3
+"""Benchmark trajectory runner: sweeps pdbscan_cli over dataset x eps x
+min_pts x metric x mode x threads and records schema-versioned perf AND
+quality trajectories as BENCH_<host>_<date>.json.
+
+The CLI emits machine-readable lines on stdout (everything human-oriented
+goes to stderr):
+
+    #perf {"schema":"pdbscan-perf-v1","mode":...,"qps":...,"p50_ms":...}
+    #quality {"schema":"pdbscan-quality-v1","ari":...,"nmi":...}
+
+This runner shells out to the CLI for every grid point, scrapes those two
+lines, self-validates them against the expected schemas, and appends one
+record per run to the output file:
+
+    {
+      "schema": "pdbscan-bench-v1",
+      "host": ..., "platform": ..., "date": ..., "argv": [...],
+      "records": [
+        {"dataset": ..., "config": {...}, "perf": {...}, "quality": {...}}
+      ]
+    }
+
+Quality records appear whenever the dataset has a sibling ground-truth
+`.labels` file (the golden corpus under tests/data/ always does).
+
+Modes:
+  --smoke   ~30 s gate for CI: the golden corpus at eps=1.0/min_pts=3
+            across >= 3 execution modes and all three metrics; exits
+            nonzero if any record is schema-invalid or any golden ARI
+            falls below --min-ari (default 0.99).
+  default   full sweep over the requested grid (see --help).
+
+Stdlib only — no third-party imports.
+"""
+
+import argparse
+import datetime
+import itertools
+import json
+import os
+import socket
+import platform as platform_mod
+import subprocess
+import sys
+
+BENCH_SCHEMA = "pdbscan-bench-v1"
+PERF_SCHEMA = "pdbscan-perf-v1"
+QUALITY_SCHEMA = "pdbscan-quality-v1"
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GOLDEN_DIR = os.path.join(REPO_ROOT, "tests", "data")
+
+# Field name -> accepted types, for the self-validation pass. Numbers may
+# arrive as int where the value happens to be integral.
+NUM = (int, float)
+PERF_FIELDS = {
+    "schema": str, "mode": str, "method": str, "metric": str, "eps": NUM,
+    "min_pts": int, "n": int, "dim": int, "threads": int, "repeat": int,
+    "build_seconds": NUM, "qps": NUM, "p50_ms": NUM, "p99_ms": NUM,
+}
+QUALITY_FIELDS = {
+    "schema": str, "ari": NUM, "nmi": NUM, "noise_ratio": NUM,
+    "truth_noise_ratio": NUM, "clusters": int, "truth_clusters": int,
+    "n": int, "cluster_size_histogram": list, "label_checksum": str,
+}
+
+
+def validate(record, fields, expected_schema, context):
+    """Returns a list of problems (empty = valid)."""
+    problems = []
+    for key, types in fields.items():
+        if key not in record:
+            problems.append("%s: missing field %r" % (context, key))
+        elif not isinstance(record[key], types):
+            problems.append("%s: field %r has type %s, want %s" %
+                            (context, key, type(record[key]).__name__, types))
+    if record.get("schema") != expected_schema:
+        problems.append("%s: schema %r, want %r" %
+                        (context, record.get("schema"), expected_schema))
+    for key in record:
+        if key not in fields:
+            problems.append("%s: unexpected field %r" % (context, key))
+    return problems
+
+
+def scrape(stdout):
+    """Extracts the #perf / #quality JSON payloads from CLI stdout."""
+    perf, quality = None, None
+    for line in stdout.splitlines():
+        if line.startswith("#perf "):
+            perf = json.loads(line[len("#perf "):])
+        elif line.startswith("#quality "):
+            quality = json.loads(line[len("#quality "):])
+    return perf, quality
+
+
+def run_case(cli, dataset, labels, eps, min_pts, metric, mode, threads,
+             repeat, shards, timeout, verbose):
+    cmd = [cli, dataset, str(eps), str(min_pts),
+           "--metric", metric, "--mode", mode, "--repeat", str(repeat),
+           "--shards", str(shards)]
+    if threads > 0:
+        cmd += ["--threads", str(threads)]
+    if labels:
+        cmd += ["--quality", labels]
+    if verbose:
+        print("+ " + " ".join(cmd), file=sys.stderr)
+    record = {
+        "dataset": os.path.basename(dataset),
+        "config": {"eps": eps, "min_pts": min_pts, "metric": metric,
+                   "mode": mode, "threads": threads, "repeat": repeat},
+    }
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=timeout)
+    except (subprocess.TimeoutExpired, OSError) as e:
+        record["error"] = str(e)
+        return record
+    if proc.returncode != 0:
+        record["error"] = ("exit %d: %s" %
+                           (proc.returncode, proc.stderr.strip()[-500:]))
+        return record
+    try:
+        perf, quality = scrape(proc.stdout)
+    except json.JSONDecodeError as e:
+        record["error"] = "unparseable machine-readable line: %s" % e
+        return record
+    if perf is not None:
+        record["perf"] = perf
+    if quality is not None:
+        record["quality"] = quality
+    if perf is None:
+        record["error"] = "no #perf line on stdout"
+    return record
+
+
+def golden_datasets():
+    out = []
+    if not os.path.isdir(GOLDEN_DIR):
+        return out
+    for name in sorted(os.listdir(GOLDEN_DIR)):
+        if not name.endswith(".csv"):
+            continue
+        csv = os.path.join(GOLDEN_DIR, name)
+        labels = csv[:-len(".csv")] + ".labels"
+        out.append((csv, labels if os.path.exists(labels) else None))
+    return out
+
+
+def resolve_datasets(args):
+    """--dataset CSV[:LABELS] entries, or the golden corpus by default."""
+    if not args.dataset:
+        pairs = golden_datasets()
+        if not pairs:
+            sys.exit("no --dataset given and no golden corpus at %s" %
+                     GOLDEN_DIR)
+        return pairs
+    pairs = []
+    for entry in args.dataset:
+        csv, _, labels = entry.partition(":")
+        if not os.path.exists(csv):
+            sys.exit("dataset not found: %s" % csv)
+        if labels and not os.path.exists(labels):
+            sys.exit("labels not found: %s" % labels)
+        if not labels:
+            sibling = (csv[:-len(".csv")] + ".labels"
+                       if csv.endswith(".csv") else "")
+            labels = sibling if sibling and os.path.exists(sibling) else None
+        pairs.append((csv, labels))
+    return pairs
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--cli",
+                        default=os.path.join(REPO_ROOT, "build",
+                                             "example_pdbscan_cli"),
+                        help="path to the pdbscan_cli binary")
+    parser.add_argument("--smoke", action="store_true",
+                        help="golden-corpus smoke sweep with the ARI gate")
+    parser.add_argument("--dataset", action="append", default=[],
+                        metavar="CSV[:LABELS]",
+                        help="dataset to sweep (repeatable); default: the "
+                             "golden corpus under tests/data/")
+    parser.add_argument("--eps", type=float, nargs="+", default=[1.0])
+    parser.add_argument("--min-pts", type=int, nargs="+", default=[3])
+    parser.add_argument("--metric", nargs="+", default=["l2", "l1", "linf"],
+                        choices=["l2", "l1", "linf"])
+    parser.add_argument("--mode", nargs="+",
+                        default=["engine", "pool", "sharded", "streaming",
+                                 "serving"],
+                        choices=["engine", "pool", "sharded", "streaming",
+                                 "serving"])
+    parser.add_argument("--threads", type=int, nargs="+", default=[0],
+                        help="worker counts to sweep; 0 = hardware default")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timed query repetitions per run (p50/p99)")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="per-run timeout in seconds")
+    parser.add_argument("--min-ari", type=float, default=0.99,
+                        help="smoke gate: fail if any golden ARI is below")
+    parser.add_argument("--out-dir", default=".",
+                        help="directory for BENCH_<host>_<date>.json")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.cli):
+        sys.exit("CLI binary not found: %s (build the repo first, or pass "
+                 "--cli)" % args.cli)
+
+    if args.smoke:
+        # Small fixed grid, guaranteed to finish fast on the tiny corpus:
+        # all golden datasets, all metrics, a >= 3-mode spread.
+        datasets = golden_datasets()
+        if not datasets:
+            sys.exit("smoke mode needs the golden corpus at %s" % GOLDEN_DIR)
+        grid_eps, grid_minpts = [1.0], [3]
+        grid_metric = ["l2", "l1", "linf"]
+        grid_mode = ["engine", "pool", "sharded", "streaming", "serving"]
+        grid_threads = [0]
+    else:
+        datasets = resolve_datasets(args)
+        grid_eps, grid_minpts = args.eps, args.min_pts
+        grid_metric, grid_mode = args.metric, args.mode
+        grid_threads = args.threads
+
+    records, problems = [], []
+    for (csv, labels), eps, min_pts, metric, mode, threads in \
+            itertools.product(datasets, grid_eps, grid_minpts, grid_metric,
+                              grid_mode, grid_threads):
+        record = run_case(args.cli, csv, labels, eps, min_pts, metric, mode,
+                          threads, args.repeat, args.shards, args.timeout,
+                          args.verbose)
+        context = "%s eps=%g min_pts=%d %s/%s threads=%d" % (
+            record["dataset"], eps, min_pts, metric, mode, threads)
+        if "error" in record:
+            problems.append("%s: %s" % (context, record["error"]))
+        if "perf" in record:
+            problems += validate(record["perf"], PERF_FIELDS, PERF_SCHEMA,
+                                 context + " #perf")
+        if "quality" in record:
+            problems += validate(record["quality"], QUALITY_FIELDS,
+                                 QUALITY_SCHEMA, context + " #quality")
+        records.append(record)
+
+    out = {
+        "schema": BENCH_SCHEMA,
+        "host": socket.gethostname(),
+        "platform": platform_mod.platform(),
+        "date": datetime.date.today().isoformat(),
+        "argv": sys.argv[1:],
+        "cli": args.cli,
+        "records": records,
+    }
+    os.makedirs(args.out_dir, exist_ok=True)
+    out_path = os.path.join(
+        args.out_dir,
+        "BENCH_%s_%s.json" % (out["host"], out["date"]))
+    with open(out_path, "w") as f:
+        json.dump(out, f, indent=1)
+        f.write("\n")
+
+    quality_runs = [r for r in records if "quality" in r]
+    modes_covered = sorted({r["config"]["mode"] for r in records
+                            if "perf" in r})
+    print("wrote %s: %d records (%d with quality), modes: %s" %
+          (out_path, len(records), len(quality_runs),
+           ", ".join(modes_covered)))
+
+    for p in problems:
+        print("PROBLEM: %s" % p, file=sys.stderr)
+
+    failed = bool(problems)
+    if args.smoke:
+        if len(modes_covered) < 3:
+            print("PROBLEM: smoke covered %d modes, need >= 3" %
+                  len(modes_covered), file=sys.stderr)
+            failed = True
+        if not quality_runs:
+            print("PROBLEM: smoke produced no quality records",
+                  file=sys.stderr)
+            failed = True
+        for r in quality_runs:
+            ari = r["quality"].get("ari", 0.0)
+            if ari < args.min_ari:
+                print("PROBLEM: %s %s: ARI %.6f < %.2f" %
+                      (r["dataset"], r["config"], ari, args.min_ari),
+                      file=sys.stderr)
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
