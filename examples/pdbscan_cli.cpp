@@ -35,14 +35,19 @@
 //     --journal FILE    with --load-index: replay this streaming update
 //                       journal on top of the loaded checkpoint before
 //                       querying (recovery = snapshot + journal)
+//     --trace           enable tracing spans for the run and print the
+//                       assembled span tree (total/self times) to stderr;
+//                       PDBSCAN_TRACE=1 in the environment does the same
 //
 // The input CSV holds one point per line, comma-separated coordinates.
 //
 // Machine-readable output (what tools/bench_runner.py scrapes): stdout
 // carries at most one `#perf {...}` line (build seconds, per-query p50/p99
-// and qps over --repeat runs, the full config echo) and, with --quality,
-// one `#quality {...}` line (ARI, NMI, noise ratios, cluster counts, label
-// checksum). Everything human-oriented goes to stderr.
+// and qps over --repeat runs, the full config echo), one `#telemetry {...}`
+// line (pdbscan-telemetry-v1 JSON with the per-query latency histogram over
+// --repeat runs) and, with --quality, one `#quality {...}` line (ARI, NMI,
+// noise ratios, cluster counts, label checksum). Everything human-oriented
+// goes to stderr.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +61,8 @@
 #include "dbscan/stats.h"
 #include "kernels/kernel_api.h"
 #include "pdbscan/pdbscan.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/timer.h"
 
 namespace {
@@ -157,6 +164,15 @@ int EmitQuality(const pdbscan::Clustering& result,
   return 0;
 }
 
+// Prints the assembled span tree of the run's trace to stderr.
+void PrintTrace(bool enabled, uint64_t trace_id) {
+  if (!enabled) return;
+  const std::vector<pdbscan::telemetry::SpanRecord> spans =
+      pdbscan::telemetry::GlobalTraceRing().CollectTrace(trace_id);
+  std::fprintf(stderr, "trace (%zu spans):\n", spans.size());
+  std::fputs(pdbscan::telemetry::FormatSpanTree(spans).c_str(), stderr);
+}
+
 // Build + timed-query measurements of one mode run.
 struct PerfRecord {
   double build_seconds = 0;
@@ -189,6 +205,27 @@ void EmitPerf(const PerfRecord& perf, const std::string& mode,
       pdbscan::parallel::num_workers(), perf.query_seconds.size(),
       perf.build_seconds, qps, 1e3 * Percentile(perf.query_seconds, 0.5),
       1e3 * Percentile(perf.query_seconds, 0.99));
+}
+
+// The telemetry histogram snapshot of the run: the per-query latency
+// distribution over --repeat queries, in the same pdbscan-telemetry-v1
+// JSON a Stats scrape returns (bench_runner.py attaches it per arm).
+void EmitTelemetry(const PerfRecord& perf) {
+  pdbscan::telemetry::LatencyHistogram hist;
+  for (const double s : perf.query_seconds) {
+    hist.Record(static_cast<uint64_t>(s * 1e9));
+  }
+  std::vector<pdbscan::telemetry::MetricValue> values;
+  pdbscan::telemetry::AppendHistogram(values, "query_latency",
+                                      hist.Snapshot());
+  pdbscan::telemetry::AppendCounter(
+      values, "trace_spans_recorded",
+      static_cast<double>(pdbscan::telemetry::GlobalTraceRing().appended()));
+  pdbscan::telemetry::AppendCounter(
+      values, "trace_spans_dropped",
+      static_cast<double>(pdbscan::telemetry::GlobalTraceRing().dropped()));
+  std::printf("#telemetry %s\n",
+              pdbscan::telemetry::RenderJson(std::move(values)).c_str());
 }
 
 // Runs the requested execution surface: one timed build, then `repeat`
@@ -270,7 +307,7 @@ int main(int argc, char** argv) {
                  "[--rho R] [--bucketing] [--threads T] "
                  "[--out FILE] [--save-index FILE] [--counts-cap N] "
                  "[--load-index FILE] [--load-mode owned|mapped] "
-                 "[--journal FILE]\n",
+                 "[--journal FILE] [--trace]\n",
                  argv[0]);
     return 2;
   }
@@ -284,6 +321,7 @@ int main(int argc, char** argv) {
   size_t counts_cap = 0;
   size_t repeat = 1;
   size_t shards = 4;
+  bool trace = false;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -339,6 +377,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--journal") {
       journal_path = next();
+    } else if (arg == "--trace") {
+      trace = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -348,6 +388,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--journal requires --load-index\n");
     return 2;
   }
+  pdbscan::telemetry::InitTraceFromEnv();
+  if (trace) pdbscan::telemetry::SetTraceEnabled(true);
+  trace = pdbscan::telemetry::TraceEnabled();
+  const uint64_t trace_id = trace ? pdbscan::telemetry::NewTraceId() : 0;
+  // Every span opened on this thread (and everything the serving scheduler
+  // propagates from it) carries the run's trace id.
+  pdbscan::telemetry::ScopedTraceContext trace_ctx(trace_id);
 
   // --- Serve from a persisted snapshot (+ optional journal replay). -------
   if (!load_index.empty()) {
@@ -429,6 +476,7 @@ int main(int argc, char** argv) {
         }
         const int quality_rc = EmitQuality(result, quality_path);
         if (quality_rc != 0) return quality_rc;
+        PrintTrace(trace, trace_id);
         return WriteLabels(result, out_path);
       });
     } catch (const std::exception& e) {
@@ -472,19 +520,24 @@ int main(int argc, char** argv) {
         return ctx.Run(index, minpts);
       });
     } else {
-      result = pdbscan::DispatchDim(dataset.dim, [&]<int D>() {
-        const auto points = pdbscan::data::FromFlat<D>(dataset);
-        return RunMode<D>(points, epsilon, minpts, options, mode, repeat,
-                          shards, counts_cap, &perf);
-      });
+      {
+        pdbscan::telemetry::TraceSpan root_span("cli_run");
+        result = pdbscan::DispatchDim(dataset.dim, [&]<int D>() {
+          const auto points = pdbscan::data::FromFlat<D>(dataset);
+          return RunMode<D>(points, epsilon, minpts, options, mode, repeat,
+                            shards, counts_cap, &perf);
+        });
+      }
       EmitPerf(perf, mode, options, epsilon, minpts, dataset.size(),
                dataset.dim);
+      EmitTelemetry(perf);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
   PrintSummary(result, options.Name() + "/" + mode, run_timer.Seconds());
+  PrintTrace(trace, trace_id);
   const int quality_rc = EmitQuality(result, quality_path);
   if (quality_rc != 0) return quality_rc;
   return WriteLabels(result, out_path);

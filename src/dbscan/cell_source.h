@@ -32,6 +32,7 @@
 #include "dbscan/types.h"
 #include "geometry/point.h"
 #include "geometry/quadtree.h"
+#include "telemetry/trace.h"
 
 namespace pdbscan::dbscan {
 
@@ -116,6 +117,7 @@ class CellSource {
   const std::vector<std::unique_ptr<geometry::CellQuadtree<D>>>&
   AcquireQuadtrees() {
     if (!trees_valid_) {
+      telemetry::TraceSpan span("build_quadtrees");
       trees_ = BuildCellQuadtrees(cells_);
       trees_valid_ = true;
     }

@@ -56,6 +56,7 @@
 #include "dbscan/workspace.h"
 #include "geometry/point.h"
 #include "parallel/scheduler.h"
+#include "telemetry/trace.h"
 #include "util/timer.h"
 
 namespace pdbscan::dbscan {
@@ -174,7 +175,10 @@ class DbscanEngine {
   // least `cap` (Line 2 + Line 3 of Algorithm 1, both cached).
   void EnsureCounts(double epsilon, size_t cap) {
     util::Timer timer;
-    const CellStructure<D>& cells = source_.Acquire(epsilon);
+    const CellStructure<D>& cells = [&]() -> const CellStructure<D>& {
+      telemetry::TraceSpan span("acquire_cells");
+      return source_.Acquire(epsilon);
+    }();
     AddSeconds(stats_->build_cells_seconds, timer.Seconds());
 
     if (counts_valid_ && counts_generation_ == source_.generation() &&
@@ -183,6 +187,7 @@ class DbscanEngine {
       return;
     }
     timer.Reset();
+    telemetry::TraceSpan count_span("mark_core_counts");
     const std::vector<std::unique_ptr<geometry::CellQuadtree<D>>>* trees =
         nullptr;
     if (options_.range_count == RangeCountMethod::kQuadtree) {

@@ -32,6 +32,7 @@
 #include "parallel/scheduler.h"
 #include "primitives/reduce.h"
 #include "primitives/semisort.h"
+#include "telemetry/trace.h"
 
 namespace pdbscan::dbscan {
 
@@ -355,6 +356,7 @@ CellStructure<D> BuildGrid(std::span<const geometry::Point<D>> input,
   using geometry::CellCoords;
   using geometry::Point;
 
+  telemetry::TraceSpan span("build_grid");
   CellStructure<D> cells;
   cells.epsilon = epsilon;
   cells.metric = metric;

@@ -23,6 +23,7 @@
 #include "geometry/quadtree.h"
 #include "kernels/kernel_api.h"
 #include "parallel/scheduler.h"
+#include "telemetry/trace.h"
 
 namespace pdbscan::dbscan {
 
@@ -145,6 +146,11 @@ void MarkCoreCounts(
     const std::vector<std::unique_ptr<geometry::CellQuadtree<D>>>* trees,
     std::vector<uint32_t>& counts, PipelineStats* stats = nullptr) {
   PipelineStats& sink = stats != nullptr ? *stats : GlobalStats();
+  // Span name distinguishes the range-count strategy so a trace shows
+  // which one a query actually paid for.
+  telemetry::TraceSpan span(method == RangeCountMethod::kQuadtree
+                                ? "range_count_quadtree"
+                                : "range_count_scan");
   counts.assign(cells.num_points(), 0);
   parallel::parallel_for(
       0, cells.num_cells(),

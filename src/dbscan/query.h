@@ -36,6 +36,7 @@
 #include "dbscan/types.h"
 #include "dbscan/workspace.h"
 #include "parallel/scheduler.h"
+#include "telemetry/trace.h"
 #include "util/timer.h"
 
 namespace pdbscan::dbscan {
@@ -111,40 +112,52 @@ Clustering RunQueryFromCounts(const CellStructure<D>& cells,
                               size_t min_pts, const Options& options,
                               Workspace<D>& ws, PipelineStats& stats) {
   util::Timer timer;
-  CoreFlagsFromCounts(neighbor_counts, min_pts, ws.core_flags);
+  {
+    telemetry::TraceSpan span("mark_core");
+    CoreFlagsFromCounts(neighbor_counts, min_pts, ws.core_flags);
+  }
   const CoreIndex core = BuildCoreIndex(cells, ws.core_flags);
   AddSeconds(stats.mark_core_seconds, timer.Seconds());
 
   timer.Reset();
-  ws.uf.Reset(cells.num_cells());
-  ClusterCore(cells, core, options, ws.uf, stats);
+  {
+    telemetry::TraceSpan span("cluster_core");
+    ws.uf.Reset(cells.num_cells());
+    ClusterCore(cells, core, options, ws.uf, stats);
+  }
   AddSeconds(stats.cluster_core_seconds, timer.Seconds());
 
   timer.Reset();
-  if (options.core_only) {
-    // DBSCAN*: clusters consist of core points only.
-    ws.point_roots.resize(cells.num_points());
-    parallel::parallel_for(0, ws.point_roots.size(),
-                           [&](size_t i) { ws.point_roots[i].clear(); });
-  } else {
-    ClusterBorderInto(cells, ws.core_flags, core, min_pts, ws.uf,
-                      ws.point_roots);
+  {
+    telemetry::TraceSpan span("cluster_border");
+    if (options.core_only) {
+      // DBSCAN*: clusters consist of core points only.
+      ws.point_roots.resize(cells.num_points());
+      parallel::parallel_for(0, ws.point_roots.size(),
+                             [&](size_t i) { ws.point_roots[i].clear(); });
+    } else {
+      ClusterBorderInto(cells, ws.core_flags, core, min_pts, ws.uf,
+                        ws.point_roots);
+    }
+    // Core points belong to exactly their cell's component.
+    parallel::parallel_for(
+        0, cells.num_cells(),
+        [&](size_t c) {
+          if (!core.cell_is_core[c]) return;
+          const uint32_t root = static_cast<uint32_t>(ws.uf.Find(c));
+          for (const uint32_t pos : core.core_of(c)) {
+            ws.point_roots[pos].assign(1, root);
+          }
+        },
+        1);
   }
-  // Core points belong to exactly their cell's component.
-  parallel::parallel_for(
-      0, cells.num_cells(),
-      [&](size_t c) {
-        if (!core.cell_is_core[c]) return;
-        const uint32_t root = static_cast<uint32_t>(ws.uf.Find(c));
-        for (const uint32_t pos : core.core_of(c)) {
-          ws.point_roots[pos].assign(1, root);
-        }
-      },
-      1);
   AddSeconds(stats.cluster_border_seconds, timer.Seconds());
 
   timer.Reset();
-  Clustering out = internal::Finalize(cells, ws.core_flags, ws.point_roots, ws);
+  Clustering out = [&]() {
+    telemetry::TraceSpan span("finalize");
+    return internal::Finalize(cells, ws.core_flags, ws.point_roots, ws);
+  }();
   AddSeconds(stats.finalize_seconds, timer.Seconds());
   return out;
 }

@@ -25,6 +25,7 @@
 #include <cstddef>
 
 #include "kernels/kernel_api.h"
+#include "telemetry/metrics.h"
 
 namespace pdbscan::dbscan {
 
@@ -180,25 +181,15 @@ struct PipelineStats {
     add(requests_coalesced, other.requests_coalesced);
     add(cache_hits, other.cache_hits);
     add(cache_misses, other.cache_misses);
-    {
-      const size_t theirs =
-          other.queue_depth_peak.load(std::memory_order_relaxed);
-      size_t ours = queue_depth_peak.load(std::memory_order_relaxed);
-      while (theirs > ours && !queue_depth_peak.compare_exchange_weak(
-                                  ours, theirs, std::memory_order_relaxed)) {
-      }
-    }
+    telemetry::AtomicMax(
+        queue_depth_peak,
+        other.queue_depth_peak.load(std::memory_order_relaxed));
     add(kernel_batches, other.kernel_batches);
     add(kernel_points_pruned_box, other.kernel_points_pruned_box);
     add(kernel_points_pruned_norm, other.kernel_points_pruned_norm);
-    {
-      const size_t theirs =
-          other.kernel_dispatch_level.load(std::memory_order_relaxed);
-      size_t ours = kernel_dispatch_level.load(std::memory_order_relaxed);
-      while (theirs > ours && !kernel_dispatch_level.compare_exchange_weak(
-                                  ours, theirs, std::memory_order_relaxed)) {
-      }
-    }
+    telemetry::AtomicMax(
+        kernel_dispatch_level,
+        other.kernel_dispatch_level.load(std::memory_order_relaxed));
     AddSeconds(snapshot_load_seconds,
                other.snapshot_load_seconds.load(std::memory_order_relaxed));
     AddSeconds(build_cells_seconds,

@@ -21,6 +21,7 @@
 
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "telemetry/trace.h"
 
 namespace pdbscan::net {
 
@@ -45,6 +46,7 @@ struct ClientResponse {
   QueryResponse query;
   InfoResponse info;
   UpdateResponse update;
+  StatsResponse stats;
   ErrorResponse error;
 };
 
@@ -57,13 +59,23 @@ class Client {
 
   // --- Pipelined core -------------------------------------------------------
 
-  uint64_t SendQuery(uint64_t min_pts) {
+  // A nonzero trace_id asks the server to trace the request and ship its
+  // span breakdown back in the QueryResponse (see telemetry::NewTraceId).
+  uint64_t SendQuery(uint64_t min_pts, uint64_t trace_id = 0) {
     QueryRequest req;
     req.min_pts = min_pts;
+    req.trace_id = trace_id;
     return Send(MessageType::kQueryRequest, EncodeQueryRequest(req));
   }
 
   uint64_t SendInfo() { return Send(MessageType::kInfoRequest, {}); }
+
+  // format: 0 = JSON, 1 = Prometheus text.
+  uint64_t SendStats(uint8_t format) {
+    StatsRequest req;
+    req.format = format;
+    return Send(MessageType::kStatsRequest, EncodeStatsRequest(req));
+  }
 
   template <int D>
   uint64_t SendUpdate(const UpdateRequest<D>& req) {
@@ -78,6 +90,7 @@ class Client {
   ClientResponse Receive() {
     for (;;) {
       if (auto frame = decoder_.Next()) {
+        telemetry::TraceSpan decode_span("net_decode");
         ClientResponse resp;
         resp.request_id = frame->request_id;
         resp.type = frame->type;
@@ -91,6 +104,9 @@ class Client {
             break;
           case MessageType::kUpdateResponse:
             ok = DecodeUpdateResponse(frame->payload, &resp.update);
+            break;
+          case MessageType::kStatsResponse:
+            ok = DecodeStatsResponse(frame->payload, &resp.stats);
             break;
           case MessageType::kShutdownResponse:
             break;
@@ -114,8 +130,8 @@ class Client {
 
   // --- Sync conveniences ----------------------------------------------------
 
-  QueryResponse Query(uint64_t min_pts) {
-    const uint64_t id = SendQuery(min_pts);
+  QueryResponse Query(uint64_t min_pts, uint64_t trace_id = 0) {
+    const uint64_t id = SendQuery(min_pts, trace_id);
     ClientResponse resp = ReceiveFor(id);
     if (resp.type == MessageType::kErrorResponse) {
       throw RemoteError(resp.error.code, resp.error.message);
@@ -124,6 +140,19 @@ class Client {
       throw NetError("unexpected response type to query");
     }
     return std::move(resp.query);
+  }
+
+  // One stats scrape (0 = JSON, 1 = Prometheus); returns the rendered text.
+  StatsResponse Stats(uint8_t format = 0) {
+    const uint64_t id = SendStats(format);
+    ClientResponse resp = ReceiveFor(id);
+    if (resp.type == MessageType::kErrorResponse) {
+      throw RemoteError(resp.error.code, resp.error.message);
+    }
+    if (resp.type != MessageType::kStatsResponse) {
+      throw NetError("unexpected response type to stats");
+    }
+    return std::move(resp.stats);
   }
 
   InfoResponse Info() {
@@ -175,6 +204,7 @@ class Client {
  private:
   uint64_t Send(MessageType type, std::span<const uint8_t> payload) {
     const uint64_t id = next_request_id_++;
+    telemetry::TraceSpan encode_span("net_encode");
     conn_.SendAll(EncodeFrame(type, id, payload));
     return id;
   }

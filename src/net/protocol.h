@@ -62,6 +62,8 @@ enum class MessageType : uint8_t {
   kShutdownRequest = 7,
   kShutdownResponse = 8,
   kErrorResponse = 9,
+  kStatsRequest = 10,
+  kStatsResponse = 11,
 };
 
 enum class ErrorCode : uint16_t {
@@ -223,6 +225,21 @@ class FrameDecoder {
 
 struct QueryRequest {
   uint64_t min_pts = 0;
+  // Nonzero asks the server to trace this request and return its span
+  // breakdown. Encoded only when nonzero, and tolerated as absent on
+  // decode, so traced clients interoperate with pre-telemetry peers in
+  // both directions.
+  uint64_t trace_id = 0;
+};
+
+// One server-side span shipped back in a traced QueryResponse. `parent` is
+// the index of the parent span within the same vector (-1 = root), so the
+// client can rebuild the tree without global span ids.
+struct WireSpan {
+  std::string name;
+  int32_t parent = -1;
+  uint64_t start_nanos = 0;     // Server steady-clock; relative use only.
+  uint64_t duration_nanos = 0;
 };
 
 struct QueryResponse {
@@ -231,6 +248,20 @@ struct QueryResponse {
   uint64_t num_clusters = 0;
   std::vector<int64_t> cluster;   // Label per point, kNoise = -1.
   std::vector<uint8_t> is_core;   // 1 per core point.
+  // Span breakdown; present only when the request carried a trace_id.
+  // Encoded as an optional trailing section old clients never receive
+  // (servers omit it for untraced requests).
+  std::vector<WireSpan> spans;
+};
+
+// Stats scrape: format 0 = JSON, 1 = Prometheus text.
+struct StatsRequest {
+  uint8_t format = 0;
+};
+
+struct StatsResponse {
+  uint8_t format = 0;
+  std::string text;
 };
 
 struct InfoResponse {
@@ -304,13 +335,20 @@ class PayloadReader {
 inline std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& req) {
   detail::PayloadWriter w;
   w.Pod(req.min_pts);
+  // trace_id travels as an optional trailing field: omitted when zero so
+  // untraced queries stay byte-identical with the pre-telemetry wire form
+  // (and decodable by old servers, which require AtEnd after min_pts).
+  if (req.trace_id != 0) w.Pod(req.trace_id);
   return w.Take();
 }
 
 inline bool DecodeQueryRequest(std::span<const uint8_t> payload,
                                QueryRequest* out) {
   detail::PayloadReader r(payload);
-  return r.Pod(&out->min_pts) && r.AtEnd();
+  if (!r.Pod(&out->min_pts)) return false;
+  out->trace_id = 0;
+  if (r.AtEnd()) return true;  // Old-version frame: no trace_id.
+  return r.Pod(&out->trace_id) && r.AtEnd();
 }
 
 inline std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& resp) {
@@ -320,6 +358,22 @@ inline std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& resp) {
   w.Pod(resp.num_clusters);
   w.Raw(resp.cluster.data(), resp.cluster.size() * sizeof(int64_t));
   w.Raw(resp.is_core.data(), resp.is_core.size());
+  // Optional trailing span section (traced requests only). Old decoders
+  // required the payload to end exactly after is_core, so servers only
+  // append this when the client asked for a trace — i.e. when the client
+  // is new enough to parse it.
+  if (!resp.spans.empty()) {
+    w.Pod(static_cast<uint32_t>(resp.spans.size()));
+    for (const WireSpan& s : resp.spans) {
+      w.Pod(static_cast<uint16_t>(
+          s.name.size() < 0xffff ? s.name.size() : 0xffff));
+      w.Raw(s.name.data(),
+            s.name.size() < 0xffff ? s.name.size() : 0xffff);
+      w.Pod(s.parent);
+      w.Pod(s.start_nanos);
+      w.Pod(s.duration_nanos);
+    }
+  }
   return w.Take();
 }
 
@@ -335,11 +389,64 @@ inline bool DecodeQueryResponse(std::span<const uint8_t> payload,
   // n * stride wrap mod 2^64 and match remaining(), then blow up resize.
   constexpr uint64_t kStride = sizeof(int64_t) + 1;
   if (n > r.remaining() / kStride) return false;
-  if (r.remaining() != n * kStride) return false;
+  if (r.remaining() < n * kStride) return false;
   out->cluster.resize(n);
   out->is_core.resize(n);
-  return r.Raw(out->cluster.data(), n * sizeof(int64_t)) &&
-         r.Raw(out->is_core.data(), n) && r.AtEnd();
+  if (!r.Raw(out->cluster.data(), n * sizeof(int64_t)) ||
+      !r.Raw(out->is_core.data(), n)) {
+    return false;
+  }
+  out->spans.clear();
+  if (r.AtEnd()) return true;  // Untraced (or old-version) response.
+  uint32_t num_spans;
+  if (!r.Pod(&num_spans)) return false;
+  // Minimum wire size per span: empty name (2) + parent (4) + start (8) +
+  // duration (8). Bound before reserving, same discipline as above.
+  constexpr uint64_t kMinSpanBytes = 2 + 4 + 8 + 8;
+  if (num_spans > r.remaining() / kMinSpanBytes) return false;
+  out->spans.resize(num_spans);
+  for (uint32_t i = 0; i < num_spans; ++i) {
+    WireSpan& s = out->spans[i];
+    uint16_t name_len;
+    if (!r.Pod(&name_len)) return false;
+    if (name_len > r.remaining()) return false;
+    s.name.resize(name_len);
+    if (!r.Raw(s.name.data(), name_len) || !r.Pod(&s.parent) ||
+        !r.Pod(&s.start_nanos) || !r.Pod(&s.duration_nanos)) {
+      return false;
+    }
+  }
+  return r.AtEnd();
+}
+
+inline std::vector<uint8_t> EncodeStatsRequest(const StatsRequest& req) {
+  detail::PayloadWriter w;
+  w.Pod(req.format);
+  return w.Take();
+}
+
+inline bool DecodeStatsRequest(std::span<const uint8_t> payload,
+                               StatsRequest* out) {
+  detail::PayloadReader r(payload);
+  return r.Pod(&out->format) && r.AtEnd();
+}
+
+inline std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& resp) {
+  detail::PayloadWriter w;
+  w.Pod(resp.format);
+  w.Pod(static_cast<uint32_t>(resp.text.size()));
+  w.Raw(resp.text.data(), resp.text.size());
+  return w.Take();
+}
+
+inline bool DecodeStatsResponse(std::span<const uint8_t> payload,
+                                StatsResponse* out) {
+  detail::PayloadReader r(payload);
+  uint32_t text_len;
+  if (!r.Pod(&out->format) || !r.Pod(&text_len)) return false;
+  if (r.remaining() != text_len) return false;
+  out->text.resize(text_len);
+  return r.Raw(out->text.data(), text_len) && r.AtEnd();
 }
 
 inline std::vector<uint8_t> EncodeInfoResponse(const InfoResponse& resp) {

@@ -68,6 +68,7 @@
 #include "persist/journal.h"
 #include "persist/snapshot.h"
 #include "streaming/dynamic_cell_index.h"
+#include "telemetry/trace.h"
 
 namespace pdbscan::net {
 
@@ -118,6 +119,11 @@ struct WriterOptions {
   // cycle behind.
   size_t keep_checkpoints = 2;
   persist::FsyncPolicy journal_fsync = persist::FsyncPolicy::kNone;
+  // Invoked after every completed checkpoint (auto-cadence and manual) with
+  // the sequence it captured and the writer's running checkpoint count —
+  // the fleet-logging hook pdbscan_server wires to stderr. Runs on the
+  // ApplyUpdates/Checkpoint caller thread; keep it cheap.
+  std::function<void(uint64_t seq, uint64_t checkpoints_taken)> on_checkpoint;
 };
 
 // The single writer: owns the dataset, the journal segments, and the
@@ -170,6 +176,7 @@ class WriterNode {
             std::to_string(seq) + " start at " +
             std::to_string(segments.front().start_seq));
       }
+      telemetry::TraceSpan replay_span("journal_replay");
       for (const persist::JournalSegment& seg : segments) {
         const auto scan = persist::UpdateJournal<D>::Scan(seg.path, stats_);
         persist::UpdateJournal<D>::RequireMatch(seg.path, scan, epsilon_,
@@ -231,10 +238,19 @@ class WriterNode {
     if (!checkpoints.empty()) {
       persist::PruneSegmentsBefore(dir_, checkpoints.front().seq);
     }
+    const uint64_t taken =
+        checkpoints_taken_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (writer_options_.on_checkpoint) {
+      writer_options_.on_checkpoint(seq, taken);
+    }
   }
 
   parallel::EnginePool<D>& pool() { return *pool_; }
   streaming::DynamicCellIndex<D>& index() { return *index_; }
+  // Checkpoints this writer has shipped since construction. Thread-safe.
+  uint64_t checkpoints_taken() const {
+    return checkpoints_taken_.load(std::memory_order_relaxed);
+  }
   uint64_t seq() const { return journal_->seq(); }
   uint64_t generation() const { return journal_->seq() + 1; }
   const std::string& dir() const { return dir_; }
@@ -269,6 +285,7 @@ class WriterNode {
   std::unique_ptr<streaming::DynamicCellIndex<D>> index_;
   std::unique_ptr<persist::SegmentedJournal<D>> journal_;
   std::unique_ptr<parallel::EnginePool<D>> pool_;
+  std::atomic<uint64_t> checkpoints_taken_{0};
 
   template <int>
   friend class ReplicaNode;
@@ -289,6 +306,11 @@ struct ReplicaOptions {
   // before it lists segments — exactly the stale-generation window (a
   // writer checkpoint + prune in this window forces the gap path).
   std::function<void(uint64_t seq)> on_cold_start_loaded;
+  // Invoked after every gap-induced re-cold-start with the sequence the
+  // replica re-based to and the running gap_restarts count — the
+  // fleet-logging hook pdbscan_server wires to stderr. Runs on the tailing
+  // thread; keep it cheap.
+  std::function<void(uint64_t seq, size_t gap_restarts)> on_gap_restart;
 };
 
 // A read-only follower: cold-starts from the newest shipped checkpoint and
@@ -415,7 +437,12 @@ class ReplicaNode {
   // actually succeeded.
   void Restart() {
     ColdStart();
-    gap_restarts_.fetch_add(1, std::memory_order_relaxed);
+    const size_t restarts =
+        gap_restarts_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (replica_options_.on_gap_restart) {
+      replica_options_.on_gap_restart(seq_.load(std::memory_order_relaxed),
+                                      restarts);
+    }
     PublishIfNewer();
   }
 
@@ -457,6 +484,7 @@ class ReplicaNode {
                                     std::to_string(scan.generation) +
                                     " does not match its file name");
       }
+      telemetry::TraceSpan replay_span("journal_replay");
       uint64_t record_seq = seg.start_seq;
       for (const persist::JournalRecord<D>& rec : scan.records) {
         ++record_seq;

@@ -37,12 +37,19 @@
 #include "net/socket.h"
 #include "parallel/engine_pool.h"
 #include "parallel/serving_scheduler.h"
+#include "telemetry/metrics.h"
+#include "telemetry/stats_export.h"
+#include "telemetry/trace.h"
 
 namespace pdbscan::net {
 
 struct ServerOptions {
   uint16_t port = 0;  // 0 = ephemeral; port() reports the bound one.
   ProtocolLimits limits;
+  // Extra metrics joined into kStatsRequest responses (e.g. the replication
+  // counters pdbscan_server registers). Must outlive the server; nullptr =
+  // scheduler + server counters only.
+  telemetry::MetricsRegistry* registry = nullptr;
 };
 
 // Aggregate counters, all monotonically increasing. Reads are racy-fresh
@@ -223,6 +230,8 @@ class NetServer {
   bool HandleFrame(TcpConn& conn, const Frame& frame) {
     switch (frame.type) {
       case MessageType::kQueryRequest: {
+        const uint64_t decode_start =
+            telemetry::TraceEnabled() ? telemetry::NowNanos() : 0;
         QueryRequest req;
         if (!DecodeQueryRequest(frame.payload, &req)) {
           return SendSemanticError(conn, frame.request_id,
@@ -234,8 +243,29 @@ class NetServer {
                                    ErrorCode::kBadPayload,
                                    "min_pts must be >= 1");
         }
-        parallel::ServeResult result =
-            scheduler_.Submit(static_cast<size_t>(req.min_pts));
+        // A nonzero trace_id asks for this request's span breakdown. The
+        // root "serve_request" span is recorded manually (its id is
+        // preallocated so queue/executor spans can parent under it before
+        // it lands in the ring), then the trace is collected into wire
+        // spans appended to the response.
+        const bool traced = req.trace_id != 0 && telemetry::TraceEnabled();
+        parallel::ServeResult result;
+        std::vector<WireSpan> wire_spans;
+        if (traced) {
+          const uint64_t root_span = telemetry::NextSpanId();
+          telemetry::RecordSpan("frame_decode", req.trace_id, root_span,
+                                decode_start, telemetry::NowNanos());
+          const uint64_t root_start = decode_start;
+          {
+            telemetry::ScopedTraceContext ctx(req.trace_id, root_span);
+            result = scheduler_.Submit(static_cast<size_t>(req.min_pts));
+          }
+          telemetry::RecordSpan("serve_request", req.trace_id, 0, root_start,
+                                telemetry::NowNanos(), root_span);
+          wire_spans = CollectWireSpans(req.trace_id);
+        } else {
+          result = scheduler_.Submit(static_cast<size_t>(req.min_pts));
+        }
         switch (result.status) {
           case parallel::ServeStatus::kOk:
             break;
@@ -257,9 +287,57 @@ class NetServer {
         resp.num_clusters = result.clustering.num_clusters;
         resp.cluster = std::move(result.clustering.cluster);
         resp.is_core = std::move(result.clustering.is_core);
+        resp.spans = std::move(wire_spans);
         conn.SendAll(EncodeFrame(MessageType::kQueryResponse,
                                  frame.request_id,
                                  EncodeQueryResponse(resp)));
+        stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      case MessageType::kStatsRequest: {
+        StatsRequest req;
+        if (!DecodeStatsRequest(frame.payload, &req)) {
+          return SendSemanticError(conn, frame.request_id,
+                                   ErrorCode::kBadPayload,
+                                   "malformed stats payload");
+        }
+        std::vector<telemetry::MetricValue> values;
+        dbscan::PipelineStats agg;
+        scheduler_.AggregateStats(agg);
+        telemetry::AppendPipelineStats(agg, values);
+        telemetry::AppendCounter(
+            values, "connections_accepted",
+            static_cast<double>(stats_.connections_accepted.load(
+                std::memory_order_relaxed)));
+        telemetry::AppendCounter(
+            values, "requests_served",
+            static_cast<double>(
+                stats_.requests_served.load(std::memory_order_relaxed)));
+        telemetry::AppendCounter(
+            values, "semantic_errors",
+            static_cast<double>(
+                stats_.semantic_errors.load(std::memory_order_relaxed)));
+        telemetry::AppendCounter(
+            values, "framing_errors",
+            static_cast<double>(
+                stats_.framing_errors.load(std::memory_order_relaxed)));
+        const parallel::ServingHistograms& h = scheduler_.histograms();
+        telemetry::AppendHistogram(values, "request_latency",
+                                   h.request_nanos.Snapshot());
+        telemetry::AppendHistogram(values, "queue_wait_latency",
+                                   h.queue_wait_nanos.Snapshot());
+        telemetry::AppendHistogram(values, "execute_latency",
+                                   h.execute_nanos.Snapshot());
+        if (options_.registry != nullptr) {
+          options_.registry->CollectInto(values);
+        }
+        StatsResponse resp;
+        resp.format = req.format;
+        resp.text = req.format == 1 ? telemetry::RenderPrometheus(values)
+                                    : telemetry::RenderJson(values);
+        conn.SendAll(EncodeFrame(MessageType::kStatsResponse,
+                                 frame.request_id,
+                                 EncodeStatsResponse(resp)));
         stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
@@ -317,6 +395,30 @@ class NetServer {
                                  ErrorCode::kUnknownType,
                                  "unknown message type");
     }
+  }
+
+  // Turns one trace's ring records into wire spans: chronological order
+  // (CollectTrace sorts by start), parent expressed as an index into the
+  // same vector so the client needs no span-id namespace.
+  static std::vector<WireSpan> CollectWireSpans(uint64_t trace_id) {
+    const std::vector<telemetry::SpanRecord> spans =
+        telemetry::GlobalTraceRing().CollectTrace(trace_id);
+    std::unordered_map<uint64_t, int32_t> index_of;
+    index_of.reserve(spans.size());
+    for (size_t i = 0; i < spans.size(); ++i) {
+      index_of.emplace(spans[i].span_id, static_cast<int32_t>(i));
+    }
+    std::vector<WireSpan> out(spans.size());
+    for (size_t i = 0; i < spans.size(); ++i) {
+      out[i].name = spans[i].name != nullptr ? spans[i].name : "?";
+      const auto it = index_of.find(spans[i].parent_id);
+      out[i].parent = it != index_of.end() && spans[i].parent_id != 0
+                          ? it->second
+                          : -1;
+      out[i].start_nanos = spans[i].start_nanos;
+      out[i].duration_nanos = spans[i].duration_nanos();
+    }
+    return out;
   }
 
   // Semantic errors keep the connection open (framing was intact).

@@ -62,6 +62,7 @@
 #include <algorithm>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <functional>
@@ -78,6 +79,8 @@
 #include "dbscan/types.h"
 #include "parallel/engine_pool.h"
 #include "parallel/serving_clock.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace pdbscan::parallel {
 
@@ -142,6 +145,21 @@ struct ServingOptions {
   // advance time "mid-execution" deterministically. Leave unset in
   // production.
   std::function<void(size_t)> on_batch_claimed;
+
+  // Requests whose admission-to-delivery latency (scheduler clock) meets
+  // this threshold get one line — plus the request's span tree when it was
+  // traced — written to slow_query_sink (default: stderr). kNeverNanos
+  // disables the log.
+  uint64_t slow_query_nanos = kNeverNanos;
+  std::function<void(const std::string&)> slow_query_sink;
+};
+
+// The scheduler's latency distributions, recorded against its (injectable)
+// clock so fake-clock tests see exact values. All in nanoseconds.
+struct ServingHistograms {
+  telemetry::LatencyHistogram request_nanos;     // Admission -> delivery.
+  telemetry::LatencyHistogram queue_wait_nanos;  // Admission -> batch claim.
+  telemetry::LatencyHistogram execute_nanos;     // Lease wait + sweep.
 };
 
 template <int D>
@@ -289,10 +307,21 @@ class ServingScheduler {
 
   const ServingOptions& options() const { return options_; }
 
+  // Latency histograms (request / queue-wait / execute), recorded against
+  // the scheduler clock. Snapshot() them for export.
+  const ServingHistograms& histograms() const { return histograms_; }
+
  private:
   struct Request {
     size_t min_pts = 0;
     uint64_t deadline_nanos = kNeverNanos;
+    // Trace context captured from the admitting thread (0 = untraced):
+    // executor-side spans re-parent under parent_span_id so the request's
+    // span tree stays well-nested across the thread hop.
+    uint64_t trace_id = 0;
+    uint64_t parent_span_id = 0;
+    uint64_t admit_steady_nanos = 0;  // telemetry::NowNanos at admission.
+    uint64_t admit_clock_nanos = 0;   // Scheduler clock at admission.
     std::promise<ServeResult> promise;
     std::function<void(ServeResult)> callback;
   };
@@ -337,6 +366,14 @@ class ServingScheduler {
     const uint64_t now = clock_->NowNanos();
     req.deadline_nanos =
         timeout_nanos == kNeverNanos ? kNeverNanos : now + timeout_nanos;
+    req.admit_clock_nanos = now;
+    if (telemetry::TraceEnabled()) {
+      // Ambient propagation: whatever trace the admitting thread is inside
+      // (a net request, a CLI --trace run) rides along with the request.
+      req.trace_id = telemetry::CurrentTraceId();
+      req.parent_span_id = telemetry::CurrentSpanId();
+      req.admit_steady_nanos = telemetry::NowNanos();
+    }
 
     ServeResult immediate;
     bool resolve_now = false;
@@ -427,11 +464,7 @@ class ServingScheduler {
   }
 
   void UpdateQueuePeakLocked() {
-    const size_t depth = queue_.size();
-    size_t peak = stats_->queue_depth_peak.load(std::memory_order_relaxed);
-    while (depth > peak && !stats_->queue_depth_peak.compare_exchange_weak(
-                               peak, depth, std::memory_order_relaxed)) {
-    }
+    telemetry::AtomicMax(stats_->queue_depth_peak, queue_.size());
   }
 
   // mu_ held: moves every queued request whose deadline has passed into
@@ -478,6 +511,34 @@ class ServingScheduler {
   void ExecuteBatch(std::vector<Request>& batch) {
     if (options_.on_batch_claimed) options_.on_batch_claimed(batch.size());
 
+    const bool tracing = telemetry::TraceEnabled();
+    const uint64_t execute_start = clock_->NowNanos();
+    // The queue wait of every traced request ends here, at batch claim.
+    // Recorded manually (the interval straddles the admitting thread and
+    // this executor), parented to the request's own root span. The
+    // executor's working spans below adopt the FIRST traced request's
+    // context — a coalesced batch does one sweep, so it can only be
+    // attributed to one trace.
+    uint64_t batch_trace = 0;
+    uint64_t batch_parent = 0;
+    if (tracing) {
+      const uint64_t now_steady = telemetry::NowNanos();
+      for (const Request& r : batch) {
+        if (r.trace_id == 0) continue;
+        telemetry::RecordSpan("queue_wait", r.trace_id, r.parent_span_id,
+                              r.admit_steady_nanos, now_steady);
+        if (batch_trace == 0) {
+          batch_trace = r.trace_id;
+          batch_parent = r.parent_span_id;
+        }
+      }
+    }
+    for (const Request& r : batch) {
+      histograms_.queue_wait_nanos.Record(execute_start -
+                                          r.admit_clock_nanos);
+    }
+    telemetry::ScopedTraceContext trace_ctx(batch_trace, batch_parent);
+
     // Wait for a context no longer than the batch's latest deadline —
     // if the pool stays exhausted past it, nobody in the batch is still
     // servable anyway.
@@ -488,7 +549,10 @@ class ServingScheduler {
                    : std::max(latest, r.deadline_nanos);
       if (latest == kNeverNanos) break;
     }
-    typename EnginePool<D>::Lease lease = pool_.TryAcquireLeaseUntil(latest);
+    typename EnginePool<D>::Lease lease = [&]() {
+      telemetry::TraceSpan span("lease_acquire");
+      return pool_.TryAcquireLeaseUntil(latest);
+    }();
     if (!lease) {
       ResolveExpired(batch);
       return;
@@ -503,8 +567,12 @@ class ServingScheduler {
     distinct.erase(std::unique(distinct.begin(), distinct.end()),
                    distinct.end());
 
-    std::vector<Clustering> swept = lease.Sweep(distinct);
+    std::vector<Clustering> swept = [&]() {
+      telemetry::TraceSpan span("coalesced_sweep");
+      return lease.Sweep(distinct);
+    }();
     lease = typename EnginePool<D>::Lease();  // Free the context promptly.
+    histograms_.execute_nanos.Record(clock_->NowNanos() - execute_start);
 
     std::unordered_map<size_t, std::shared_ptr<const Clustering>> by_minpts;
     by_minpts.reserve(distinct.size());
@@ -543,12 +611,38 @@ class ServingScheduler {
   // Resolves one request exactly once: future first, then the callback
   // (callbacks run without scheduler locks held).
   void Deliver(Request& req, ServeResult&& result) {
+    if (req.admit_clock_nanos != 0) {
+      const uint64_t latency = clock_->NowNanos() - req.admit_clock_nanos;
+      if (result.status == ServeStatus::kOk) {
+        histograms_.request_nanos.Record(latency);
+      }
+      if (latency >= options_.slow_query_nanos) LogSlowQuery(req, latency);
+    }
     if (req.callback) {
       ServeResult copy = result;
       req.promise.set_value(std::move(result));
       req.callback(std::move(copy));
     } else {
       req.promise.set_value(std::move(result));
+    }
+  }
+
+  void LogSlowQuery(const Request& req, uint64_t latency_nanos) {
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "slow query: min_pts=%zu latency_ms=%.3f trace_id=%llu\n",
+                  req.min_pts, static_cast<double>(latency_nanos) / 1e6,
+                  static_cast<unsigned long long>(req.trace_id));
+    std::string msg = head;
+    if (req.trace_id != 0) {
+      const std::vector<telemetry::SpanRecord> spans =
+          telemetry::GlobalTraceRing().CollectTrace(req.trace_id);
+      if (!spans.empty()) msg += telemetry::FormatSpanTree(spans);
+    }
+    if (options_.slow_query_sink) {
+      options_.slow_query_sink(msg);
+    } else {
+      std::fputs(msg.c_str(), stderr);
     }
   }
 
@@ -582,6 +676,7 @@ class ServingScheduler {
   Clock* clock_;
   dbscan::PipelineStats own_stats_;
   dbscan::PipelineStats* stats_;
+  ServingHistograms histograms_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;

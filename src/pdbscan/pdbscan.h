@@ -181,6 +181,9 @@
 #include "sharding/sharded_cell_index.h"
 #include "sharding/sharded_clusterer.h"
 #include "streaming/streaming_clusterer.h"
+#include "telemetry/metrics.h"
+#include "telemetry/stats_export.h"
+#include "telemetry/trace.h"
 
 namespace pdbscan {
 
@@ -384,6 +387,38 @@ using NetClient = net::Client;
 // error (carries the wire ErrorCode).
 using NetError = net::NetError;
 using RemoteError = net::RemoteError;
+
+// --- Telemetry surface (see telemetry/). ------------------------------------
+//
+// Quickstart (metrics + tracing):
+//
+//   // Pull-based export: counters/gauges/histograms plus sources that
+//   // publish existing stat structs, rendered as Prometheus text or JSON.
+//   pdbscan::MetricsRegistry registry;
+//   registry.AddSource([&](std::vector<pdbscan::MetricValue>& out) {
+//     pdbscan::telemetry::AppendPipelineStats(stats, out);
+//   });
+//   std::string prom = pdbscan::RenderPrometheus(registry.Collect());
+//
+//   // Tracing: RAII spans at every stage boundary, ~free when disabled.
+//   pdbscan::telemetry::SetTraceEnabled(true);   // or PDBSCAN_TRACE=1
+//   uint64_t trace_id = pdbscan::telemetry::NewTraceId();
+//   { pdbscan::telemetry::ScopedTraceContext ctx(trace_id);
+//     pool.Run(10); }
+//   auto spans = pdbscan::telemetry::GlobalTraceRing().CollectTrace(trace_id);
+//   std::fputs(pdbscan::telemetry::FormatSpanTree(spans).c_str(), stderr);
+//
+// Served queries propagate the trace id over the wire (QueryRequest
+// .trace_id) and return their server-side span breakdown in the response;
+// NetServer answers kStatsRequest with the registry's rendered metrics
+// (pdbscan_client stats). See telemetry/metrics.h and telemetry/trace.h.
+using MetricsRegistry = telemetry::MetricsRegistry;
+using MetricValue = telemetry::MetricValue;
+using LatencyHistogram = telemetry::LatencyHistogram;
+using HistogramSnapshot = telemetry::HistogramSnapshot;
+using TraceSpan = telemetry::TraceSpan;
+using telemetry::RenderJson;
+using telemetry::RenderPrometheus;
 
 // Serializes a frozen index (crash-safe temp-then-rename write).
 template <int D>

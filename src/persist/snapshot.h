@@ -52,6 +52,7 @@
 #include "geometry/point.h"
 #include "persist/format.h"
 #include "persist/io.h"
+#include "telemetry/trace.h"
 #include "util/timer.h"
 
 namespace pdbscan::persist {
@@ -366,6 +367,7 @@ class SnapshotReader {
     static_assert(kLayoutIsPortable<D>,
                   "Point/BBox/CellCoords must be flat arrays of words");
     util::Timer timer;
+    telemetry::TraceSpan span("snapshot_load");
     LoadedSnapshot<D> out;
     std::shared_ptr<const MappedFile> map;
     std::shared_ptr<std::vector<uint8_t>> owned_bytes;

@@ -75,6 +75,7 @@
 #include "geometry/point.h"
 #include "parallel/engine_pool.h"
 #include "parallel/scheduler.h"
+#include "telemetry/trace.h"
 #include "persist/snapshot.h"
 #include "sharding/shard_planner.h"
 #include "util/timer.h"
@@ -230,6 +231,10 @@ class ShardedCellIndex {
 
     // --- Phase 1a: per-shard cell structures, one scheduler task each.
     // The global bounds anchor every shard on the single-index lattice. ----
+    // Recorded manually rather than via TraceSpan RAII: the phase boundary
+    // is mid-function, not a scope.
+    const uint64_t build_span_start =
+        telemetry::TraceEnabled() ? telemetry::NowNanos() : 0;
     std::vector<CellStructure<D>> shards(num_shards);
     parallel::parallel_for(
         0, num_shards,
@@ -239,6 +244,11 @@ class ShardedCellIndex {
               options_.metric);
         },
         1);
+    if (build_span_start != 0) {
+      telemetry::RecordSpan("shard_build", telemetry::CurrentTraceId(),
+                            telemetry::CurrentSpanId(), build_span_start,
+                            telemetry::NowNanos());
+    }
     info_.shard_build_seconds = timer.Seconds();
     dbscan::AddSeconds(sink.build_cells_seconds, info_.shard_build_seconds);
     sink.shards_built.fetch_add(num_shards, std::memory_order_relaxed);
@@ -354,6 +364,8 @@ class ShardedCellIndex {
     // of discovery order. One code path with the full builder:
     // ForEachNeighborAmong is the same dispatch BuildGridAdjacency uses. --
     timer.Reset();
+    const uint64_t merge_span_start =
+        telemetry::TraceEnabled() ? telemetry::NowNanos() : 0;
     std::vector<std::vector<uint32_t>> cross(boundary.size());
     if (!boundary.empty() && num_shards > 1) {
       dbscan::ForEachNeighborAmong<D>(
@@ -416,6 +428,11 @@ class ShardedCellIndex {
         merged, counts_cap, RangeCountMethod::kScan, nullptr,
         std::span<const uint32_t>(boundary), merged_counts, &sink);
     const double recount_seconds = timer.Seconds();
+    if (merge_span_start != 0) {
+      telemetry::RecordSpan("shard_merge", telemetry::CurrentTraceId(),
+                            telemetry::CurrentSpanId(), merge_span_start,
+                            telemetry::NowNanos());
+    }
 
     // Stage attribution mirrors an unsharded build: classification, CSR
     // and adjacency discovery are cell construction; the recount is

@@ -79,6 +79,7 @@
 #include "geometry/point.h"
 #include "parallel/scheduler.h"
 #include "persist/journal.h"
+#include "telemetry/trace.h"
 #include "util/timer.h"
 
 namespace pdbscan::streaming {
@@ -480,28 +481,32 @@ class DynamicCellIndex {
     timer.Reset();
     std::vector<uint32_t> counts(n);
     std::vector<uint32_t> rebuilt_list;
-    for (size_t c = 0; c < m; ++c) {
-      if (recount[c]) rebuilt_list.push_back(static_cast<uint32_t>(c));
+    {
+      telemetry::TraceSpan span("streaming_recount");
+      for (size_t c = 0; c < m; ++c) {
+        if (recount[c]) rebuilt_list.push_back(static_cast<uint32_t>(c));
+      }
+      const containers::FlatArray<uint32_t>* prev_counts =
+          prev != nullptr ? &prev->neighbor_counts() : nullptr;
+      parallel::parallel_for(
+          0, m,
+          [&](size_t c) {
+            if (recount[c]) return;
+            // Retained: the cell existed before with identical contents.
+            const uint32_t old_c = old_cell_id.at(cells.coords[c]);
+            const dbscan::CellStructure<D>& prev_cells = prev->cells();
+            std::copy(
+                prev_counts->begin() +
+                    static_cast<ptrdiff_t>(prev_cells.offsets[old_c]),
+                prev_counts->begin() +
+                    static_cast<ptrdiff_t>(prev_cells.offsets[old_c + 1]),
+                counts.begin() + static_cast<ptrdiff_t>(cells.offsets[c]));
+          },
+          1);
+      dbscan::MarkCoreCountsForCells<D>(
+          cells, counts_cap_, RangeCountMethod::kScan, nullptr,
+          std::span<const uint32_t>(rebuilt_list), counts, stats_);
     }
-    const containers::FlatArray<uint32_t>* prev_counts =
-        prev != nullptr ? &prev->neighbor_counts() : nullptr;
-    parallel::parallel_for(
-        0, m,
-        [&](size_t c) {
-          if (recount[c]) return;
-          // Retained: the cell existed before with identical contents.
-          const uint32_t old_c = old_cell_id.at(cells.coords[c]);
-          const dbscan::CellStructure<D>& prev_cells = prev->cells();
-          std::copy(prev_counts->begin() +
-                        static_cast<ptrdiff_t>(prev_cells.offsets[old_c]),
-                    prev_counts->begin() +
-                        static_cast<ptrdiff_t>(prev_cells.offsets[old_c + 1]),
-                    counts.begin() + static_cast<ptrdiff_t>(cells.offsets[c]));
-        },
-        1);
-    dbscan::MarkCoreCountsForCells<D>(
-        cells, counts_cap_, RangeCountMethod::kScan, nullptr,
-        std::span<const uint32_t>(rebuilt_list), counts, stats_);
     update.recount_seconds = timer.Seconds();
     dbscan::AddSeconds(stats_->mark_core_seconds, update.recount_seconds);
 

@@ -1,0 +1,420 @@
+// Telemetry metrics: named counters, max-merged gauges and log2-bucketed
+// latency histograms, plus the registry + render surface that turns them
+// into Prometheus text or JSON.
+//
+// Design constraints, in priority order:
+//
+//   * Recording must be safe from any thread and nearly free: every value
+//     is a relaxed std::atomic (histograms are fixed atomic arrays — no
+//     allocation, no locks on the record path).
+//   * Everything is MERGEABLE the way PipelineStats already is: counters
+//     and histogram buckets add, gauges take the max (the shared AtomicMax
+//     below is the one max-merge implementation; dbscan/stats.h and the
+//     serving scheduler call it instead of repeating the CAS loop).
+//   * Export is pull-based: MetricsRegistry::Collect() walks owned metrics
+//     plus registered sources and produces a flat, name-sorted
+//     std::vector<MetricValue> snapshot that RenderPrometheus/RenderJson
+//     serialize. Sources let existing stat structs (PipelineStats,
+//     ServerStats, replication counters) publish through the same naming
+//     scheme without being rewritten — see telemetry/stats_export.h.
+//
+// Histogram contract (pinned by tests/test_telemetry.cpp against a scalar
+// reference): bucket b holds every value v with std::bit_width(v) == b,
+// clamped to the last bucket — i.e. bucket 0 is exactly {0}, bucket b>0 is
+// [2^(b-1), 2^b). PercentileNanos(q) returns the inclusive upper bound of
+// the bucket containing the ceil(q * count)-th smallest recorded value.
+#ifndef PDBSCAN_TELEMETRY_METRICS_H_
+#define PDBSCAN_TELEMETRY_METRICS_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pdbscan::telemetry {
+
+// The one shared max-merge: raises `slot` to at least `value` with relaxed
+// CAS. Every gauge aggregation path (PipelineStats::MergeFrom, the serving
+// scheduler's queue peak, MaxGauge itself) goes through here.
+template <typename T>
+inline void AtomicMax(std::atomic<T>& slot, T value) {
+  T cur = slot.load(std::memory_order_relaxed);
+  while (value > cur && !slot.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+// Monotonic counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void MergeFrom(const Counter& other) { Add(other.value()); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// High-water-mark gauge: Update raises, merge takes the max.
+class MaxGauge {
+ public:
+  void Update(uint64_t observed) { AtomicMax(value_, observed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void MergeFrom(const MaxGauge& other) { Update(other.value()); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Immutable histogram state, extracted with Snapshot(). Percentiles are
+// computed here so the same code serves live histograms and wire-shipped
+// snapshots (bench records, stats responses).
+struct HistogramSnapshot {
+  static constexpr size_t kNumBuckets = 64;
+  std::array<uint64_t, kNumBuckets> buckets{};  // buckets[b]: bit_width == b.
+  uint64_t count = 0;
+  uint64_t sum_nanos = 0;
+
+  // Inclusive upper bound of bucket b: 0 for b == 0, else 2^b - 1 (the last
+  // bucket absorbs everything above).
+  static uint64_t BucketUpperNanos(size_t b) {
+    if (b == 0) return 0;
+    if (b >= kNumBuckets - 1) return ~uint64_t{0};
+    return (uint64_t{1} << b) - 1;
+  }
+
+  // Upper bound of the bucket holding the ceil(q * count)-th smallest
+  // recorded value (q in [0, 1]); 0 when empty.
+  uint64_t PercentileNanos(double q) const {
+    if (count == 0) return 0;
+    const double target = q * static_cast<double>(count);
+    uint64_t rank = static_cast<uint64_t>(std::ceil(target));
+    if (rank < 1) rank = 1;
+    if (rank > count) rank = count;
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      cumulative += buckets[b];
+      if (cumulative >= rank) return BucketUpperNanos(b);
+    }
+    return BucketUpperNanos(kNumBuckets - 1);
+  }
+
+  double MeanNanos() const {
+    return count == 0
+               ? 0.0
+               : static_cast<double>(sum_nanos) / static_cast<double>(count);
+  }
+
+  void MergeFrom(const HistogramSnapshot& other) {
+    for (size_t b = 0; b < kNumBuckets; ++b) buckets[b] += other.buckets[b];
+    count += other.count;
+    sum_nanos += other.sum_nanos;
+  }
+};
+
+// Fixed-bucket log2 latency histogram: a lock-free array of relaxed
+// atomics. Record() is two fetch_adds and a bit_width — safe from any
+// thread, no allocation, mergeable bucket-wise.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = HistogramSnapshot::kNumBuckets;
+
+  static size_t BucketIndex(uint64_t nanos) {
+    const size_t b = static_cast<size_t>(std::bit_width(nanos));
+    return b < kNumBuckets ? b : kNumBuckets - 1;
+  }
+
+  void Record(uint64_t nanos) {
+    buckets_[BucketIndex(nanos)].fetch_add(1, std::memory_order_relaxed);
+    sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+  uint64_t TotalCount() const {
+    uint64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void MergeFrom(const LatencyHistogram& other) {
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      const uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+      if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+    }
+    sum_nanos_.fetch_add(other.sum_nanos_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_nanos_.store(0, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot snap;
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+      snap.count += snap.buckets[b];
+    }
+    snap.sum_nanos = sum_nanos_.load(std::memory_order_relaxed);
+    return snap;
+  }
+
+  uint64_t PercentileNanos(double q) const { return Snapshot().PercentileNanos(q); }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_nanos_{0};
+};
+
+// One collected metric, ready to render. Counter/gauge values travel as
+// double so second-valued counters (stage timings) fit the same pipe;
+// integral values render without a decimal point.
+struct MetricValue {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0;
+  HistogramSnapshot histogram;  // Valid iff kind == kHistogram.
+};
+
+inline void AppendCounter(std::vector<MetricValue>& out, std::string name,
+                          double value) {
+  MetricValue v;
+  v.name = std::move(name);
+  v.kind = MetricValue::Kind::kCounter;
+  v.value = value;
+  out.push_back(std::move(v));
+}
+
+inline void AppendGauge(std::vector<MetricValue>& out, std::string name,
+                        double value) {
+  MetricValue v;
+  v.name = std::move(name);
+  v.kind = MetricValue::Kind::kGauge;
+  v.value = value;
+  out.push_back(std::move(v));
+}
+
+inline void AppendHistogram(std::vector<MetricValue>& out, std::string name,
+                            HistogramSnapshot snap) {
+  MetricValue v;
+  v.name = std::move(name);
+  v.kind = MetricValue::Kind::kHistogram;
+  v.histogram = snap;
+  out.push_back(std::move(v));
+}
+
+// Named-metric registry. Get* lazily creates (stable references — entries
+// are never removed); AddSource registers a pull callback whose metrics
+// join every Collect(). Lookup takes a mutex, so call sites should hold
+// the returned reference rather than re-resolving per event.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+  }
+
+  MaxGauge& GetGauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<MaxGauge>();
+    return *slot;
+  }
+
+  LatencyHistogram& GetHistogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<LatencyHistogram>();
+    return *slot;
+  }
+
+  // The source is invoked on every Collect; it must be thread-safe and
+  // must outlive the registry (or be removed by destroying the registry).
+  void AddSource(std::function<void(std::vector<MetricValue>&)> source) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sources_.push_back(std::move(source));
+  }
+
+  void CollectInto(std::vector<MetricValue>& out) const {
+    std::vector<std::function<void(std::vector<MetricValue>&)>> sources;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [name, c] : counters_) {
+        AppendCounter(out, name, static_cast<double>(c->value()));
+      }
+      for (const auto& [name, g] : gauges_) {
+        AppendGauge(out, name, static_cast<double>(g->value()));
+      }
+      for (const auto& [name, h] : histograms_) {
+        AppendHistogram(out, name, h->Snapshot());
+      }
+      sources = sources_;
+    }
+    // Sources run outside mu_ so they may touch the registry re-entrantly.
+    for (const auto& source : sources) source(out);
+  }
+
+  std::vector<MetricValue> Collect() const {
+    std::vector<MetricValue> out;
+    CollectInto(out);
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<MaxGauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::vector<std::function<void(std::vector<MetricValue>&)>> sources_;
+};
+
+namespace internal {
+
+// %.17g round-trips doubles; integral values print without an exponent or
+// decimal point so counters stay grep-able.
+inline std::string FormatNumber(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 9.0e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+inline std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+inline void SortByName(std::vector<MetricValue>& values) {
+  std::sort(values.begin(), values.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+}
+
+}  // namespace internal
+
+// Prometheus text exposition. Histogram buckets are cumulative with `le`
+// labels in SECONDS (the Prometheus convention for latency); only buckets
+// up to the highest non-empty one are emitted, plus +Inf.
+inline std::string RenderPrometheus(std::vector<MetricValue> values,
+                                    const std::string& prefix = "pdbscan") {
+  internal::SortByName(values);
+  std::string out;
+  for (const MetricValue& v : values) {
+    const std::string name =
+        prefix + "_" + internal::SanitizeMetricName(v.name);
+    switch (v.kind) {
+      case MetricValue::Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + internal::FormatNumber(v.value) + "\n";
+        break;
+      case MetricValue::Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + internal::FormatNumber(v.value) + "\n";
+        break;
+      case MetricValue::Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        size_t last = 0;
+        for (size_t b = 0; b < HistogramSnapshot::kNumBuckets; ++b) {
+          if (v.histogram.buckets[b] != 0) last = b;
+        }
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b <= last; ++b) {
+          cumulative += v.histogram.buckets[b];
+          char le[32];
+          std::snprintf(le, sizeof(le), "%.9g",
+                        static_cast<double>(
+                            HistogramSnapshot::BucketUpperNanos(b)) /
+                            1e9);
+          out += name + "_bucket{le=\"" + le + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(v.histogram.count) + "\n";
+        out += name + "_sum " +
+               internal::FormatNumber(
+                   static_cast<double>(v.histogram.sum_nanos) / 1e9) +
+               "\n";
+        out += name + "_count " + std::to_string(v.histogram.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// JSON exposition: {"schema":..., "counters":{...}, "gauges":{...},
+// "histograms":{name:{count,sum_nanos,p50_nanos,p90_nanos,p99_nanos,
+// buckets:[[upper_nanos,count],...]}}}. Bucket entries list only non-empty
+// buckets.
+inline std::string RenderJson(std::vector<MetricValue> values) {
+  internal::SortByName(values);
+  auto quote = [](const std::string& s) { return "\"" + s + "\""; };
+  std::string counters, gauges, histograms;
+  for (const MetricValue& v : values) {
+    const std::string name = internal::SanitizeMetricName(v.name);
+    switch (v.kind) {
+      case MetricValue::Kind::kCounter:
+        if (!counters.empty()) counters += ",";
+        counters += quote(name) + ":" + internal::FormatNumber(v.value);
+        break;
+      case MetricValue::Kind::kGauge:
+        if (!gauges.empty()) gauges += ",";
+        gauges += quote(name) + ":" + internal::FormatNumber(v.value);
+        break;
+      case MetricValue::Kind::kHistogram: {
+        if (!histograms.empty()) histograms += ",";
+        std::string buckets;
+        for (size_t b = 0; b < HistogramSnapshot::kNumBuckets; ++b) {
+          if (v.histogram.buckets[b] == 0) continue;
+          if (!buckets.empty()) buckets += ",";
+          buckets += "[" +
+                     std::to_string(HistogramSnapshot::BucketUpperNanos(b)) +
+                     "," + std::to_string(v.histogram.buckets[b]) + "]";
+        }
+        histograms +=
+            quote(name) + ":{\"count\":" + std::to_string(v.histogram.count) +
+            ",\"sum_nanos\":" + std::to_string(v.histogram.sum_nanos) +
+            ",\"p50_nanos\":" +
+            std::to_string(v.histogram.PercentileNanos(0.50)) +
+            ",\"p90_nanos\":" +
+            std::to_string(v.histogram.PercentileNanos(0.90)) +
+            ",\"p99_nanos\":" +
+            std::to_string(v.histogram.PercentileNanos(0.99)) +
+            ",\"buckets\":[" + buckets + "]}";
+        break;
+      }
+    }
+  }
+  return "{\"schema\":\"pdbscan-telemetry-v1\",\"counters\":{" + counters +
+         "},\"gauges\":{" + gauges + "},\"histograms\":{" + histograms +
+         "}}";
+}
+
+}  // namespace pdbscan::telemetry
+
+#endif  // PDBSCAN_TELEMETRY_METRICS_H_

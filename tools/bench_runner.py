@@ -7,19 +7,24 @@ The CLI emits machine-readable lines on stdout (everything human-oriented
 goes to stderr):
 
     #perf {"schema":"pdbscan-perf-v1","mode":...,"qps":...,"p50_ms":...}
+    #telemetry {"schema":"pdbscan-telemetry-v1","histograms":{...}}
     #quality {"schema":"pdbscan-quality-v1","ari":...,"nmi":...}
 
-This runner shells out to the CLI for every grid point, scrapes those two
+This runner shells out to the CLI for every grid point, scrapes those
 lines, self-validates them against the expected schemas, and appends one
 record per run to the output file:
 
     {
-      "schema": "pdbscan-bench-v1",
+      "schema": "pdbscan-bench-v2",
       "host": ..., "platform": ..., "date": ..., "argv": [...],
       "records": [
-        {"dataset": ..., "config": {...}, "perf": {...}, "quality": {...}}
+        {"dataset": ..., "config": {...}, "perf": {...},
+         "telemetry": {...}, "quality": {...}}
       ]
     }
+
+v2 adds the per-arm "telemetry" object: the CLI's query-latency histogram
+snapshot (log2 buckets, p50/p90/p99 in nanos) plus span-ring counters.
 
 Quality records appear whenever the dataset has a sibling ground-truth
 `.labels` file (the golden corpus under tests/data/ always does).
@@ -44,8 +49,9 @@ import platform as platform_mod
 import subprocess
 import sys
 
-BENCH_SCHEMA = "pdbscan-bench-v1"
+BENCH_SCHEMA = "pdbscan-bench-v2"
 PERF_SCHEMA = "pdbscan-perf-v1"
+TELEMETRY_SCHEMA = "pdbscan-telemetry-v1"
 QUALITY_SCHEMA = "pdbscan-quality-v1"
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -59,10 +65,18 @@ PERF_FIELDS = {
     "min_pts": int, "n": int, "dim": int, "threads": int, "repeat": int,
     "build_seconds": NUM, "qps": NUM, "p50_ms": NUM, "p99_ms": NUM,
 }
+TELEMETRY_FIELDS = {
+    "schema": str, "counters": dict, "gauges": dict, "histograms": dict,
+}
 QUALITY_FIELDS = {
     "schema": str, "ari": NUM, "nmi": NUM, "noise_ratio": NUM,
     "truth_noise_ratio": NUM, "clusters": int, "truth_clusters": int,
     "n": int, "cluster_size_histogram": list, "label_checksum": str,
+}
+# Per-histogram required fields inside a telemetry record.
+TELEMETRY_HIST_FIELDS = {
+    "count": int, "sum_nanos": int, "p50_nanos": int, "p90_nanos": int,
+    "p99_nanos": int, "buckets": list,
 }
 
 
@@ -84,15 +98,48 @@ def validate(record, fields, expected_schema, context):
     return problems
 
 
+def validate_telemetry(record, context):
+    """TELEMETRY_FIELDS plus the per-histogram shape (count/percentiles/
+    non-negative log2 buckets)."""
+    problems = validate(record, TELEMETRY_FIELDS, TELEMETRY_SCHEMA, context)
+    for name, hist in record.get("histograms", {}).items():
+        hist_context = "%s histogram %r" % (context, name)
+        if not isinstance(hist, dict):
+            problems.append("%s: not an object" % hist_context)
+            continue
+        for key, types in TELEMETRY_HIST_FIELDS.items():
+            if key not in hist:
+                problems.append("%s: missing field %r" % (hist_context, key))
+            elif not isinstance(hist[key], types):
+                problems.append("%s: field %r has type %s, want %s" %
+                                (hist_context, key,
+                                 type(hist[key]).__name__, types))
+        total = 0
+        for entry in hist.get("buckets", []):
+            if (not isinstance(entry, list) or len(entry) != 2 or
+                    not all(isinstance(v, int) and v >= 0 for v in entry)):
+                problems.append("%s: malformed bucket entry %r" %
+                                (hist_context, entry))
+                continue
+            total += entry[1]
+        if isinstance(hist.get("count"), int) and total != hist["count"]:
+            problems.append("%s: bucket counts sum to %d, count says %d" %
+                            (hist_context, total, hist["count"]))
+    return problems
+
+
 def scrape(stdout):
-    """Extracts the #perf / #quality JSON payloads from CLI stdout."""
-    perf, quality = None, None
+    """Extracts the #perf / #telemetry / #quality JSON payloads from CLI
+    stdout."""
+    perf, telemetry, quality = None, None, None
     for line in stdout.splitlines():
         if line.startswith("#perf "):
             perf = json.loads(line[len("#perf "):])
+        elif line.startswith("#telemetry "):
+            telemetry = json.loads(line[len("#telemetry "):])
         elif line.startswith("#quality "):
             quality = json.loads(line[len("#quality "):])
-    return perf, quality
+    return perf, telemetry, quality
 
 
 def run_case(cli, dataset, labels, eps, min_pts, metric, mode, threads,
@@ -122,12 +169,14 @@ def run_case(cli, dataset, labels, eps, min_pts, metric, mode, threads,
                            (proc.returncode, proc.stderr.strip()[-500:]))
         return record
     try:
-        perf, quality = scrape(proc.stdout)
+        perf, telemetry, quality = scrape(proc.stdout)
     except json.JSONDecodeError as e:
         record["error"] = "unparseable machine-readable line: %s" % e
         return record
     if perf is not None:
         record["perf"] = perf
+    if telemetry is not None:
+        record["telemetry"] = telemetry
     if quality is not None:
         record["quality"] = quality
     if perf is None:
@@ -241,6 +290,11 @@ def main():
         if "perf" in record:
             problems += validate(record["perf"], PERF_FIELDS, PERF_SCHEMA,
                                  context + " #perf")
+        if "telemetry" in record:
+            problems += validate_telemetry(record["telemetry"],
+                                           context + " #telemetry")
+        elif "perf" in record:
+            problems.append("%s: #perf without a #telemetry line" % context)
         if "quality" in record:
             problems += validate(record["quality"], QUALITY_FIELDS,
                                  QUALITY_SCHEMA, context + " #quality")

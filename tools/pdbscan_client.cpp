@@ -3,6 +3,9 @@
 //
 //   pdbscan_client --port 7777 info
 //   pdbscan_client --port 7777 query 10          # labels checksum + stats
+//   pdbscan_client --port 7777 query 10 --trace  # + server-side span tree
+//   pdbscan_client --port 7777 stats             # telemetry JSON
+//   pdbscan_client --port 7777 stats prom        # Prometheus text
 //   pdbscan_client --port 7777 update-random 500 42   # writer only
 //   pdbscan_client --port 7777 corrupt           # framing-error probe
 //   pdbscan_client --port 7777 shutdown
@@ -22,6 +25,7 @@
 #include "net/client.h"
 #include "pdbscan/pdbscan.h"
 #include "persist/format.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -30,8 +34,27 @@ using namespace pdbscan;
 void Usage() {
   std::fprintf(stderr,
                "usage: pdbscan_client --port N [--dim D] "
-               "info|query M|update-random N SEED|corrupt|shutdown\n");
+               "info|query M [--trace]|stats [json|prom]|"
+               "update-random N SEED|corrupt|shutdown\n");
   std::exit(2);
+}
+
+// Rebuilds SpanRecords from the wire encoding (parent-as-index) so the
+// server-side breakdown renders with the same tree formatter the server
+// uses locally. Names point into `spans`, which must outlive the result.
+std::vector<telemetry::SpanRecord> WireSpansToRecords(
+    const std::vector<net::WireSpan>& spans) {
+  std::vector<telemetry::SpanRecord> recs(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    recs[i].name = spans[i].name.c_str();
+    recs[i].trace_id = 1;
+    recs[i].span_id = i + 1;
+    recs[i].parent_id =
+        spans[i].parent >= 0 ? static_cast<uint64_t>(spans[i].parent) + 1 : 0;
+    recs[i].start_nanos = spans[i].start_nanos;
+    recs[i].end_nanos = spans[i].start_nanos + spans[i].duration_nanos;
+  }
+  return recs;
 }
 
 uint64_t LabelsChecksum(const net::QueryResponse& resp) {
@@ -41,14 +64,37 @@ uint64_t LabelsChecksum(const net::QueryResponse& resp) {
   return h;
 }
 
-int RunQuery(net::Client& client, uint64_t min_pts) {
-  const net::QueryResponse resp = client.Query(min_pts);
+int RunQuery(net::Client& client, uint64_t min_pts, bool trace) {
+  const uint64_t trace_id = trace ? telemetry::NewTraceId() : 0;
+  const uint64_t wall_start = telemetry::NowNanos();
+  const net::QueryResponse resp = client.Query(min_pts, trace_id);
+  const uint64_t wall_nanos = telemetry::NowNanos() - wall_start;
   std::printf("generation=%llu num_points=%llu num_clusters=%llu "
               "labels_checksum=%016llx\n",
               static_cast<unsigned long long>(resp.generation),
               static_cast<unsigned long long>(resp.num_points),
               static_cast<unsigned long long>(resp.num_clusters),
               static_cast<unsigned long long>(LabelsChecksum(resp)));
+  if (trace) {
+    const std::vector<telemetry::SpanRecord> recs =
+        WireSpansToRecords(resp.spans);
+    const std::vector<telemetry::SpanNode> tree =
+        telemetry::BuildSpanTree(recs);
+    std::printf("trace_id=%016llx spans=%zu server_self_ms=%.3f "
+                "client_wall_ms=%.3f\n",
+                static_cast<unsigned long long>(trace_id), recs.size(),
+                static_cast<double>(telemetry::TotalSelfNanos(tree)) / 1e6,
+                static_cast<double>(wall_nanos) / 1e6);
+    std::fputs(telemetry::FormatSpanTree(recs).c_str(), stdout);
+  }
+  return 0;
+}
+
+int RunStats(net::Client& client, const std::string& format) {
+  if (format != "json" && format != "prom") Usage();
+  const net::StatsResponse resp = client.Stats(format == "prom" ? 1 : 0);
+  std::fputs(resp.text.c_str(), stdout);
+  if (!resp.text.empty() && resp.text.back() != '\n') std::printf("\n");
   return 0;
 }
 
@@ -114,9 +160,15 @@ int main(int argc, char** argv) {
                   info.is_writer ? "writer" : "replica");
       return 0;
     }
-    if (cmd == "query" && rest.size() == 2) {
+    if (cmd == "query" && (rest.size() == 2 ||
+                           (rest.size() == 3 && rest[2] == "--trace"))) {
       net::Client client(static_cast<uint16_t>(port));
-      return RunQuery(client, std::strtoull(rest[1].c_str(), nullptr, 10));
+      return RunQuery(client, std::strtoull(rest[1].c_str(), nullptr, 10),
+                      rest.size() == 3);
+    }
+    if (cmd == "stats" && rest.size() <= 2) {
+      net::Client client(static_cast<uint16_t>(port));
+      return RunStats(client, rest.size() == 2 ? rest[1] : "json");
     }
     if (cmd == "update-random" && rest.size() == 3) {
       const size_t n = std::strtoull(rest[1].c_str(), nullptr, 10);

@@ -27,6 +27,8 @@
 #include "net/replication.h"
 #include "net/server.h"
 #include "pdbscan/pdbscan.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -51,6 +53,8 @@ struct Args {
   size_t cache_capacity = 64;
   size_t num_executors = 1;
   int workers = 0;
+  bool trace = false;
+  uint64_t slow_query_ms = 0;  // 0 = slow-query logging off.
 };
 
 void Usage() {
@@ -60,7 +64,8 @@ void Usage() {
       "  [--dim D] [--counts-cap C] [--port N] [--port-file PATH]\n"
       "  [--checkpoint-every N] [--rotate-bytes N] [--keep-checkpoints N]\n"
       "  [--poll-ms N] [--queue-limit N] [--timeout-ms N]\n"
-      "  [--cache-capacity N] [--num-executors N] [--workers N]\n");
+      "  [--cache-capacity N] [--num-executors N] [--workers N]\n"
+      "  [--trace] [--slow-query-ms N]\n");
   std::exit(2);
 }
 
@@ -87,6 +92,8 @@ bool ParseArgs(int argc, char** argv, Args* out) {
     else if (flag == "--cache-capacity") out->cache_capacity = std::strtoull(next(), nullptr, 10);
     else if (flag == "--num-executors") out->num_executors = std::strtoull(next(), nullptr, 10);
     else if (flag == "--workers") out->workers = std::atoi(next());
+    else if (flag == "--trace") out->trace = true;
+    else if (flag == "--slow-query-ms") out->slow_query_ms = std::strtoull(next(), nullptr, 10);
     else Usage();
   }
   return !out->mode.empty() && !out->dir.empty() && out->eps > 0;
@@ -109,14 +116,22 @@ template <int D>
 int RunNode(const Args& args) {
   using namespace pdbscan;
 
+  // The registry outlives everything below; nodes and the server register
+  // pull sources into it and NetServer answers Stats requests from it.
+  telemetry::MetricsRegistry registry;
+
   parallel::ServingOptions serve_opts;
   serve_opts.queue_limit = args.queue_limit;
   serve_opts.default_timeout_nanos = parallel::MillisToNanos(args.timeout_ms);
   serve_opts.cache_capacity = args.cache_capacity;
   serve_opts.num_executors = args.num_executors;
+  if (args.slow_query_ms != 0) {
+    serve_opts.slow_query_nanos = parallel::MillisToNanos(args.slow_query_ms);
+  }
 
   net::ServerOptions server_opts;
   server_opts.port = static_cast<uint16_t>(args.port);
+  server_opts.registry = &registry;
 
   std::unique_ptr<net::WriterNode<D>> writer;
   std::unique_ptr<net::ReplicaNode<D>> replica;
@@ -128,10 +143,23 @@ int RunNode(const Args& args) {
     wopts.rotate_bytes = args.rotate_bytes;
     wopts.checkpoint_every = args.checkpoint_every;
     wopts.keep_checkpoints = args.keep_checkpoints;
+    wopts.on_checkpoint = [](uint64_t seq, uint64_t taken) {
+      std::fprintf(stderr,
+                   "pdbscan_server: checkpoint shipped seq=%llu (total=%llu)\n",
+                   static_cast<unsigned long long>(seq),
+                   static_cast<unsigned long long>(taken));
+    };
     writer = std::make_unique<net::WriterNode<D>>(args.dir, args.eps,
                                                   args.counts_cap, Options(),
                                                   wopts);
     pool = &writer->pool();
+    registry.AddSource([&w = *writer](
+                           std::vector<telemetry::MetricValue>& out) {
+      telemetry::AppendCounter(out, "writer_checkpoints_taken",
+                               static_cast<double>(w.checkpoints_taken()));
+      telemetry::AppendGauge(out, "writer_seq",
+                             static_cast<double>(w.seq()));
+    });
     on_update = [&w = *writer](std::span<const Point<D>> inserts,
                                std::span<const uint64_t> erases) {
       net::UpdateResponse resp;
@@ -142,11 +170,24 @@ int RunNode(const Args& args) {
   } else if (args.mode == "replica") {
     net::ReplicaOptions ropts;
     ropts.poll_millis = args.poll_ms;
+    ropts.on_gap_restart = [](uint64_t seq, size_t restarts) {
+      std::fprintf(stderr,
+                   "pdbscan_server: gap restart — re-based to seq=%llu "
+                   "(gap_restarts=%zu)\n",
+                   static_cast<unsigned long long>(seq), restarts);
+    };
     replica = std::make_unique<net::ReplicaNode<D>>(args.dir, args.eps,
                                                     args.counts_cap,
                                                     Options(), ropts);
     replica->StartTailing();
     pool = &replica->pool();
+    registry.AddSource([&r = *replica](
+                           std::vector<telemetry::MetricValue>& out) {
+      telemetry::AppendCounter(out, "replica_gap_restarts",
+                               static_cast<double>(r.gap_restarts()));
+      telemetry::AppendGauge(out, "replica_applied_seq",
+                             static_cast<double>(r.applied_seq()));
+    });
   } else {
     Usage();
   }
@@ -181,6 +222,8 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
   if (args.workers > 0) pdbscan::parallel::set_num_workers(args.workers);
+  pdbscan::telemetry::InitTraceFromEnv();
+  if (args.trace) pdbscan::telemetry::SetTraceEnabled(true);
   try {
     return pdbscan::DispatchDim(args.dim,
                                 [&]<int D>() { return RunNode<D>(args); });
